@@ -1,0 +1,52 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRIALS`` — measured trials per (benchmark, config) pair
+  (default 3; the paper used 20 — set 20 for a full-methodology run).
+* ``REPRO_BENCH_FULL=1`` — use paper-scale workload configurations for the
+  assertion-volume table (slower).
+
+Every test takes the ``benchmark`` fixture so the whole directory runs
+under ``pytest benchmarks/ --benchmark-only``; measurement-heavy tests use
+``once()`` (a single pedantic round) because the figure harness already
+repeats trials internally.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def trials() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "3"))
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture(scope="session")
+def figure_report():
+    """Collects rendered figures; prints them at the end of the session."""
+    sections: list[str] = []
+    yield sections
+    if sections:
+        print("\n\n" + "=" * 72)
+        print("REPRODUCED FIGURES")
+        print("=" * 72)
+        for section in sections:
+            print()
+            print(section)

@@ -1,0 +1,100 @@
+"""Ablation abl-gen: assertion-checking latency under generational GC.
+
+§2.2: "A generational collector, however, performs full-heap collections
+infrequently, allowing some assertions to go unchecked for long periods of
+time."  We quantify that: run an allocation-heavy workload that violates an
+assert-dead early, and measure how many collections (and how much allocation)
+pass before the violation is detected under MarkSweep (every collection is
+full-heap) vs generational (only full-heap collections check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+
+HEAP = 192 << 10
+
+
+@dataclass
+class LatencyResult:
+    collections_until_detection: int
+    checking_collections: int
+    total_collections: int
+    detected: bool
+
+
+def _measure_latency(collector: str) -> LatencyResult:
+    vm = VirtualMachine(heap_bytes=HEAP, collector=collector)
+    cls = vm.define_class("L", [("next", FieldKind.REF), ("pad", FieldKind.REF)])
+
+    # Create the "leak": a rooted object asserted dead immediately.
+    with vm.scope():
+        leaked = vm.new(cls)
+        vm.statics.set_ref("leak", leaked.address)
+        vm.assertions.assert_dead(leaked, site="latency-probe")
+
+    detected_at = None
+    # Churn allocation; collections trigger naturally.
+    for i in range(30_000):
+        with vm.scope():
+            vm.new(cls)
+        if vm.engine.log.violations:
+            detected_at = vm.stats.collections
+            break
+    stats = vm.stats
+    return LatencyResult(
+        collections_until_detection=detected_at if detected_at is not None else -1,
+        checking_collections=stats.full_collections,
+        total_collections=stats.collections,
+        detected=detected_at is not None,
+    )
+
+
+def test_generational_detection_latency(once, figure_report):
+    def run():
+        return _measure_latency("marksweep"), _measure_latency("generational")
+
+    ms, gen = once(run)
+    figure_report.append(
+        "Ablation abl-gen (detection latency, collections until the violation "
+        "is reported):\n"
+        f"  marksweep:    detected after {ms.collections_until_detection} "
+        f"collection(s) ({ms.checking_collections} checking / {ms.total_collections} total)\n"
+        f"  generational: detected after {gen.collections_until_detection} "
+        f"collection(s) ({gen.checking_collections} checking / {gen.total_collections} total)"
+    )
+    # MarkSweep checks at the very first collection.
+    assert ms.detected
+    assert ms.collections_until_detection == 1
+    # The generational collector runs many minor collections that check
+    # nothing; detection needs a full-heap collection.
+    assert gen.total_collections > gen.checking_collections
+
+    # With only nursery pressure, the violation may go undetected for the
+    # whole run — exactly the §2.2 caveat.  Either it was never detected, or
+    # it took strictly more collections than MarkSweep needed.
+    if gen.detected:
+        assert gen.collections_until_detection > ms.collections_until_detection
+
+
+def test_explicit_full_gc_closes_the_gap(once):
+    """A forced full-heap collection detects immediately on both."""
+
+    def run():
+        results = {}
+        for collector in ("marksweep", "generational"):
+            vm = VirtualMachine(heap_bytes=HEAP, collector=collector)
+            cls = vm.define_class("L", [("next", FieldKind.REF)])
+            with vm.scope():
+                leaked = vm.new(cls)
+                vm.statics.set_ref("leak", leaked.address)
+                vm.assertions.assert_dead(leaked)
+            vm.gc()
+            results[collector] = len(vm.engine.log)
+        return results
+
+    results = once(run)
+    assert results == {"marksweep": 1, "generational": 1}

@@ -1,0 +1,202 @@
+"""§3.2 qualitative case studies, end to end.
+
+Each test reproduces one of the paper's debugging sessions: run the buggy
+program with the paper's assertion placement, confirm the violation and its
+diagnostic content, then run the repaired program and confirm silence.
+"""
+
+from __future__ import annotations
+
+from repro.core.reporting import AssertionKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.db import DbConfig, run_db
+from repro.workloads.jbb import JbbConfig, run_pseudojbb
+from repro.workloads.lusearch import LusearchConfig, run_lusearch
+from repro.workloads.swapleak import SwapLeakConfig, run_swapleak
+
+JBB_BASE = dict(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=8,
+    iterations=2,
+    transactions_per_iteration=200,
+    gc_per_iteration=True,
+)
+
+
+def _jbb(**flags):
+    vm = VirtualMachine(heap_bytes=8 << 20)
+    result = run_pseudojbb(vm, JbbConfig(**JBB_BASE, **flags))
+    return vm, result
+
+
+class TestJbbCaseStudies:
+    def test_jbb_lastorder_leak_found_and_repaired(self, once, figure_report):
+        vm, _result = once(
+            lambda: _jbb(leak_last_order=True, assert_dead_orders=True)
+        )
+        dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+        assert dead
+        names = dead[0].path.type_names()
+        assert "spec.jbb.Customer" in names, "the path must finger Customer"
+        figure_report.append(
+            "Case study 3.2.1(a) — Customer.lastOrder leak:\n" + dead[0].render()
+        )
+        # The paper's repair: clear Customer.lastOrder in destroy().
+        vm_fixed, _ = _jbb(leak_last_order=False, assert_dead_orders=True)
+        assert len(vm_fixed.engine.log.of_kind(AssertionKind.DEAD)) == 0
+
+    def test_jbb_oldcompany_drag_found(self, once, figure_report):
+        vm, _ = once(
+            lambda: _jbb(drag_old_company=True, assert_instances_company=True)
+        )
+        violations = vm.engine.log.of_kind(AssertionKind.INSTANCES)
+        assert violations
+        assert violations[0].details["count"] == 2
+        figure_report.append(
+            "Case study 3.2.1(b) — oldCompany drag:\n" + violations[0].render()
+        )
+        vm_fixed, _ = _jbb(drag_old_company=False, assert_instances_company=True)
+        assert len(vm_fixed.engine.log.of_kind(AssertionKind.INSTANCES)) == 0
+
+    def test_jbb_ordertable_leak_via_assert_dead(self, once):
+        vm, _ = once(lambda: _jbb(leak_order_table=True, assert_dead_orders=True))
+        dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+        assert dead
+        assert any(
+            "spec.jbb.infra.Collections.longBTree" in v.path.type_names()
+            for v in dead
+        )
+
+    def test_jbb_ordertable_leak_via_ownership(self, once):
+        """'Instead, we applied the assert-ownedBy assertion to the Orders
+        ... the user does not need to know when an object should be dead.'
+        With the lastOrder bug present, destroyed Orders stay reachable from
+        Customers only — i.e. not through their owning orderTable."""
+        vm, result = once(
+            lambda: _jbb(
+                leak_last_order=True,
+                assert_ownedby_orders=True,
+            )
+        )
+        owned = vm.engine.log.of_kind(AssertionKind.OWNED_BY)
+        assert owned
+        assert owned[0].type_name == "spec.jbb.Order"
+
+    def test_jbb_healthy_is_quiet(self, once):
+        vm, result = once(
+            lambda: _jbb(
+                assert_dead_orders=True,
+                assert_ownedby_orders=True,
+                assert_instances_company=True,
+                region_payments=True,
+            )
+        )
+        assert result.violations == 0
+
+
+class TestLusearchCaseStudy:
+    def test_lusearch_32_searchers(self, once, figure_report):
+        def run():
+            vm = VirtualMachine(heap_bytes=16 << 20)
+            result = run_lusearch(
+                vm,
+                LusearchConfig(
+                    threads=32,
+                    queries_per_thread=4,
+                    ndocs=60,
+                    terms_per_doc=8,
+                    assert_single_searcher=True,
+                ),
+            )
+            return vm, result
+
+        vm, result = once(run)
+        violations = vm.engine.log.of_kind(AssertionKind.INSTANCES)
+        assert violations
+        # The paper's finding, exactly: 32 live IndexSearchers, one per thread.
+        assert violations[0].details["count"] == 32
+        assert result.peak_live_searchers == 32
+        figure_report.append(
+            "Case study 3.2.2 — lusearch IndexSearcher:\n" + violations[0].render()
+        )
+
+    def test_lusearch_repair(self, once):
+        def run():
+            vm = VirtualMachine(heap_bytes=16 << 20)
+            result = run_lusearch(
+                vm,
+                LusearchConfig(
+                    threads=32,
+                    queries_per_thread=4,
+                    ndocs=60,
+                    terms_per_doc=8,
+                    assert_single_searcher=True,
+                    share_searcher=True,
+                ),
+            )
+            return vm, result
+
+        vm, result = once(run)
+        assert result.violations == 0
+        assert result.searchers_created == 1
+
+
+class TestSwapLeakCaseStudy:
+    def test_swapleak_hidden_reference(self, once, figure_report):
+        def run():
+            vm = VirtualMachine(heap_bytes=16 << 20)
+            result = run_swapleak(vm, SwapLeakConfig(array_size=16, swaps=16))
+            return vm, result
+
+        vm, result = once(run)
+        assert result.violations == result.swaps
+        violation = vm.engine.log.violations[0]
+        # The paper's exact path: SArray -> SObject[] -> SObject ->
+        # SObject$Rep -> SObject.
+        assert violation.path.type_names() == [
+            "SArray",
+            "SObject[]",
+            "SObject",
+            "SObject$Rep",
+            "SObject",
+        ]
+        figure_report.append(
+            "Case study 3.2.3 — SwapLeak hidden inner-class reference:\n"
+            + violation.render()
+        )
+
+    def test_swapleak_static_inner_repair(self, once):
+        def run():
+            vm = VirtualMachine(heap_bytes=16 << 20)
+            return run_swapleak(
+                vm, SwapLeakConfig(array_size=16, swaps=16, static_rep=True)
+            )
+
+        result = once(run)
+        assert result.violations == 0
+
+
+class TestDbCaseStudy:
+    def test_db_cache_leak_detected_both_ways(self, once):
+        def run():
+            vm = VirtualMachine(heap_bytes=8 << 20)
+            result = run_db(
+                vm,
+                DbConfig(
+                    initial_entries=60,
+                    operations=400,
+                    key_space=100,
+                    find_weight=8,
+                    gc_every=100,
+                    leak_external_cache=True,
+                    assert_ownedby_entries=True,
+                    assert_dead_on_delete=True,
+                ),
+            )
+            return vm, result
+
+        vm, result = once(run)
+        kinds = {v.kind for v in vm.engine.log}
+        assert AssertionKind.DEAD in kinds
+        assert AssertionKind.OWNED_BY in kinds

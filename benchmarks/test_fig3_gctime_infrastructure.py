@@ -1,0 +1,37 @@
+"""Figure 3: GC-time overhead of the GC-assertion infrastructure.
+
+Paper: "Overall GC time increases by 13.36% (the geometric mean) and 30% in
+the worst case (bloat)."
+
+Shape claims: GC time is where the infrastructure cost lives — per-object
+header checks and path tagging run inside the trace loop — so the GC-time
+overhead must be positive in aggregate and clearly larger than the total
+run-time overhead of Figure 2.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import trials
+from repro.bench import infrastructure_figures
+
+from benchmarks.test_fig2_runtime_infrastructure import BENCHMARKS, figures
+
+
+def test_fig3_gctime_overhead(once, figure_report):
+    figs = once(figures)
+    fig3 = figs["fig3"]
+    fig2 = figs["fig2"]
+    figure_report.append(fig3.render())
+    assert len(fig3.rows) == len(BENCHMARKS)
+    # Shape: paying per-object hook costs inside the trace loop slows GC.
+    assert fig3.geomean_overhead_pct > 0
+    # Shape: the figure-2 vs figure-3 relationship — GC-time overhead
+    # dominates total-time overhead (13.36% vs 2.75% in the paper).
+    assert fig3.geomean_overhead_pct > fig2.geomean_overhead_pct
+
+
+def test_fig3_gc_time_is_measured(once):
+    figs = once(figures)
+    for row in figs["fig3"].rows:
+        assert row.base_mean > 0, f"{row.benchmark} must actually collect"
+        assert row.other_mean > 0

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""The §3.2.1 SPEC JBB2000 debugging session, replayed.
+
+Walks through the paper's three pseudojbb findings:
+
+  (a) destroyed Orders kept alive by Customer.lastOrder — found with
+      assert-dead in DeliveryTransaction.process(), repaired by clearing
+      the back reference;
+  (b) the oldCompany memory drag — found with assert-instances(Company, 1);
+  (c) the Jump & McKinley orderTable leak — found both with assert-dead
+      (Figure 1's path) and, more conveniently, with assert-ownedby.
+
+Run:
+
+    python examples/jbb_leak_hunt.py
+"""
+
+from repro import AssertionKind, VirtualMachine
+from repro.workloads.jbb import JbbConfig, run_pseudojbb
+
+BASE = dict(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=10,
+    iterations=2,
+    transactions_per_iteration=250,
+    gc_per_iteration=True,
+)
+
+
+def run(title, **flags):
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+    vm = VirtualMachine(heap_bytes=8 << 20)
+    result = run_pseudojbb(vm, JbbConfig(**BASE, **flags))
+    print(
+        f"transactions={result.transactions} new_orders={result.new_orders} "
+        f"deliveries={result.deliveries} GCs={vm.stats.collections} "
+        f"violations={len(vm.engine.log)}"
+    )
+    return vm
+
+
+def first_report(vm, kind):
+    violations = vm.engine.log.of_kind(kind)
+    if not violations:
+        print("  no violations of this kind.")
+        return
+    print()
+    for row in violations[0].render().splitlines():
+        print("  " + row)
+    if len(violations) > 1:
+        print(f"  ... and {len(violations) - 1} more like it")
+
+
+def main():
+    # ---------------------------------------------------------------- (a)
+    vm = run(
+        "(a) BUGGY: destroy() forgets to clear Customer.lastOrder "
+        "(assert-dead on destroyed Orders)",
+        leak_last_order=True,
+        assert_dead_orders=True,
+    )
+    first_report(vm, AssertionKind.DEAD)
+    print(
+        "\n  -> The path ends Customer -> Order: exactly the paper's finding.\n"
+        "     Repair (the paper's): null Customer.lastOrder in destroy()."
+    )
+    vm = run(
+        "(a) FIXED: destroy() clears the back reference",
+        leak_last_order=False,
+        assert_dead_orders=True,
+    )
+    first_report(vm, AssertionKind.DEAD)
+
+    # ---------------------------------------------------------------- (b)
+    vm = run(
+        "(b) BUGGY: oldCompany local drags the previous iteration's Company "
+        "(assert-instances(Company, 1))",
+        drag_old_company=True,
+        assert_instances_company=True,
+    )
+    first_report(vm, AssertionKind.INSTANCES)
+    print(
+        "\n  -> 'Not a memory leak but an example of memory drag': two\n"
+        "     Companies live at once.  Repair: null the local after destroy."
+    )
+    vm = run(
+        "(b) FIXED: the local is nulled after the Company is destroyed",
+        drag_old_company=False,
+        assert_instances_company=True,
+    )
+    first_report(vm, AssertionKind.INSTANCES)
+
+    # ---------------------------------------------------------------- (c)
+    vm = run(
+        "(c) BUGGY: Delivery never removes Orders from the orderTable "
+        "(the Jump & McKinley leak; assert-dead shows Figure 1's path)",
+        leak_order_table=True,
+        leak_last_order=True,
+        assert_dead_orders=True,
+    )
+    for violation in vm.engine.log.of_kind(AssertionKind.DEAD):
+        if "spec.jbb.infra.Collections.longBTreeNode" in violation.path.type_names():
+            print()
+            for row in violation.render().splitlines():
+                print("  " + row)
+            break
+    print(
+        "\n  -> The Figure-1 path: Company -> Warehouse -> District ->\n"
+        "     longBTree -> longBTreeNode -> ... -> Order."
+    )
+
+    vm = run(
+        "(c') The easier way: assert-ownedby(orderTable, order) in "
+        "District.addOrder — no need to know where Orders should die",
+        leak_last_order=True,
+        assert_ownedby_orders=True,
+    )
+    first_report(vm, AssertionKind.OWNED_BY)
+
+    vm = run(
+        "(c) FIXED: Delivery removes processed Orders; all assertions on",
+        assert_dead_orders=True,
+        assert_ownedby_orders=True,
+        assert_instances_company=True,
+        region_payments=True,
+    )
+    print("  all assertion families quiet on the repaired benchmark.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Leak-detector shootout: GC assertions vs the heuristics and probes.
+
+The paper claims GC assertions hit a sweet spot the related work misses:
+
+* more accurate than heuristics (type growth, staleness) — no false
+  positives, instance-level paths instead of type names;
+* far cheaper than QVM-style immediate heap probes — batched checking in
+  the regularly scheduled collection instead of one GC per probe.
+
+This example runs the same leaky program under all four detectors.  Run:
+
+    python examples/leak_detector_shootout.py
+"""
+
+from repro import AssertionKind, FieldKind, VirtualMachine
+from repro.baselines import StalenessDetector, TypeGrowthProfiler
+from repro.core.probes import HeapProbes
+from repro.workloads.containers import Vector
+
+
+def build_program(vm):
+    vm.define_class("Record", [("id", FieldKind.INT)])
+    vm.define_class("Config", [("setting", FieldKind.INT)])
+    registry = Vector.new(vm)
+    vm.statics.set_ref("registry", registry.handle.address)
+    sink = Vector.new(vm)
+    vm.statics.set_ref("archiveCache", sink.handle.address)  # the leak
+    with vm.scope():
+        vm.statics.set_ref("config", vm.new("Config", setting=42).address)
+    return registry, sink
+
+
+def churn(vm, registry, sink, rounds, on_remove=None):
+    for round_index in range(rounds):
+        with vm.scope():
+            for i in range(8):
+                registry.append(vm.new("Record", id=round_index * 8 + i))
+        for _ in range(8):
+            record = registry.pop()
+            sink.append(record)  # BUG: "archived" records are never dropped
+            if on_remove:
+                on_remove(record)
+        vm.gc(reason=f"round {round_index}")
+
+
+def main():
+    print("The program: records pass through a registry; on removal they are")
+    print("'archived' into a cache that is never cleared. A Config object")
+    print("sits idle but alive the whole time.\n")
+
+    # ------------------------------------------------------------- assertions
+    vm = VirtualMachine(heap_bytes=4 << 20)
+    registry, sink = build_program(vm)
+    churn(vm, registry, sink, rounds=5,
+          on_remove=lambda r: vm.assertions.assert_dead(r, site="registry.remove"))
+    dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+    print("1) GC ASSERTIONS (this paper)")
+    print(f"   violations: {len(dead)}; first detected at GC "
+          f"{dead[0].gc_number}; false positives: 0 by construction")
+    print("   diagnostic:")
+    for row in dead[0].render().splitlines():
+        print("     " + row)
+
+    # ------------------------------------------------------------ type growth
+    vm = VirtualMachine(heap_bytes=4 << 20, assertions=False)
+    registry, sink = build_program(vm)
+    growth = TypeGrowthProfiler(vm)
+    churn(vm, registry, sink, rounds=5)
+    print("\n2) TYPE-GROWTH HEURISTIC (Cork-style)")
+    for report in growth.report():
+        print(f"   suspicious: {report.render()}")
+    print("   -> a type name and a trend; which instances, held by what? unknown.")
+
+    # -------------------------------------------------------------- staleness
+    vm = VirtualMachine(heap_bytes=4 << 20, assertions=False)
+    registry, sink = build_program(vm)
+    staleness = StalenessDetector(vm, stale_after=3)
+    churn(vm, registry, sink, rounds=6)
+    print("\n3) STALENESS HEURISTIC (SWAT/Bell-style)")
+    types = staleness.candidate_types()
+    print(f"   stale candidates by type: {types}")
+    if "Config" in types:
+        print("   -> includes the live-but-idle Config: a FALSE POSITIVE.")
+
+    # ------------------------------------------------------------- heap probes
+    vm = VirtualMachine(heap_bytes=4 << 20)
+    registry, sink = build_program(vm)
+    probes = HeapProbes(vm)
+    leaked = []
+    churn(vm, registry, sink, rounds=5,
+          on_remove=lambda r: leaked.append(probes.probe_dead(r)))
+    print("\n4) QVM-STYLE HEAP PROBES (immediate checking)")
+    print(f"   probes executed: {probes.stats.executed}, each triggered a GC "
+          f"-> {probes.stats.gcs_triggered} probe GCs "
+          f"(vs 5 scheduled GCs for batched assertions)")
+    print(f"   every probe answered 'dead? {leaked[0]}' at the exact call site,"
+          f" but at ~{probes.stats.gcs_triggered // 5}x the collection count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The §3.2.2 lusearch case study: 32 IndexSearchers where 1 would do.
+
+The Lucene docs say "for performance reasons it is recommended to open only
+one IndexSearcher and use it for all of your searches".  Asserting
+assert-instances(IndexSearcher, 1) reveals that the benchmark opens one per
+thread — 32 of them.  Run:
+
+    python examples/lusearch_singleton.py
+"""
+
+from repro import AssertionKind, VirtualMachine
+from repro.workloads.lusearch import LusearchConfig, run_lusearch
+
+CONFIG = dict(threads=32, queries_per_thread=8, ndocs=80, terms_per_doc=10)
+
+
+def main():
+    print("lusearch with one IndexSearcher per thread (the benchmark's code):")
+    vm = VirtualMachine(heap_bytes=16 << 20)
+    result = run_lusearch(
+        vm, LusearchConfig(**CONFIG, assert_single_searcher=True)
+    )
+    print(
+        f"  queries={result.queries} hits={result.hits} "
+        f"searchers created={result.searchers_created} "
+        f"live at mid-run GC={result.peak_live_searchers}"
+    )
+    violation = vm.engine.log.of_kind(AssertionKind.INSTANCES)[0]
+    print()
+    for row in violation.render().splitlines():
+        print("  " + row)
+    print(
+        "\n  -> The paper's finding exactly: '32 instances of IndexSearcher\n"
+        "     are live, one for each thread performing searches.'\n"
+    )
+
+    print("repaired: one shared IndexSearcher across all threads:")
+    vm = VirtualMachine(heap_bytes=16 << 20)
+    result = run_lusearch(
+        vm,
+        LusearchConfig(**CONFIG, assert_single_searcher=True, share_searcher=True),
+    )
+    print(
+        f"  queries={result.queries} hits={result.hits} "
+        f"searchers created={result.searchers_created} "
+        f"violations={result.violations}"
+    )
+    print(
+        "\n  -> 'The library code could include an assert-instances assertion\n"
+        "     to warn a user if he tries to use more than one IndexSearcher.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

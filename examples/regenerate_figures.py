@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate every figure/table of the paper's evaluation in one run.
+
+Prints the ASCII analog of Figures 2–5 plus the §3.1.2 assertion-volume
+table, side by side with the paper's reported numbers.  Run:
+
+    python examples/regenerate_figures.py [--trials N] [--full]
+
+``--trials`` controls measured trials per configuration (default 3; the
+paper used 20).  ``--full`` runs the complete benchmark suite instead of
+the fast cross-section.
+"""
+
+import argparse
+
+from repro.bench import (
+    PAPER_REFERENCE,
+    infrastructure_figures,
+    withassertions_figures,
+)
+
+FAST_SUITE = ["antlr", "bloat", "jess", "xalan", "mtrt", "db", "lusearch", "pseudojbb"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--full", action="store_true",
+                        help="run the whole suite (slower)")
+    args = parser.parse_args()
+    benchmarks = None if args.full else FAST_SUITE
+
+    print(f"Running Base vs Infrastructure over "
+          f"{'the full suite' if args.full else FAST_SUITE} "
+          f"({args.trials} trials each)...")
+    infra = infrastructure_figures(trials=args.trials, benchmarks=benchmarks)
+    print()
+    print(infra["fig2"].render())
+    print()
+    print(infra["fig3"].render())
+
+    print()
+    print("Running Base vs Infrastructure vs WithAssertions on db + pseudojbb...")
+    asserted = withassertions_figures(trials=args.trials)
+    print()
+    print(asserted["fig4"].render())
+    print()
+    print(asserted["fig5"].render())
+    print()
+    print(asserted["fig5-infra"].render())
+
+    print()
+    print("Paper aggregates for comparison:")
+    for fig, ref in PAPER_REFERENCE.items():
+        print(f"  {fig}: {ref}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517`) on systems
+where PEP 517 builds fail because `bdist_wheel` is unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""GC assertions: using the garbage collector to check heap properties.
+
+A from-scratch Python reproduction of Aftandilian & Guyer (PLDI 2009).
+
+The package builds a complete managed runtime — object model, tracing
+collectors, threads, a small class-based language — and implements the
+paper's contribution on top of it: an assertion interface checked by the
+garbage collector during its normal tracing work.
+
+Quickstart::
+
+    from repro import VirtualMachine, FieldKind
+
+    vm = VirtualMachine()
+    node = vm.define_class("Node", [("next", FieldKind.REF)])
+    with vm.scope():
+        head = vm.new(node)
+        vm.statics.set_ref("head", head.address)
+        vm.assertions.assert_dead(head, site="quickstart")
+    vm.gc()
+    for line in vm.assertions.violations.lines:
+        print(line)
+"""
+
+from repro.core import (
+    AssertionKind,
+    GcAssertions,
+    HeapPath,
+    Reaction,
+    ReactionPolicy,
+    Violation,
+    ViolationLog,
+)
+from repro.errors import (
+    AssertionUsageError,
+    AssertionViolationHalt,
+    OutOfMemoryError,
+    ReproError,
+    UseAfterFreeError,
+)
+from repro.heap import ClassDescriptor, FieldKind, HeapObject
+from repro.runtime import Handle, MutatorThread, Scheduler, VirtualMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssertionKind",
+    "GcAssertions",
+    "HeapPath",
+    "Reaction",
+    "ReactionPolicy",
+    "Violation",
+    "ViolationLog",
+    "AssertionUsageError",
+    "AssertionViolationHalt",
+    "OutOfMemoryError",
+    "ReproError",
+    "UseAfterFreeError",
+    "ClassDescriptor",
+    "FieldKind",
+    "HeapObject",
+    "Handle",
+    "MutatorThread",
+    "Scheduler",
+    "VirtualMachine",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — package, collector, and suite overview.
+* ``demo``      — run the quickstart scenario and print the reports.
+* ``figures``   — regenerate Figures 2–5 (``--full`` for the whole suite).
+* ``verify``    — run a workload on every collector and verify heap
+  integrity afterwards (a smoke test for modified collectors).
+* ``minij FILE``— run a MiniJ program (with gcAssert* builtins available).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(_args) -> int:
+    import repro
+    from repro.workloads.suite import build_suite
+
+    print(f"repro {repro.__version__} — GC assertions (PLDI 2009) reproduction")
+    print("collectors: marksweep (paper), semispace, generational")
+    print("assertions: assert_dead, start_region/assert_alldead, "
+          "assert_instances, assert_unshared, assert_ownedby")
+    suite = build_suite()
+    print(f"benchmark suite ({len(suite)} members):")
+    for name, entry in sorted(suite.items()):
+        asserted = " [+assertions variant]" if entry.run_with_assertions else ""
+        print(f"  {name:12} heap={entry.heap_bytes:>8}B{asserted}")
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    """A compact version of examples/quickstart.py."""
+    from repro import FieldKind, VirtualMachine
+
+    vm = VirtualMachine(heap_bytes=1 << 20)
+    node = vm.define_class("Node", [("next", FieldKind.REF), ("value", FieldKind.INT)])
+    with vm.scope():
+        head = vm.new(node, value=1)
+        tail = vm.new(node, value=2)
+        head["next"] = tail
+        vm.statics.set_ref("head", head.address)
+        vm.assertions.assert_dead(tail, site="demo: after detach")
+    vm.gc()
+    print("assert_dead on a still-reachable object:")
+    print()
+    print(vm.assertions.violations.lines[0])
+    print()
+    head["next"] = None
+    vm.gc()
+    print(f"after the fix: {vm.assertions.pending_dead()} pending assertions, "
+          f"{vm.engine.registry.dead_satisfied} satisfied.")
+    print("see examples/quickstart.py for all five assertion kinds.")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.bench import infrastructure_figures, withassertions_figures
+
+    benchmarks = None if args.full else ["antlr", "jess", "xalan", "db", "pseudojbb"]
+    infra = infrastructure_figures(trials=args.trials, benchmarks=benchmarks)
+    print(infra["fig2"].render())
+    print()
+    print(infra["fig3"].render())
+    print()
+    asserted = withassertions_figures(trials=args.trials)
+    print(asserted["fig4"].render())
+    print()
+    print(asserted["fig5"].render())
+    return 0
+
+
+def cmd_verify(_args) -> int:
+    from repro.gc.verify import verify_heap
+    from repro.runtime.vm import VirtualMachine
+    from repro.workloads.jbb import JbbConfig, run_pseudojbb
+
+    failures = 0
+    for collector in ("marksweep", "semispace", "generational"):
+        vm = VirtualMachine(heap_bytes=1 << 20, collector=collector)
+        run_pseudojbb(
+            vm,
+            JbbConfig(
+                iterations=1,
+                transactions_per_iteration=150,
+                assert_dead_orders=True,
+                assert_ownedby_orders=True,
+                gc_per_iteration=True,
+            ),
+        )
+        vm.gc()
+        problems = verify_heap(vm, raise_on_error=False)
+        status = "OK" if not problems else f"FAILED ({len(problems)} problems)"
+        print(f"{collector:12} {status}")
+        for problem in problems:
+            print(f"    {problem}")
+        failures += bool(problems)
+    return 1 if failures else 0
+
+
+def cmd_minij(args) -> int:
+    from repro.interp.interpreter import Interpreter
+    from repro.runtime.vm import VirtualMachine
+
+    with open(args.file) as handle:
+        source = handle.read()
+    vm = VirtualMachine(heap_bytes=args.heap)
+    interp = Interpreter(vm, echo=True)
+    interp.load(source)
+    interp.run(args.entry)
+    if vm.engine is not None and vm.engine.log.lines:
+        print()
+        print("GC assertion reports:")
+        for line in vm.engine.log.lines:
+            print(line)
+            print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and suite overview")
+    sub.add_parser("demo", help="run the quickstart scenario")
+
+    figures = sub.add_parser("figures", help="regenerate Figures 2-5")
+    figures.add_argument("--trials", type=int, default=3)
+    figures.add_argument("--full", action="store_true")
+
+    sub.add_parser("verify", help="heap-integrity smoke test on all collectors")
+
+    minij = sub.add_parser("minij", help="run a MiniJ program")
+    minij.add_argument("file")
+    minij.add_argument("--entry", default="main")
+    minij.add_argument("--heap", type=int, default=4 << 20)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "demo": cmd_demo,
+        "figures": cmd_figures,
+        "verify": cmd_verify,
+        "minij": cmd_minij,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Heuristic leak-detection baselines the paper positions against.
+
+§1 and §4 of the paper contrast GC assertions with two families of
+leak-detection heuristics:
+
+* **heap differencing / type growth** (Cork, JRockit, LeakBot, …) — "tools
+  [that] use heap differencing to find objects that are probably
+  responsible for heap growth" — implemented by
+  :class:`~repro.baselines.cork.TypeGrowthProfiler`;
+* **staleness** (SWAT, Bell) — "objects that have not been accessed in a
+  long time are probably memory leaks" — implemented by
+  :class:`~repro.baselines.staleness.StalenessDetector`.
+
+Both "can only suggest potential leaks, which the programmer must then
+examine manually", report types or candidates rather than instance paths,
+and can raise false positives — the comparison benchmarks
+(``benchmarks/test_comparison_baselines.py``) measure exactly those
+contrasts against GC assertions.
+"""
+
+from repro.baselines.cork import GrowthReport, TypeGrowthProfiler
+from repro.baselines.staleness import StaleCandidate, StalenessDetector
+
+__all__ = [
+    "GrowthReport",
+    "TypeGrowthProfiler",
+    "StaleCandidate",
+    "StalenessDetector",
+]

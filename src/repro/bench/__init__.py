@@ -1,0 +1,49 @@
+"""Benchmark harness: §3.1.1 methodology and figure regeneration."""
+
+from repro.bench.methodology import (
+    Config,
+    Measurement,
+    OverheadRow,
+    Sample,
+    compare,
+    confidence_interval_90,
+    geometric_mean,
+    mean,
+    run_sample,
+    run_trial,
+)
+from repro.bench.figures import (
+    ASSERTED_BENCHMARKS,
+    PAPER_REFERENCE,
+    FigureResult,
+    figure2_runtime_infrastructure,
+    figure3_gctime_infrastructure,
+    figure4_runtime_withassertions,
+    figure5_gctime_withassertions,
+    figure5_vs_infrastructure,
+    infrastructure_figures,
+    withassertions_figures,
+)
+
+__all__ = [
+    "Config",
+    "Measurement",
+    "OverheadRow",
+    "Sample",
+    "compare",
+    "confidence_interval_90",
+    "geometric_mean",
+    "mean",
+    "run_sample",
+    "run_trial",
+    "ASSERTED_BENCHMARKS",
+    "PAPER_REFERENCE",
+    "FigureResult",
+    "figure2_runtime_infrastructure",
+    "figure3_gctime_infrastructure",
+    "figure4_runtime_withassertions",
+    "figure5_gctime_withassertions",
+    "figure5_vs_infrastructure",
+    "infrastructure_figures",
+    "withassertions_figures",
+]

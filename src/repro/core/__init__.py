@@ -1,0 +1,45 @@
+"""GC assertions: the paper's primary contribution.
+
+The pieces:
+
+* :class:`~repro.core.api.GcAssertions` — the programmer-facing calls
+  (``assert_dead``, ``start_region``/``assert_alldead``,
+  ``assert_instances``, ``assert_unshared``, ``assert_ownedby``).
+* :class:`~repro.core.engine.AssertionEngine` — the collector-side checker
+  that piggybacks on tracing.
+* :class:`~repro.core.registry.AssertionRegistry` — the metadata the paper
+  costs out (header bits, per-class words, sorted ownee arrays).
+* :mod:`~repro.core.ownership` — the two-phase ownership scan.
+* :mod:`~repro.core.reporting` — Figure-1-style full-path violation reports.
+* :mod:`~repro.core.reactions` — LOG / HALT / FORCE policies.
+"""
+
+from repro.core.api import GcAssertions
+from repro.core.engine import AssertionEngine
+from repro.core.probes import HeapProbes, ProbeStats
+from repro.core.reactions import Reaction, ReactionPolicy
+from repro.core.registry import AssertionRegistry, DeadSite, OwnerRecord
+from repro.core.reporting import (
+    AssertionKind,
+    HeapPath,
+    PathEntry,
+    Violation,
+    ViolationLog,
+)
+
+__all__ = [
+    "GcAssertions",
+    "AssertionEngine",
+    "HeapProbes",
+    "ProbeStats",
+    "Reaction",
+    "ReactionPolicy",
+    "AssertionRegistry",
+    "DeadSite",
+    "OwnerRecord",
+    "AssertionKind",
+    "HeapPath",
+    "PathEntry",
+    "Violation",
+    "ViolationLog",
+]

@@ -1,0 +1,296 @@
+"""The assertion engine: the collector-side half of GC assertions.
+
+This is the component the paper adds to Jikes RVM's collector.  It plugs
+into the hook points every collector exposes (see
+:class:`repro.gc.base.AssertionEngineProtocol`) and piggybacks all checking
+on the normal tracing work:
+
+* ``gc_begin``    — reset per-GC state (per-class instance counts).
+* ``pre_mark``    — the §2.5.2 ownership phase (or the naive ablation).
+* ``on_first_encounter``  — dead-bit check, unowned-ownee check, and
+  per-class instance counting, all on the already-hot header word.
+* ``on_repeat_encounter`` — the unshared-bit check ("objects that are
+  encountered more than once, i.e. whose mark bits are already set").
+* ``post_mark``   — instance-limit checks ("at the end of GC, we iterate
+  through our list of tracked types") and FORCE reactions, which must null
+  incoming references *before* the sweep reclaims the victims.
+* ``gc_end``      — metadata purging for reclaimed objects ("we must remove
+  each unreachable ownee after a GC"), violation logging, and HALT
+  reactions.
+
+Violations are collected during the trace and dispatched at the end of the
+collection, when the heap is consistent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core import lifetime
+from repro.core.ownership import run_naive_ownership_check, run_ownership_phase
+from repro.core.reactions import Reaction, ReactionPolicy
+from repro.core.registry import AssertionRegistry, OwnerRecord
+from repro.core.reporting import AssertionKind, HeapPath, Violation, ViolationLog
+from repro.errors import AssertionViolationHalt
+from repro.heap import header as hdr
+from repro.heap.object_model import HeapObject
+
+if TYPE_CHECKING:
+    from repro.gc.base import Collector
+    from repro.gc.tracer import Tracer
+    from repro.runtime.classes import ClassRegistry
+    from repro.runtime.vm import VirtualMachine
+
+
+class AssertionEngine:
+    """Checks registered GC assertions during each collection."""
+
+    def __init__(
+        self,
+        classes: "ClassRegistry",
+        policy: Optional[ReactionPolicy] = None,
+        ownership_mode: str = "two-phase",
+    ):
+        if ownership_mode not in ("two-phase", "naive"):
+            raise ValueError(f"unknown ownership mode {ownership_mode!r}")
+        self.classes = classes
+        self.registry = AssertionRegistry()
+        self.policy = policy or ReactionPolicy()
+        self.log = ViolationLog()
+        self.ownership_mode = ownership_mode
+        self.vm: Optional["VirtualMachine"] = None
+        self._gc_number = 0
+        self._pending: list[Violation] = []
+        self._force_victims: list[int] = []
+
+    # ------------------------------------------------------------------ hooks
+
+    def gc_begin(self, collector: "Collector") -> None:
+        self._gc_number = collector.stats.collections
+        self._pending = []
+        self._force_victims = []
+        self.classes.reset_instance_counts()
+
+    def pre_mark(self, collector: "Collector", tracer: "Tracer") -> None:
+        if not self.registry.owners:
+            return
+        if self.ownership_mode == "two-phase":
+            run_ownership_phase(self, collector)
+        else:
+            run_naive_ownership_check(self, collector)
+
+    def on_first_encounter(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
+        """First GC encounter: the object was just marked."""
+        stats = tracer.stats if tracer is not None else None
+        if stats is not None:
+            stats.header_bit_checks += 1
+        status = obj.status
+        if status & hdr.DEAD_BIT:
+            self._dead_violation(obj, tracer)
+        if (status & hdr.OWNEE_BIT) and not (status & hdr.OWNED_BIT):
+            self._unowned_violation(obj, tracer)
+        cls = obj.cls
+        if cls.instance_limit is not None:
+            cls.instance_count += 1
+            if stats is not None:
+                stats.instance_count_increments += 1
+
+    def phase1_visit(self, obj: HeapObject, record: OwnerRecord) -> None:
+        """First encounter during the ownership phase.
+
+        Runs the same header-word duties as ``on_first_encounter``, except
+        unowned-ownee detection (phase 1 is what *establishes* ownedness)
+        and full-path reporting (the ownership scan keeps no path).
+        """
+        status = obj.status
+        if status & hdr.DEAD_BIT:
+            path = HeapPath.unavailable(
+                f"(reached during ownership scan from owner {record.owner_address:#x})"
+            )
+            self._dead_violation(obj, None, path=path)
+        cls = obj.cls
+        if cls.instance_limit is not None:
+            cls.instance_count += 1
+
+    def on_repeat_encounter(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
+        """Mark bit already set: a second incoming reference (§2.5.1)."""
+        if tracer is not None:
+            tracer.stats.header_bit_checks += 1
+        if obj.status & hdr.UNSHARED_BIT:
+            self._unshared_violation(obj, tracer, parent)
+
+    def post_mark(self, collector: "Collector", tracer: "Tracer") -> None:
+        self._check_instance_limits(collector)
+        self._resolve_reactions()
+        if self._force_victims:
+            lifetime.force_reclaim(collector, self.vm, self._force_victims)
+
+    def gc_end(self, collector: "Collector", freed: set[int]) -> None:
+        """Purge + finalize, for collectors where no freed address can have
+        been reused before this point (MarkSweep: non-moving; SemiSpace:
+        to-space addresses are disjoint from the freed from-space ones)."""
+        self.purge(freed)
+        self.finalize(collector)
+
+    def purge(self, freed: set[int]) -> None:
+        """Metadata hygiene: drop every registry entry keyed by a freed
+        address.  MUST run before any freed address can be recycled — the
+        generational full-heap collection promotes survivors into cells
+        freed by the same sweep, so it purges between sweeping and
+        promotion (see GenerationalCollector.collect)."""
+        purge_info = self.registry.purge_freed(freed)
+        collector = self.vm.collector if self.vm is not None else None
+        self._process_owner_deaths(collector, purge_info["dead_owners"])
+
+    def finalize(self, collector: "Collector") -> None:
+        """Per-GC accounting and violation dispatch (may raise on HALT)."""
+        collector.stats.ownees_checked += self.registry.live_ownee_count()
+        self._dispatch()
+
+    def apply_forwarding(self, fwd: dict[int, int]) -> None:
+        self.registry.apply_forwarding(fwd)
+
+    # ----------------------------------------------------------- violations
+
+    def _violation(
+        self,
+        kind: AssertionKind,
+        message: str,
+        obj: Optional[HeapObject] = None,
+        site: Optional[str] = None,
+        path: Optional[HeapPath] = None,
+        details: Optional[dict] = None,
+    ) -> Violation:
+        violation = Violation(
+            kind,
+            message,
+            obj=obj,
+            site=site,
+            path=path,
+            gc_number=self._gc_number,
+            details=details,
+        )
+        self._pending.append(violation)
+        if self.vm is not None:
+            self.vm.collector.stats.violations_detected += 1
+        return violation
+
+    def _dead_violation(
+        self,
+        obj: HeapObject,
+        tracer: Optional["Tracer"],
+        path: Optional[HeapPath] = None,
+    ) -> None:
+        site = self.registry.dead_sites.get(obj.address)
+        if path is None:
+            if tracer is not None:
+                path = HeapPath.from_tracer(tracer, obj)
+            else:
+                path = HeapPath.unavailable("(no path available)")
+        kind = site.kind if site is not None else AssertionKind.DEAD
+        self._violation(
+            kind,
+            "an object that was asserted dead is reachable.",
+            obj=obj,
+            site=site.label if site is not None else None,
+            path=path,
+        )
+
+    def _unowned_violation(self, obj: HeapObject, tracer: Optional["Tracer"]) -> None:
+        owner_address = self.registry.owner_of(obj.address)
+        path = HeapPath.from_tracer(tracer, obj) if tracer is not None else None
+        owner_desc = f"{owner_address:#x}" if owner_address is not None else "<unknown>"
+        self._violation(
+            AssertionKind.OWNED_BY,
+            "an object is reachable but not through its asserted owner.",
+            obj=obj,
+            site=f"owner {owner_desc}",
+            path=path,
+            details={"owner_address": owner_address},
+        )
+
+    def _unshared_violation(
+        self, obj: HeapObject, tracer: Optional["Tracer"], parent
+    ) -> None:
+        # §2.7: "for assert-unshared, we have no way of knowing which path is
+        # the correct one [...] We can print the second path."
+        path = HeapPath.from_tracer(tracer, obj) if tracer is not None else None
+        via = f" (second reference from {parent.cls.name})" if parent is not None else ""
+        self._violation(
+            AssertionKind.UNSHARED,
+            f"an object that was asserted unshared has multiple incoming references{via}.",
+            obj=obj,
+            site=self.registry.unshared_sites.get(obj.address),
+            path=path,
+        )
+
+    def report_ownership_misuse(self, obj: HeapObject, record: OwnerRecord) -> None:
+        owner_address = self.registry.owner_of(obj.address)
+        owner_desc = (
+            f"{owner_address:#x}" if owner_address is not None else "<unregistered>"
+        )
+        self._violation(
+            AssertionKind.OWNERSHIP_MISUSE,
+            "improper use of assert-ownedby: owner regions overlap "
+            f"(object owned by {owner_desc} reached from owner "
+            f"{record.owner_address:#x}).",
+            obj=obj,
+            details={
+                "owner_address": owner_address,
+                "reached_from_owner": record.owner_address,
+            },
+        )
+
+    def _check_instance_limits(self, collector: "Collector") -> None:
+        for cls in self.classes.tracked_types:
+            limit = cls.instance_limit
+            if limit is not None and cls.instance_count > limit:
+                # §2.7: for assert-instances "the problem paths may have been
+                # traced earlier" — no path is available.
+                self._violation(
+                    AssertionKind.INSTANCES,
+                    f"instance limit exceeded for {cls.name}: "
+                    f"{cls.instance_count} live instances, limit {limit}.",
+                    details={"type": cls.name, "count": cls.instance_count, "limit": limit},
+                )
+
+    def _process_owner_deaths(self, collector: Optional["Collector"], dead_owners: list[int]) -> None:
+        """Drop records whose owner was reclaimed.
+
+        The owner's surviving ownees are *not* reported: they are usually
+        floating garbage — the ownership phase marked them from the (dying)
+        owner, so they survive exactly one extra collection (§2.5.2's
+        acknowledged memory-pressure effect) and are reclaimed at the next
+        GC.  The record must be dropped either way, because the free-list
+        recycles the owner's address.  Genuine "outlives its owner" bugs are
+        caught while the owner is still alive, as unowned-ownee violations —
+        which is the paper's actual detection mechanism.
+        """
+        heap = collector.heap if collector is not None else None
+        for owner_address in dead_owners:
+            for ownee_address in self.registry.drop_owner(owner_address):
+                obj = heap.maybe(ownee_address) if heap is not None else None
+                if obj is not None:
+                    obj.clear(hdr.OWNEE_BIT)
+
+    # ------------------------------------------------------------- dispatch
+
+    def _resolve_reactions(self) -> None:
+        for violation in self._pending:
+            if violation.reaction is not None:
+                continue
+            reaction = self.policy.reaction_for(violation)
+            violation.reaction = reaction.value
+            if reaction is Reaction.FORCE and violation.address is not None:
+                self._force_victims.append(violation.address)
+
+    def _dispatch(self) -> None:
+        self._resolve_reactions()
+        pending, self._pending = self._pending, []
+        halt: Optional[Violation] = None
+        for violation in pending:
+            self.log.record(violation)
+            if violation.reaction == Reaction.HALT.value and halt is None:
+                halt = violation
+        if halt is not None:
+            raise AssertionViolationHalt(halt)

@@ -1,0 +1,89 @@
+"""Reaction policies: what the collector does when an assertion triggers.
+
+§2.6 of the paper lists three possible reactions:
+
+* **LOG** — "Log an error, but continue executing."  The default, chosen by
+  the paper "so that we retain the semantics of the program without any
+  assertions."
+* **HALT** — "Log an error and halt.  [...] used for assertions whose
+  failure indicates a non-recoverable error."  Modeled by raising
+  :class:`~repro.errors.AssertionViolationHalt` once the collection has
+  finished (the heap is left consistent).
+* **FORCE** — "Force the assertion to be true.  In the case of lifetime
+  assertions, the garbage collector can force objects to be reclaimed by
+  nulling out all incoming references.  This might allow a program to run
+  longer without running out of memory but risks introducing a null pointer
+  exception."  Only lifetime (assert-dead) violations are forcible.
+
+The paper's future work asks for "a programmatic interface that would allow
+the programmer to test the conditions directly and take action in an
+application-specific manner", and notes "it might make sense to support
+different actions based on the class of assertion that is violated" —
+:class:`ReactionPolicy` supports both: per-kind policies and user handlers
+that may override the reaction per violation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.core.reporting import AssertionKind, Violation
+
+
+class Reaction(enum.Enum):
+    LOG = "log"
+    HALT = "halt"
+    FORCE = "force"
+
+    @property
+    def is_forcing(self) -> bool:
+        return self is Reaction.FORCE
+
+
+#: A handler receives the violation and may return a Reaction to override
+#: the configured policy for this violation (None keeps the policy).
+Handler = Callable[[Violation], Optional[Reaction]]
+
+#: Assertion kinds whose violations can be forced true by reclaiming the
+#: object (nulling incoming references).
+FORCIBLE_KINDS = frozenset({AssertionKind.DEAD, AssertionKind.ALLDEAD})
+
+
+class ReactionPolicy:
+    """Per-assertion-kind reaction configuration plus programmatic handlers."""
+
+    def __init__(self, default: Reaction = Reaction.LOG):
+        self.default = default
+        self._per_kind: dict[AssertionKind, Reaction] = {}
+        self.handlers: list[Handler] = []
+
+    def set_reaction(self, kind: AssertionKind, reaction: Reaction) -> None:
+        if reaction.is_forcing and kind not in FORCIBLE_KINDS:
+            raise ValueError(
+                f"{kind.value} violations cannot be forced true; only lifetime "
+                f"assertions ({', '.join(sorted(k.value for k in FORCIBLE_KINDS))}) can"
+            )
+        self._per_kind[kind] = reaction
+
+    def set_default(self, reaction: Reaction) -> None:
+        if reaction.is_forcing:
+            raise ValueError("FORCE cannot be the default reaction; set it per kind")
+        self.default = reaction
+
+    def add_handler(self, handler: Handler) -> None:
+        """Register a programmatic violation handler (paper §2.6 future work)."""
+        self.handlers.append(handler)
+
+    def reaction_for(self, violation: Violation) -> Reaction:
+        """Resolve the reaction, letting handlers override the static policy."""
+        reaction = self._per_kind.get(violation.kind, self.default)
+        for handler in self.handlers:
+            override = handler(violation)
+            if override is not None:
+                if override.is_forcing and violation.kind not in FORCIBLE_KINDS:
+                    raise ValueError(
+                        f"handler requested FORCE for non-forcible {violation.kind.value}"
+                    )
+                reaction = override
+        return reaction

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the GC-assertions runtime.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch the whole family with one handler.  The hierarchy mirrors
+the layers of the system: heap-level faults, runtime (VM) faults, language
+(MiniJ) faults, and assertion-policy faults such as
+:class:`AssertionViolationHalt`, which is raised by the ``HALT`` reaction
+policy when the collector detects a violated GC assertion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class HeapError(ReproError):
+    """Base class for heap-level faults (allocation, addressing, layout)."""
+
+
+class OutOfMemoryError(HeapError):
+    """Raised when an allocation cannot be satisfied even after a full GC."""
+
+
+class InvalidAddressError(HeapError):
+    """Raised when an address does not name a live, allocated object."""
+
+
+class UseAfterFreeError(HeapError):
+    """Raised when a handle or field dereferences a reclaimed object.
+
+    In a real VM this would be silent memory corruption; the simulator
+    poisons freed objects so the bug surfaces immediately.
+    """
+
+
+class LayoutError(HeapError):
+    """Raised for malformed class/field layouts (duplicate fields, bad kinds)."""
+
+
+class RuntimeFault(ReproError):
+    """Base class for VM-level faults raised by mutator operations."""
+
+
+class NullReferenceError(RuntimeFault):
+    """Raised when a null reference is dereferenced (field read/write/call)."""
+
+
+class TypeFault(RuntimeFault):
+    """Raised when a field/array access does not match the declared kind."""
+
+
+class RegionError(RuntimeFault):
+    """Raised on misuse of start-region / assert-alldead bracketing."""
+
+
+class AssertionUsageError(ReproError):
+    """Raised when a GC assertion is registered incorrectly.
+
+    Example: asserting ownership for an object already owned by a different
+    owner, or passing a negative instance limit.
+    """
+
+
+class AssertionViolationHalt(ReproError):
+    """Raised by the ``HALT`` reaction policy when a GC assertion fails.
+
+    Carries the :class:`~repro.core.reporting.Violation` that triggered it.
+    """
+
+    def __init__(self, violation: object):
+        self.violation = violation
+        super().__init__(str(violation))
+
+
+class MiniJError(ReproError):
+    """Base class for MiniJ language errors."""
+
+
+class MiniJSyntaxError(MiniJError):
+    """Raised by the lexer/parser on malformed source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+class MiniJCompileError(MiniJError):
+    """Raised by the bytecode compiler on semantic errors."""
+
+
+class MiniJRuntimeError(MiniJError):
+    """Raised by the bytecode interpreter on dynamic errors."""

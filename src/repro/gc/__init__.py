@@ -1,0 +1,21 @@
+"""Tracing collectors: MarkSweep (the paper's), SemiSpace, generational."""
+
+from repro.gc.base import Collector
+from repro.gc.generational import GenerationalCollector
+from repro.gc.marksweep import MarkSweepCollector
+from repro.gc.semispace import SemiSpaceCollector
+from repro.gc.stats import GcStats, PhaseTimer
+from repro.gc.tracer import Tracer
+from repro.gc.verify import HeapVerificationError, verify_heap
+
+__all__ = [
+    "HeapVerificationError",
+    "verify_heap",
+    "Collector",
+    "GenerationalCollector",
+    "MarkSweepCollector",
+    "SemiSpaceCollector",
+    "GcStats",
+    "PhaseTimer",
+    "Tracer",
+]

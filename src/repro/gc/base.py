@@ -1,0 +1,175 @@
+"""Collector base class and the engine protocol collectors call into.
+
+A collector owns the allocation policy (spaces) and the collection
+algorithm; the *assertion engine* (see :mod:`repro.core.engine`) plugs into
+well-defined hook points.  When no engine is attached and path tracking is
+off, a collector behaves exactly like the unmodified VM — the paper's
+**Base** configuration.  With an engine attached but no assertions
+registered, the per-object hook costs are still paid — the paper's
+**Infrastructure** configuration.  Registered assertions add their own
+checking work on top — **WithAssertions**.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, TYPE_CHECKING
+
+from repro.errors import OutOfMemoryError
+from repro.gc.stats import GcStats, PhaseTimer
+from repro.gc.tracer import Tracer
+from repro.heap import header as hdr
+from repro.heap.heap import ObjectHeap
+from repro.heap.layout import NULL
+from repro.heap.object_model import ClassDescriptor, HeapObject
+
+if TYPE_CHECKING:
+    from repro.runtime.vm import VirtualMachine
+
+
+class AssertionEngineProtocol(Protocol):
+    """Hook points a collector offers to the assertion machinery."""
+
+    def gc_begin(self, collector: "Collector") -> None: ...
+
+    def pre_mark(self, collector: "Collector", tracer: Tracer) -> None:
+        """Runs before root scanning — the §2.5.2 ownership phase."""
+
+    def on_first_encounter(self, obj: HeapObject, tracer: Tracer, parent) -> None: ...
+
+    def on_repeat_encounter(self, obj: HeapObject, tracer: Tracer, parent) -> None: ...
+
+    def post_mark(self, collector: "Collector", tracer: Tracer) -> None:
+        """Runs after marking, before sweeping (FORCE reactions, limits)."""
+
+    def gc_end(self, collector: "Collector", freed: set[int]) -> None:
+        """Runs after reclamation with the set of freed addresses."""
+
+    def purge(self, freed: set[int]) -> None:
+        """Drop metadata for freed addresses without checking assertions.
+
+        Used by minor collections (which reclaim objects but, per §2.2,
+        check nothing) and by collectors that may recycle freed addresses
+        before the collection finishes — the purge must precede any reuse.
+        """
+
+    def finalize(self, collector: "Collector") -> None:
+        """Per-GC accounting and violation dispatch (purge must already
+        have happened)."""
+
+    def apply_forwarding(self, fwd: dict[int, int]) -> None:
+        """Rewrite engine metadata after a copying collection."""
+
+
+class Collector:
+    """Base class for all collectors."""
+
+    #: Human-readable collector name (used in logs and bench output).
+    name = "abstract"
+    #: True when the collector can move objects (handles must expect it).
+    moving = False
+
+    def __init__(
+        self,
+        heap_bytes: int,
+        engine: Optional[AssertionEngineProtocol] = None,
+        track_paths: Optional[bool] = None,
+    ):
+        self.heap = ObjectHeap()
+        self.heap_bytes = heap_bytes
+        self.engine = engine
+        # Path tracking defaults on exactly when the assertion infrastructure
+        # is present, mirroring the paper's Infrastructure configuration.
+        self.track_paths = (engine is not None) if track_paths is None else track_paths
+        self.stats = GcStats()
+        self.vm: Optional["VirtualMachine"] = None
+        self.gc_log: list[str] = []
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, vm: "VirtualMachine") -> None:
+        self.vm = vm
+
+    def _roots(self):
+        assert self.vm is not None, "collector used before attach()"
+        return self.vm.root_entries()
+
+    # -- mutator interface ------------------------------------------------------------
+
+    def allocate(self, cls: ClassDescriptor, length: int = 0) -> HeapObject:
+        """Allocate an instance, collecting on pressure; raises on true OOM."""
+        raise NotImplementedError
+
+    def write_barrier(self, src: HeapObject, new_address: int) -> None:
+        """Reference-store hook (used by the generational collector)."""
+
+    def collect(self, reason: str = "explicit") -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def _make_tracer(self) -> Tracer:
+        return Tracer(self.heap, self.stats, self.engine, self.track_paths)
+
+    def _run_mark_phase(self, tracer: Tracer) -> None:
+        engine = self.engine
+        if engine is not None:
+            engine.gc_begin(self)
+            with PhaseTimer(self.stats, "ownership_phase_seconds"):
+                engine.pre_mark(self, tracer)
+        with PhaseTimer(self.stats, "mark_seconds"):
+            tracer.trace(self._roots())
+        if engine is not None:
+            engine.post_mark(self, tracer)
+
+    def _finish_collection(self, freed: set[int], fwd: Optional[dict[int, int]] = None) -> None:
+        if fwd:
+            if self.engine is not None:
+                self.engine.apply_forwarding(fwd)
+            if self.vm is not None:
+                self.vm.apply_forwarding(fwd)
+        self.process_weak_references(fwd)
+        if self.engine is not None:
+            self.engine.gc_end(self, freed)
+        if self.vm is not None:
+            self.vm.on_gc_complete(freed)
+
+    def process_weak_references(self, fwd: Optional[dict[int, int]] = None) -> None:
+        """Clear weak slots whose target died; forward ones whose target moved."""
+        heap = self.heap
+        for obj in list(heap.weak_holders):
+            slots = obj.slots
+            for idx in obj.weak_slot_indices():
+                address = slots[idx]
+                if address == NULL:
+                    continue
+                if fwd:
+                    address = fwd.get(address, address)
+                if heap.contains(address):
+                    slots[idx] = address
+                else:
+                    slots[idx] = NULL
+                    self.stats.weak_refs_cleared += 1
+
+    def _oom(self, cls: ClassDescriptor, nbytes: int, reason: str) -> OutOfMemoryError:
+        return OutOfMemoryError(
+            f"{self.name}: cannot allocate {nbytes} bytes for {cls.name} ({reason}); "
+            f"heap budget {self.heap_bytes} bytes, "
+            f"{self.heap.stats.objects_live} objects live"
+        )
+
+    # -- introspection -----------------------------------------------------------------
+
+    def bytes_in_use(self) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(heap={self.heap_bytes}B, "
+            f"engine={'on' if self.engine else 'off'}, "
+            f"paths={'on' if self.track_paths else 'off'})"
+        )
+
+    @staticmethod
+    def clear_gc_bits(obj: HeapObject) -> None:
+        """Reset per-collection header state on a survivor."""
+        obj.status &= ~(hdr.MARK_BIT | hdr.OWNED_BIT)

@@ -1,0 +1,273 @@
+"""A generational mark-sweep collector.
+
+§2.2 of the paper: "Our technique will work with any tracing collector, such
+as generational mark/sweep.  A generational collector, however, performs
+full-heap collections infrequently, allowing some assertions to go unchecked
+for long periods of time."
+
+This collector exists to measure exactly that effect (experiment ``abl-gen``
+in DESIGN.md): a bump-allocated nursery collected by frequent *minor*
+collections that check **no** assertions, plus a free-list mature space
+collected by infrequent *full-heap* mark-sweep collections that run the
+complete assertion machinery.  Minor collections are kept sound by a
+reference-store write barrier that records mature objects pointing into the
+nursery (the remembered set).
+"""
+
+from __future__ import annotations
+
+from repro.gc.base import Collector
+from repro.gc.stats import PhaseTimer
+from repro.heap import header as hdr
+from repro.heap.heap import SPACE_STRIDE
+from repro.heap.layout import HEAP_BASE_ADDRESS, NULL
+from repro.heap.object_model import ClassDescriptor, HeapObject
+from repro.heap.space import BumpSpace, FreeListSpace
+
+#: Fraction of the total heap budget given to the nursery.
+DEFAULT_NURSERY_FRACTION = 0.15
+
+#: Objects bigger than this fraction of the nursery allocate directly mature.
+LARGE_OBJECT_FRACTION = 0.25
+
+
+class GenerationalCollector(Collector):
+    """Bump nursery + mark-sweep mature space, with a remembered set."""
+
+    name = "generational"
+    moving = True  # nursery survivors are promoted (moved) into mature space
+
+    def __init__(
+        self,
+        heap_bytes: int,
+        engine=None,
+        track_paths=None,
+        nursery_fraction: float = DEFAULT_NURSERY_FRACTION,
+    ):
+        super().__init__(heap_bytes, engine, track_paths)
+        nursery_bytes = max(4096, int(heap_bytes * nursery_fraction))
+        self.nursery = BumpSpace("nursery", nursery_bytes, HEAP_BASE_ADDRESS + SPACE_STRIDE)
+        self.mature = FreeListSpace("mature", heap_bytes - nursery_bytes, HEAP_BASE_ADDRESS)
+        self._large_threshold = int(nursery_bytes * LARGE_OBJECT_FRACTION)
+        #: Addresses of mature objects that may hold nursery references.
+        self.remembered: set[int] = set()
+
+    # -- allocation -----------------------------------------------------------------
+
+    def allocate(self, cls: ClassDescriptor, length: int = 0) -> HeapObject:
+        nbytes = cls.size_of(length)
+        if nbytes > self._large_threshold:
+            return self._allocate_mature(cls, length, nbytes)
+        address = self.nursery.allocate(nbytes)
+        if address is None:
+            self.collect_minor(reason=f"nursery full ({nbytes} bytes requested)")
+            address = self.nursery.allocate(nbytes)
+            if address is None:
+                return self._allocate_mature(cls, length, nbytes)
+        return self.heap.install(address, cls, length)
+
+    def _allocate_mature(self, cls: ClassDescriptor, length: int, nbytes: int) -> HeapObject:
+        address = self.mature.allocate(nbytes)
+        if address is None:
+            self.collect(reason=f"mature allocation of {nbytes} bytes failed")
+            address = self.mature.allocate(nbytes)
+            if address is None:
+                raise self._oom(cls, nbytes, "mature space full after full-heap GC")
+        return self.heap.install(address, cls, length)
+
+    def bytes_in_use(self) -> int:
+        return self.nursery.bytes_in_use + self.mature.bytes_in_use
+
+    # -- write barrier ----------------------------------------------------------------
+
+    def write_barrier(self, src: HeapObject, new_address: int) -> None:
+        """Record mature→nursery stores in the remembered set."""
+        if new_address != NULL and self.nursery.contains(new_address) and not self.nursery.contains(src.address):
+            self.remembered.add(src.address)
+
+    # -- minor collection ---------------------------------------------------------------
+
+    def collect_minor(self, reason: str = "explicit-minor") -> None:
+        """Nursery-only collection.  Checks **no** assertions (§2.2)."""
+        # If the mature space cannot absorb the worst-case survivor volume,
+        # do a full-heap collection instead (which also empties the nursery).
+        if self.mature.bytes_free < int(self.nursery.bytes_in_use * 1.5):
+            self.collect(reason=f"{reason}; mature too full for promotion")
+            return
+        with PhaseTimer(self.stats, "gc_seconds"):
+            self.stats.collections += 1
+            self.stats.minor_collections += 1
+            self.gc_log.append(f"minorGC {self.stats.collections}: {reason}")
+            freed, fwd = self._minor_trace_and_promote()
+        if fwd:
+            if self.engine is not None:
+                self.engine.apply_forwarding(fwd)
+            if self.vm is not None:
+                self.vm.apply_forwarding(fwd)
+        self.process_weak_references(fwd)
+        if self.engine is not None:
+            self.engine.purge(freed)
+        if self.vm is not None:
+            self.vm.on_gc_complete(freed)
+
+    def _minor_trace_and_promote(self) -> tuple[set[int], dict[int, int]]:
+        heap = self.heap
+        stats = self.stats
+        nursery = self.nursery
+
+        # Mark phase restricted to nursery objects; roots are the VM roots
+        # plus the fields of remembered mature objects.
+        visited: set[int] = set()
+        stack: list[int] = []
+
+        def reach(address: int) -> None:
+            if address != NULL and nursery.contains(address) and address not in visited:
+                visited.add(address)
+                stack.append(address)
+
+        with PhaseTimer(stats, "mark_seconds"):
+            for _desc, address in self._roots():
+                reach(address)
+            for src_address in self.remembered:
+                src = heap.maybe(src_address)
+                if src is None:
+                    continue
+                for child in src.reference_slots():
+                    reach(child)
+            while stack:
+                obj = heap.get(stack.pop())
+                stats.objects_traced += 1
+                for child in obj.reference_slots():
+                    stats.edges_traced += 1
+                    reach(child)
+
+        # Promotion: move every survivor into the mature space.
+        fwd: dict[int, int] = {}
+        survivors: list[HeapObject] = []
+        freed: set[int] = set()
+        with PhaseTimer(stats, "sweep_seconds"):
+            for address in nursery.addresses():
+                obj = heap.maybe(address)
+                if obj is None:
+                    continue
+                stats.objects_swept += 1
+                if address in visited:
+                    new_address = self.mature.allocate(obj.size_bytes)
+                    if new_address is None:
+                        raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
+                    heap.relocate(obj, new_address)
+                    fwd[address] = new_address
+                    survivors.append(obj)
+                    stats.objects_promoted += 1
+                else:
+                    freed.add(address)
+                    stats.objects_freed += 1
+                    stats.bytes_freed += obj.size_bytes
+                    heap.evict(obj)
+
+            # Only survivors, remembered sources, and roots can reference
+            # moved objects (the write barrier maintains that invariant).
+            for obj in survivors:
+                self._forward_slots(obj, fwd)
+            for src_address in self.remembered:
+                src = heap.maybe(src_address)
+                if src is not None:
+                    self._forward_slots(src, fwd)
+
+            nursery.reset()
+            self.remembered.clear()
+        return freed, fwd
+
+    @staticmethod
+    def _forward_slots(obj: HeapObject, fwd: dict[int, int]) -> None:
+        slots = obj.slots
+        for idx in obj.reference_slot_indices():
+            child = slots[idx]
+            if child != NULL:
+                new = fwd.get(child)
+                if new is not None:
+                    slots[idx] = new
+
+    # -- full-heap collection --------------------------------------------------------------
+
+    def collect(self, reason: str = "explicit") -> None:
+        """Full-heap mark-sweep with the complete assertion machinery.
+
+        Also evacuates the nursery (all surviving nursery objects are
+        promoted), so the nursery is empty afterwards.  Promotion may
+        recycle mature cells freed by this very sweep, so all
+        address-keyed metadata (assertion registry, region queues) is
+        purged *between* sweeping and promotion.
+        """
+        with PhaseTimer(self.stats, "gc_seconds"):
+            self.stats.collections += 1
+            self.stats.full_collections += 1
+            self.gc_log.append(f"fullGC {self.stats.collections}: {reason}")
+
+            tracer = self._make_tracer()
+            self._run_mark_phase(tracer)
+            freed = self._sweep_dead()
+            # Purge before promotion can recycle any freed mature cell.
+            if self.engine is not None:
+                self.engine.purge(freed)
+            if self.vm is not None:
+                self.vm.purge_dead_metadata(freed)
+            fwd = self._promote_survivors()
+        if fwd:
+            if self.engine is not None:
+                self.engine.apply_forwarding(fwd)
+            if self.vm is not None:
+                self.vm.apply_forwarding(fwd)
+        self.process_weak_references(fwd)
+        if self.engine is not None:
+            self.engine.finalize(self)
+        if self.vm is not None:
+            # Metadata was purged pre-promotion; observers fire here.
+            self.vm.on_gc_complete(set())
+
+    def _sweep_dead(self) -> set[int]:
+        """Reclaim every unmarked object (no address is reused yet)."""
+        heap = self.heap
+        stats = self.stats
+        nursery = self.nursery
+        freed: set[int] = set()
+        with PhaseTimer(stats, "sweep_seconds"):
+            for obj in heap.objects():
+                stats.objects_swept += 1
+                if obj.status & hdr.MARK_BIT:
+                    continue
+                address = obj.address
+                freed.add(address)
+                stats.objects_freed += 1
+                stats.bytes_freed += obj.size_bytes
+                if nursery.contains(address):
+                    nursery.release(address)
+                else:
+                    self.mature.free(address)
+                heap.evict(obj)
+        return freed
+
+    def _promote_survivors(self) -> dict[int, int]:
+        """Move surviving nursery objects into the mature space."""
+        heap = self.heap
+        stats = self.stats
+        nursery = self.nursery
+        fwd: dict[int, int] = {}
+        with PhaseTimer(stats, "sweep_seconds"):
+            for obj in heap.objects():
+                self.clear_gc_bits(obj)
+                address = obj.address
+                if nursery.contains(address):
+                    new_address = self.mature.allocate(obj.size_bytes)
+                    if new_address is None:
+                        raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
+                    heap.relocate(obj, new_address)
+                    fwd[address] = new_address
+                    stats.objects_promoted += 1
+            if fwd:
+                # Promotion moved objects: any live object may reference them.
+                for obj in heap.objects():
+                    self._forward_slots(obj, fwd)
+            nursery.reset()
+            self.remembered.clear()
+        return fwd

@@ -1,0 +1,84 @@
+"""Collector statistics: timers and deterministic work counters.
+
+The paper evaluates overhead as wall-clock time (total, mutator, GC) on a
+Pentium-M.  A Python simulator's wall clock is noisy at the single-digit-%
+level the paper reports, so alongside the timers we keep *work counters*
+(objects traced, header-bit checks, binary-search probes, …) that decompose
+the overhead deterministically.  Benchmarks report both.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class GcStats:
+    """Counters and timers accumulated across a VM's lifetime."""
+
+    __slots__ = (
+        "collections",
+        "full_collections",
+        "minor_collections",
+        "gc_seconds",
+        "ownership_phase_seconds",
+        "mark_seconds",
+        "sweep_seconds",
+        "objects_traced",
+        "edges_traced",
+        "objects_swept",
+        "objects_freed",
+        "bytes_freed",
+        "objects_promoted",
+        "header_bit_checks",
+        "instance_count_increments",
+        "ownee_lookups",
+        "ownee_search_probes",
+        "ownees_checked",
+        "path_entries_tagged",
+        "assertion_checks",
+        "violations_detected",
+        "naive_ownership_visits",
+        "weak_refs_cleared",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+        self.gc_seconds = 0.0
+        self.ownership_phase_seconds = 0.0
+        self.mark_seconds = 0.0
+        self.sweep_seconds = 0.0
+
+    def snapshot(self) -> dict:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    def merged_with(self, other: "GcStats") -> "GcStats":
+        out = GcStats()
+        for field in self.__slots__:
+            setattr(out, field, getattr(self, field) + getattr(other, field))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<GcStats collections={self.collections} "
+            f"gc={self.gc_seconds:.4f}s traced={self.objects_traced}>"
+        )
+
+
+class PhaseTimer:
+    """Context manager accumulating elapsed seconds into a stats attribute."""
+
+    __slots__ = ("stats", "attr", "_start")
+
+    def __init__(self, stats: GcStats, attr: str):
+        self.stats = stats
+        self.attr = attr
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(self.stats, self.attr, getattr(self.stats, self.attr) + elapsed)

@@ -1,0 +1,127 @@
+"""Heap integrity verification.
+
+A debugging/testing aid that walks the entire VM state and checks the
+invariants every collector must preserve.  Used by the property-based tests
+after random mutation/GC sequences, and available to users as
+``verify_heap(vm)`` when debugging collector extensions.
+
+Checked invariants:
+
+* every reference slot holds NULL or the address of a live object;
+* every root (static, frame local, handle scope) points at a live object;
+* no live object carries the MARK, OWNED, or FREED bits between collections;
+* object addresses agree with the heap table and are word aligned;
+* space accounting covers at least the live bytes;
+* assertion-registry addresses (dead sites, unshared sites, owners, ownees)
+  all refer to live objects — a stale entry would corrupt checking after
+  address reuse;
+* region queues only contain live addresses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import HeapError
+from repro.heap import header as hdr
+from repro.heap.layout import NULL, is_aligned
+
+if TYPE_CHECKING:
+    from repro.runtime.vm import VirtualMachine
+
+
+class HeapVerificationError(HeapError):
+    """Raised when :func:`verify_heap` finds a broken invariant."""
+
+
+def _fail(problems: list[str], message: str) -> None:
+    problems.append(message)
+
+
+def verify_heap(vm: "VirtualMachine", raise_on_error: bool = True) -> list[str]:
+    """Verify all heap/VM invariants; returns the list of problems found."""
+    problems: list[str] = []
+    heap = vm.heap
+
+    # -- object table and headers ------------------------------------------------
+    for obj in heap:
+        if not is_aligned(obj.address):
+            _fail(problems, f"{obj!r}: unaligned address")
+        if heap.maybe(obj.address) is not obj:
+            _fail(problems, f"{obj!r}: table entry mismatch")
+        if obj.status & hdr.FREED_BIT:
+            _fail(problems, f"{obj!r}: live object carries FREED bit")
+        if obj.status & hdr.MARK_BIT:
+            _fail(problems, f"{obj!r}: MARK bit set outside a collection")
+        if obj.status & hdr.OWNED_BIT:
+            _fail(problems, f"{obj!r}: OWNED bit set outside a collection")
+        for ref in obj.reference_slots():
+            if ref != NULL and not heap.contains(ref):
+                _fail(problems, f"{obj!r}: dangling reference {ref:#x}")
+        for idx in obj.weak_slot_indices():
+            weak = obj.slots[idx]
+            if weak != NULL and not heap.contains(weak):
+                _fail(problems, f"{obj!r}: dangling weak reference {weak:#x}")
+
+    # -- roots ----------------------------------------------------------------------
+    for description, address in vm.root_entries():
+        if not heap.contains(address):
+            _fail(problems, f"root {description}: dangling address {address:#x}")
+
+    # -- region queues ----------------------------------------------------------------
+    for thread in vm.threads:
+        for address in thread.region_queue:
+            if not heap.contains(address):
+                _fail(
+                    problems,
+                    f"thread {thread.name!r}: region queue holds dead {address:#x}",
+                )
+
+    # -- space accounting --------------------------------------------------------------
+    live_bytes = heap.live_bytes()
+    in_use = vm.collector.bytes_in_use()
+    if in_use < live_bytes:
+        _fail(
+            problems,
+            f"space accounting: {in_use} bytes in use < {live_bytes} live bytes",
+        )
+
+    # -- assertion registry ---------------------------------------------------------------
+    engine = vm.engine
+    if engine is not None:
+        registry = engine.registry
+        for address in registry.dead_sites:
+            if not heap.contains(address):
+                _fail(problems, f"registry: dead site for dead address {address:#x}")
+        for address in registry.unshared_sites:
+            if not heap.contains(address):
+                _fail(problems, f"registry: unshared site for dead address {address:#x}")
+        for owner_address, record in registry.owners.items():
+            if not heap.contains(owner_address):
+                _fail(problems, f"registry: owner record for dead {owner_address:#x}")
+            if record.ownees != sorted(record.ownees):
+                _fail(problems, f"registry: ownee array unsorted for {owner_address:#x}")
+            for ownee_address in record.ownees:
+                if not heap.contains(ownee_address):
+                    _fail(
+                        problems,
+                        f"registry: ownee {ownee_address:#x} of {owner_address:#x} is dead",
+                    )
+                if registry.ownee_owner.get(ownee_address) != owner_address:
+                    _fail(
+                        problems,
+                        f"registry: reverse index disagrees for {ownee_address:#x}",
+                    )
+        for ownee_address, owner_address in registry.ownee_owner.items():
+            record = registry.owners.get(owner_address)
+            if record is None or not record.contains(ownee_address)[0]:
+                _fail(
+                    problems,
+                    f"registry: ownee_owner entry {ownee_address:#x} not in owner record",
+                )
+
+    if problems and raise_on_error:
+        raise HeapVerificationError(
+            f"{len(problems)} heap invariant violation(s):\n  " + "\n  ".join(problems)
+        )
+    return problems

@@ -1,0 +1,36 @@
+"""Heap substrate: object model, headers, addresses, spaces, free lists."""
+
+from repro.heap.freelist import SIZE_CLASSES, FreeList, size_class_for
+from repro.heap.heap import SPACE_STRIDE, HeapStats, ObjectHeap
+from repro.heap.layout import (
+    HEADER_BYTES,
+    HEAP_BASE_ADDRESS,
+    NULL,
+    WORD_BYTES,
+    align_up,
+    is_aligned,
+)
+from repro.heap.object_model import ClassDescriptor, FieldDescriptor, FieldKind, HeapObject
+from repro.heap.space import BumpSpace, FreeListSpace, Space
+
+__all__ = [
+    "SIZE_CLASSES",
+    "FreeList",
+    "size_class_for",
+    "SPACE_STRIDE",
+    "HeapStats",
+    "ObjectHeap",
+    "HEADER_BYTES",
+    "HEAP_BASE_ADDRESS",
+    "NULL",
+    "WORD_BYTES",
+    "align_up",
+    "is_aligned",
+    "ClassDescriptor",
+    "FieldDescriptor",
+    "FieldKind",
+    "HeapObject",
+    "BumpSpace",
+    "FreeListSpace",
+    "Space",
+]

@@ -1,0 +1,215 @@
+"""Block-structured segregated-fit space (the Jikes RVM MarkSweep layout).
+
+Jikes RVM's MarkSweep space carves its memory into fixed-size *blocks*,
+each formatted for a single size class; cells recycle within their block,
+and fully-empty blocks return to a shared pool where they can be reformatted
+for any size class.  This module reproduces that structure, which the
+simpler :class:`~repro.heap.space.FreeListSpace` abstracts away:
+
+* capacity is consumed block-at-a-time — a block half-filled with 32-byte
+  cells still occupies a whole block of budget, so *fragmentation is
+  observable* (``fragmentation()`` reports held-but-unused bytes);
+* objects larger than half a block get dedicated multi-block spans;
+* empty blocks are recycled across size classes.
+
+The :class:`~repro.gc.marksweep.MarkSweepCollector` can run on either space
+policy (``space_policy="freelist"`` or ``"blocks"``); the ablation bench
+``benchmarks/test_ablation_space_policy.py`` compares them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HeapError
+from repro.heap.freelist import size_class_for
+from repro.heap.layout import align_up
+from repro.heap.space import Space
+
+#: Bytes per block.  4 KB, like a small Jikes/MMTk block.
+BLOCK_BYTES = 4096
+
+#: Requests above this size get a dedicated multi-block span.
+LARGE_CUTOFF = BLOCK_BYTES // 2
+
+
+class Block:
+    """One block, formatted for a single cell size."""
+
+    __slots__ = ("base", "cell_bytes", "n_cells", "free_cells", "live_cells")
+
+    def __init__(self, base: int, cell_bytes: int):
+        self.base = base
+        self.format(cell_bytes)
+
+    def format(self, cell_bytes: int) -> None:
+        """(Re)format the block for a size class."""
+        self.cell_bytes = cell_bytes
+        self.n_cells = BLOCK_BYTES // cell_bytes
+        self.free_cells = list(range(self.n_cells - 1, -1, -1))
+        self.live_cells = 0
+
+    @property
+    def is_full(self) -> bool:
+        return not self.free_cells
+
+    @property
+    def is_empty(self) -> bool:
+        return self.live_cells == 0
+
+    def take_cell(self) -> int:
+        index = self.free_cells.pop()
+        self.live_cells += 1
+        return self.base + index * self.cell_bytes
+
+    def return_cell(self, address: int) -> None:
+        offset = address - self.base
+        if offset % self.cell_bytes != 0 or not 0 <= offset < BLOCK_BYTES:
+            raise HeapError(f"address {address:#x} is not a cell of block {self.base:#x}")
+        self.free_cells.append(offset // self.cell_bytes)
+        self.live_cells -= 1
+        if self.live_cells < 0:
+            raise HeapError(f"double free in block {self.base:#x}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<block @{self.base:#x} cell={self.cell_bytes} "
+            f"live={self.live_cells}/{self.n_cells}>"
+        )
+
+
+class BlockSpace(Space):
+    """Segregated blocks + large-object spans under one byte budget."""
+
+    def __init__(self, name: str, capacity_bytes: int, base_address: int = BLOCK_BYTES):
+        # Round the base up so ordinary blocks are BLOCK_BYTES aligned and
+        # a cell's block is recoverable by masking its address.
+        base_address = align_up(base_address)
+        if base_address % BLOCK_BYTES:
+            base_address += BLOCK_BYTES - base_address % BLOCK_BYTES
+        super().__init__(name, capacity_bytes, base_address)
+        #: block base -> Block, for every block currently held.
+        self._blocks: dict[int, Block] = {}
+        #: size class -> bases of blocks with at least one free cell.
+        self._partial: dict[int, list[int]] = {}
+        #: recycled empty blocks awaiting reformatting.
+        self._pool: list[int] = []
+        #: address -> byte size of live large-object spans.
+        self._large: dict[int, int] = {}
+
+    # -- block plumbing --------------------------------------------------------------
+
+    def _acquire_block(self) -> int | None:
+        if self._pool:
+            return self._pool.pop()
+        if not self.can_fit(BLOCK_BYTES):
+            return None
+        address = self._bump(BLOCK_BYTES)
+        self.bytes_in_use += BLOCK_BYTES
+        return address
+
+    def _release_block(self, block: Block) -> None:
+        """An empty block returns to the pool for any size class."""
+        bucket = self._partial.get(block.cell_bytes)
+        if bucket is not None and block.base in bucket:
+            bucket.remove(block.base)
+        del self._blocks[block.base]
+        self._pool.append(block.base)
+
+    # -- allocation -------------------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> int | None:
+        if nbytes > LARGE_CUTOFF:
+            return self._allocate_large(nbytes)
+        cell = size_class_for(nbytes)
+        bucket = self._partial.setdefault(cell, [])
+        while bucket:
+            block = self._blocks[bucket[-1]]
+            if block.is_full:
+                bucket.pop()
+                continue
+            address = block.take_cell()
+            if block.is_full:
+                bucket.pop()
+            return address
+        base = self._acquire_block()
+        if base is None:
+            return None
+        block = self._blocks.get(base)
+        if block is None:
+            block = Block(base, cell)
+            self._blocks[base] = block
+        else:  # pragma: no cover - pool entries are always removed from _blocks
+            block.format(cell)
+        address = block.take_cell()
+        if not block.is_full:
+            bucket.append(base)
+        return address
+
+    def _allocate_large(self, nbytes: int) -> int | None:
+        span = align_up(nbytes)
+        span += (BLOCK_BYTES - span % BLOCK_BYTES) % BLOCK_BYTES
+        if not self.can_fit(span):
+            return None
+        address = self._bump(span)
+        self.bytes_in_use += span
+        self._large[address] = span
+        return address
+
+    # -- reclamation ------------------------------------------------------------------
+
+    def free(self, address: int) -> int:
+        span = self._large.pop(address, None)
+        if span is not None:
+            self.bytes_in_use -= span
+            return span
+        base = address - (address - self._base) % BLOCK_BYTES
+        block = self._blocks.get(base)
+        if block is None:
+            raise HeapError(f"free of unallocated address {address:#x}")
+        was_full = block.is_full
+        block.return_cell(address)
+        if block.is_empty:
+            self._release_block(block)
+        elif was_full:
+            self._partial.setdefault(block.cell_bytes, []).append(base)
+        return block.cell_bytes
+
+    def contains(self, address: int) -> bool:
+        if address in self._large:
+            return True
+        base = address - (address - self._base) % BLOCK_BYTES
+        block = self._blocks.get(base)
+        if block is None:
+            return False
+        offset = address - base
+        if offset % block.cell_bytes:
+            return False
+        index = offset // block.cell_bytes
+        return index < block.n_cells and index not in block.free_cells
+
+    def cell_size(self, address: int) -> int:
+        span = self._large.get(address)
+        if span is not None:
+            return span
+        base = address - (address - self._base) % BLOCK_BYTES
+        return self._blocks[base].cell_bytes
+
+    # -- introspection ------------------------------------------------------------------
+
+    def block_count(self) -> int:
+        return len(self._blocks) + len(self._pool)
+
+    def fragmentation(self) -> dict:
+        """Held-but-unused bytes: the cost of block-granularity budgeting."""
+        wasted_cells = sum(
+            len(b.free_cells) * b.cell_bytes for b in self._blocks.values()
+        )
+        pooled = len(self._pool) * BLOCK_BYTES
+        live = sum(b.live_cells * b.cell_bytes for b in self._blocks.values())
+        live += sum(self._large.values())
+        return {
+            "bytes_in_use": self.bytes_in_use,
+            "live_cell_bytes": live,
+            "free_cell_bytes": wasted_cells,
+            "pooled_block_bytes": pooled,
+            "utilization": live / self.bytes_in_use if self.bytes_in_use else 1.0,
+        }

@@ -1,0 +1,143 @@
+"""The object heap: the table of live objects and global heap accounting.
+
+The :class:`ObjectHeap` is shared by every collector.  It owns the mapping
+from word-aligned addresses to :class:`~repro.heap.object_model.HeapObject`
+instances, assigns identity hashes, poisons objects on free (so
+use-after-free errors surface immediately instead of silently corrupting the
+simulation), and keeps cumulative allocation statistics.
+
+Address-space management (which addresses are handed out, when the heap is
+"full") belongs to the :mod:`~repro.heap.space` policies owned by each
+collector; the heap only checks invariants and stores objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import InvalidAddressError, UseAfterFreeError
+from repro.heap import header as hdr
+from repro.heap.layout import NULL, is_aligned
+from repro.heap.object_model import ClassDescriptor, HeapObject
+
+#: Address stride between distinct spaces so their ranges never collide.
+SPACE_STRIDE = 1 << 40
+
+
+class HeapStats:
+    """Cumulative mutator-visible heap statistics."""
+
+    __slots__ = (
+        "objects_allocated",
+        "bytes_allocated",
+        "objects_freed",
+        "bytes_freed",
+    )
+
+    def __init__(self) -> None:
+        self.objects_allocated = 0
+        self.bytes_allocated = 0
+        self.objects_freed = 0
+        self.bytes_freed = 0
+
+    @property
+    def objects_live(self) -> int:
+        return self.objects_allocated - self.objects_freed
+
+    def snapshot(self) -> dict:
+        return {
+            "objects_allocated": self.objects_allocated,
+            "bytes_allocated": self.bytes_allocated,
+            "objects_freed": self.objects_freed,
+            "bytes_freed": self.bytes_freed,
+            "objects_live": self.objects_live,
+        }
+
+
+class ObjectHeap:
+    """Table of all live heap objects, keyed by address."""
+
+    def __init__(self) -> None:
+        self._objects: dict[int, HeapObject] = {}
+        self.stats = HeapStats()
+        self._hash_counter = 1
+        #: Live objects that carry weak slots (the collector's weak-ref
+        #: processing list; maintained on install/evict).
+        self.weak_holders: set[HeapObject] = set()
+
+    # -- creation / destruction ----------------------------------------------
+
+    def install(self, address: int, cls: ClassDescriptor, length: int = 0) -> HeapObject:
+        """Create an object at ``address`` (already reserved by a space)."""
+        if not is_aligned(address):
+            raise InvalidAddressError(f"unaligned object address {address:#x}")
+        if address in self._objects:
+            raise InvalidAddressError(f"address {address:#x} is already occupied")
+        obj = HeapObject(address, cls, length)
+        obj.status |= (self._hash_counter << hdr.HASH_SHIFT)
+        self._hash_counter += 1
+        self._objects[address] = obj
+        if obj.has_weak_slots:
+            self.weak_holders.add(obj)
+        cls.allocation_count += 1
+        self.stats.objects_allocated += 1
+        self.stats.bytes_allocated += obj.size_bytes
+        return obj
+
+    def evict(self, obj: HeapObject) -> None:
+        """Remove a dead object from the table and poison it."""
+        found = self._objects.get(obj.address)
+        if found is not obj:
+            raise InvalidAddressError(
+                f"evicting {obj!r} but table holds {found!r} at {obj.address:#x}"
+            )
+        del self._objects[obj.address]
+        self.weak_holders.discard(obj)
+        self.stats.objects_freed += 1
+        self.stats.bytes_freed += obj.size_bytes
+        obj.set(hdr.FREED_BIT)
+
+    def relocate(self, obj: HeapObject, new_address: int) -> None:
+        """Move an object to a new address (copying collector)."""
+        if not is_aligned(new_address):
+            raise InvalidAddressError(f"unaligned target address {new_address:#x}")
+        if new_address in self._objects:
+            raise InvalidAddressError(f"relocation target {new_address:#x} occupied")
+        del self._objects[obj.address]
+        obj.address = new_address
+        self._objects[new_address] = obj
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, address: int) -> HeapObject:
+        """Dereference an address; raises on null, dangling, or freed refs."""
+        if address == NULL:
+            raise InvalidAddressError("dereference of null address")
+        obj = self._objects.get(address)
+        if obj is None:
+            raise InvalidAddressError(f"no live object at {address:#x}")
+        if obj.is_freed:
+            raise UseAfterFreeError(f"object at {address:#x} was reclaimed")
+        return obj
+
+    def maybe(self, address: int) -> Optional[HeapObject]:
+        """Like :meth:`get` but returns None for null/dangling addresses."""
+        if address == NULL:
+            return None
+        return self._objects.get(address)
+
+    def contains(self, address: int) -> bool:
+        return address in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[HeapObject]:
+        return iter(self._objects.values())
+
+    def objects(self) -> list[HeapObject]:
+        """Snapshot list of all objects (safe to mutate the heap while iterating)."""
+        return list(self._objects.values())
+
+    def live_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self._objects.values())

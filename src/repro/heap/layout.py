@@ -1,0 +1,56 @@
+"""Word and object-layout constants for the simulated heap.
+
+The simulator models a 64-bit address space with 8-byte words.  Objects are
+word aligned, which leaves the low three bits of every object address unused;
+the tracing worklist steals the lowest of those bits for its path-tracking
+algorithm (see :mod:`repro.gc.worklist`), exactly as the paper does in
+Jikes RVM ("Because all objects in Jikes RVM are word aligned, the two low
+order bits are unused, and we can safely use one of them").
+"""
+
+from __future__ import annotations
+
+#: Bytes per machine word in the simulated address space.
+WORD_BYTES = 8
+
+#: Log2 of the word size; object addresses are aligned to this many bits.
+WORD_SHIFT = 3
+
+#: Alignment mask: ``addr & ALIGN_MASK == 0`` for every object address.
+ALIGN_MASK = WORD_BYTES - 1
+
+#: Bit stolen from aligned addresses by the path-tracking worklist.
+ADDRESS_TAG_BIT = 0x1
+
+#: Size of the per-object header in bytes (one status word + one type word,
+#: mirroring Jikes RVM's two-word object header).
+HEADER_BYTES = 2 * WORD_BYTES
+
+#: Arrays carry one extra length word after the header.
+ARRAY_LENGTH_BYTES = WORD_BYTES
+
+#: Lowest address handed out by the address allocator.  Starting above zero
+#: keeps address 0 free to represent ``null``.
+HEAP_BASE_ADDRESS = 0x1000
+
+#: The null reference.  Stored in reference fields and local slots.
+NULL = 0
+
+
+def align_up(nbytes: int) -> int:
+    """Round ``nbytes`` up to the next word boundary."""
+    return (nbytes + ALIGN_MASK) & ~ALIGN_MASK
+
+
+def is_aligned(address: int) -> bool:
+    """Return True if ``address`` is word aligned (and therefore untagged)."""
+    return (address & ALIGN_MASK) == 0
+
+
+def scalar_size(kind: "str") -> int:
+    """Return the in-object size in bytes of a field of the given kind.
+
+    The simulator gives every field a full word, as Jikes RVM does for
+    references and longs; this keeps offsets trivially aligned.
+    """
+    return WORD_BYTES

@@ -1,0 +1,299 @@
+"""Class descriptors, field layout, and heap objects.
+
+This module plays the role of Jikes RVM's ``RVMClass``/``RVMArray`` and
+object model.  A :class:`ClassDescriptor` records the field layout of a
+class (including inherited fields), the byte size of its instances, and —
+following §2.4.1 of the paper — two extra words used by the
+``assert-instances`` machinery: the *instance limit* and the *instance
+count* for the class.
+
+A :class:`HeapObject` is one allocated object: a status word (see
+:mod:`repro.heap.header`), a class descriptor (the "type word" of the
+two-word header), and a slot array.  Reference slots hold integer heap
+addresses (``0`` is null); scalar slots hold Python values.  Arrays are heap
+objects whose descriptor has ``is_array`` set; their slot array holds the
+elements and their length is explicit in the object size.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import LayoutError
+from repro.heap import header as hdr
+from repro.heap.layout import (
+    ARRAY_LENGTH_BYTES,
+    HEADER_BYTES,
+    NULL,
+    WORD_BYTES,
+    align_up,
+)
+
+
+class FieldKind(enum.Enum):
+    """The kind of a field or array element.
+
+    ``REF`` slots hold heap addresses and are traced by the collector.
+    ``WEAK`` slots also hold heap addresses but are *not* traced: they do
+    not keep their target alive; the collector clears them when the target
+    is reclaimed and forwards them when the target moves.  The scalar kinds
+    hold immediate values and are skipped by tracing.
+    """
+
+    REF = "ref"
+    WEAK = "weak"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STR = "str"
+
+    @property
+    def is_reference(self) -> bool:
+        """True for strongly-traced reference slots."""
+        return self is FieldKind.REF
+
+    @property
+    def is_weak(self) -> bool:
+        return self is FieldKind.WEAK
+
+    @property
+    def holds_address(self) -> bool:
+        """True for any slot that stores a heap address (strong or weak)."""
+        return self is FieldKind.REF or self is FieldKind.WEAK
+
+    def default(self):
+        """The zero value stored in a freshly allocated slot of this kind."""
+        if self is FieldKind.REF or self is FieldKind.WEAK:
+            return NULL
+        if self is FieldKind.INT:
+            return 0
+        if self is FieldKind.FLOAT:
+            return 0.0
+        if self is FieldKind.BOOL:
+            return False
+        return ""
+
+
+class FieldDescriptor:
+    """One declared field: a name, a kind, and its slot index in instances."""
+
+    __slots__ = ("name", "kind", "slot", "declaring_class")
+
+    def __init__(self, name: str, kind: FieldKind, slot: int, declaring_class: "ClassDescriptor"):
+        self.name = name
+        self.kind = kind
+        self.slot = slot
+        self.declaring_class = declaring_class
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of this field from the object start."""
+        return HEADER_BYTES + self.slot * WORD_BYTES
+
+    def __repr__(self) -> str:
+        return f"<field {self.declaring_class.name}.{self.name}: {self.kind.value} @slot {self.slot}>"
+
+
+class ClassDescriptor:
+    """Layout and metadata for one class (or array type).
+
+    Attributes:
+        class_id: dense integer id assigned by the class registry.
+        name: fully qualified class name (``"spec.jbb.Order"``).
+        superclass: parent descriptor, or None for roots of the hierarchy.
+        fields: fields declared by *this* class, in declaration order.
+        all_fields: inherited + declared fields, slot order.
+        ref_slots: slot indices of all reference fields (the trace map).
+        instance_size: bytes occupied by one instance (header included).
+        is_array / element_kind: array typing.
+        instance_limit / instance_count: the two words §2.4.1 adds to
+            ``RVMClass`` for ``assert-instances``.
+    """
+
+    __slots__ = (
+        "class_id",
+        "name",
+        "superclass",
+        "fields",
+        "all_fields",
+        "field_index",
+        "ref_slots",
+        "weak_slots",
+        "instance_size",
+        "is_array",
+        "element_kind",
+        "instance_limit",
+        "instance_count",
+        "allocation_count",
+    )
+
+    def __init__(
+        self,
+        class_id: int,
+        name: str,
+        field_specs: Sequence[tuple[str, FieldKind]] = (),
+        superclass: Optional["ClassDescriptor"] = None,
+        is_array: bool = False,
+        element_kind: Optional[FieldKind] = None,
+    ):
+        if is_array and element_kind is None:
+            raise LayoutError(f"array class {name!r} needs an element kind")
+        if not is_array and element_kind is not None:
+            raise LayoutError(f"non-array class {name!r} must not declare an element kind")
+
+        self.class_id = class_id
+        self.name = name
+        self.superclass = superclass
+        self.is_array = is_array
+        self.element_kind = element_kind
+
+        inherited: list[FieldDescriptor] = list(superclass.all_fields) if superclass else []
+        taken = {f.name for f in inherited}
+        self.fields: list[FieldDescriptor] = []
+        for fname, kind in field_specs:
+            if fname in taken:
+                raise LayoutError(f"class {name!r} redeclares field {fname!r}")
+            taken.add(fname)
+            self.fields.append(FieldDescriptor(fname, kind, len(inherited) + len(self.fields), self))
+        self.all_fields: tuple[FieldDescriptor, ...] = tuple(inherited + self.fields)
+        self.field_index = {f.name: f for f in self.all_fields}
+        self.ref_slots: tuple[int, ...] = tuple(
+            f.slot for f in self.all_fields if f.kind.is_reference
+        )
+        self.weak_slots: tuple[int, ...] = tuple(
+            f.slot for f in self.all_fields if f.kind.is_weak
+        )
+        if is_array:
+            self.instance_size = 0  # computed per-instance from the length
+        else:
+            self.instance_size = align_up(HEADER_BYTES + len(self.all_fields) * WORD_BYTES)
+
+        # assert-instances metadata (two words per loaded class, §2.4.1).
+        self.instance_limit: Optional[int] = None
+        self.instance_count: int = 0
+        # Cumulative allocations, used by heap statistics and workloads.
+        self.allocation_count: int = 0
+
+    def field(self, name: str) -> FieldDescriptor:
+        try:
+            return self.field_index[name]
+        except KeyError:
+            raise LayoutError(f"class {self.name!r} has no field {name!r}") from None
+
+    def has_field(self, name: str) -> bool:
+        return name in self.field_index
+
+    def array_size(self, length: int) -> int:
+        """Byte size of an array instance of this (array) class."""
+        return align_up(HEADER_BYTES + ARRAY_LENGTH_BYTES + length * WORD_BYTES)
+
+    def size_of(self, length: int = 0) -> int:
+        return self.array_size(length) if self.is_array else self.instance_size
+
+    def is_subclass_of(self, other: "ClassDescriptor") -> bool:
+        cls: Optional[ClassDescriptor] = self
+        while cls is not None:
+            if cls is other:
+                return True
+            cls = cls.superclass
+        return False
+
+    def __repr__(self) -> str:
+        tag = "array" if self.is_array else "class"
+        return f"<{tag} {self.name} id={self.class_id}>"
+
+
+class HeapObject:
+    """One allocated object in the simulated heap.
+
+    ``slots`` mixes reference slots (integer addresses) and scalar slots
+    (Python values), interpreted through ``cls``.  ``address`` is the
+    object's current word-aligned heap address; the copying collector
+    updates it in place so Python-side handles keep working across moves.
+    """
+
+    __slots__ = ("address", "status", "cls", "slots")
+
+    def __init__(self, address: int, cls: ClassDescriptor, length: int = 0):
+        self.address = address
+        self.status = hdr.new_status()
+        self.cls = cls
+        if cls.is_array:
+            elem_default = cls.element_kind.default()  # type: ignore[union-attr]
+            self.slots: list = [elem_default] * length
+        else:
+            self.slots = [f.kind.default() for f in cls.all_fields]
+
+    # -- header convenience -------------------------------------------------
+
+    def test(self, bit: int) -> bool:
+        return (self.status & bit) != 0
+
+    def set(self, bit: int) -> None:
+        self.status |= bit
+
+    def clear(self, bit: int) -> None:
+        self.status &= ~bit
+
+    @property
+    def is_marked(self) -> bool:
+        return (self.status & hdr.MARK_BIT) != 0
+
+    @property
+    def is_freed(self) -> bool:
+        return (self.status & hdr.FREED_BIT) != 0
+
+    # -- layout --------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Array length (0 for scalars objects)."""
+        return len(self.slots) if self.cls.is_array else 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.cls.size_of(len(self.slots) if self.cls.is_array else 0)
+
+    def reference_slots(self) -> Iterable[int]:
+        """Yield the *values* of all reference slots (including nulls)."""
+        if self.cls.is_array:
+            if self.cls.element_kind.is_reference:  # type: ignore[union-attr]
+                yield from self.slots
+        else:
+            slots = self.slots
+            for idx in self.cls.ref_slots:
+                yield slots[idx]
+
+    def reference_slot_indices(self) -> Iterable[int]:
+        """Yield slot indices that hold strong references."""
+        if self.cls.is_array:
+            if self.cls.element_kind.is_reference:  # type: ignore[union-attr]
+                yield from range(len(self.slots))
+        else:
+            yield from self.cls.ref_slots
+
+    @property
+    def has_weak_slots(self) -> bool:
+        cls = self.cls
+        if cls.is_array:
+            return cls.element_kind.is_weak  # type: ignore[union-attr]
+        return bool(cls.weak_slots)
+
+    def weak_slot_indices(self) -> Iterable[int]:
+        """Yield slot indices that hold weak references."""
+        cls = self.cls
+        if cls.is_array:
+            if cls.element_kind.is_weak:  # type: ignore[union-attr]
+                yield from range(len(self.slots))
+        else:
+            yield from cls.weak_slots
+
+    def type_name(self) -> str:
+        return self.cls.name
+
+    def __repr__(self) -> str:
+        return (
+            f"<obj {self.cls.name}@{self.address:#x} "
+            f"[{hdr.describe(self.status)}]>"
+        )

@@ -1,0 +1,131 @@
+"""Heap spaces: address allocation policies over the simulated address space.
+
+Two policies are provided, matching the collectors built on top of them:
+
+* :class:`FreeListSpace` — segregated-fit free-list allocation for the
+  MarkSweep collector (the paper's configuration).
+* :class:`BumpSpace` — monotone bump-pointer allocation for the copying
+  (SemiSpace) collector and for generational nurseries.
+
+A space deals purely in *addresses and byte counts*; objects themselves live
+in the :class:`~repro.heap.heap.ObjectHeap` table.  Every space enforces a
+byte capacity so that allocation pressure triggers collections at realistic
+points (the paper runs each benchmark at 2× its minimum heap size).
+"""
+
+from __future__ import annotations
+
+from repro.errors import HeapError
+from repro.heap.freelist import FreeList, size_class_for
+from repro.heap.layout import HEAP_BASE_ADDRESS, align_up
+
+
+class Space:
+    """Common accounting shared by all space policies."""
+
+    def __init__(self, name: str, capacity_bytes: int, base_address: int = HEAP_BASE_ADDRESS):
+        if capacity_bytes <= 0:
+            raise HeapError(f"space {name!r} needs a positive capacity")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.bytes_in_use = 0
+        self._base = base_address
+        self._cursor = base_address
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity_bytes - self.bytes_in_use
+
+    def can_fit(self, nbytes: int) -> bool:
+        return self.bytes_in_use + nbytes <= self.capacity_bytes
+
+    def _bump(self, nbytes: int) -> int:
+        address = self._cursor
+        self._cursor += align_up(nbytes)
+        return address
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name}: "
+            f"{self.bytes_in_use}/{self.capacity_bytes} bytes>"
+        )
+
+
+class FreeListSpace(Space):
+    """Segregated-fit space: cells recycle through per-size-class free lists."""
+
+    def __init__(self, name: str, capacity_bytes: int, base_address: int = HEAP_BASE_ADDRESS):
+        super().__init__(name, capacity_bytes, base_address)
+        self.free_list = FreeList()
+        #: Addresses handed out, mapped to their cell size (needed to return
+        #: the right cell on free).  This models the side metadata a real
+        #: block-structured space derives from block headers.
+        self._cell_sizes: dict[int, int] = {}
+
+    def allocate(self, nbytes: int) -> int | None:
+        """Allocate a cell for ``nbytes``; None when the space is full."""
+        cell = size_class_for(nbytes)
+        if not self.can_fit(cell):
+            return None
+        address = self.free_list.pop(cell)
+        if address is None:
+            address = self._bump(cell)
+        self._cell_sizes[address] = cell
+        self.bytes_in_use += cell
+        return address
+
+    def free(self, address: int) -> int:
+        """Release the cell at ``address``; returns the cell size in bytes."""
+        try:
+            cell = self._cell_sizes.pop(address)
+        except KeyError:
+            raise HeapError(f"free of unallocated address {address:#x}") from None
+        self.bytes_in_use -= cell
+        self.free_list.push(address, cell)
+        return cell
+
+    def cell_size(self, address: int) -> int:
+        return self._cell_sizes[address]
+
+    def contains(self, address: int) -> bool:
+        return address in self._cell_sizes
+
+
+class BumpSpace(Space):
+    """Monotone bump allocation; reclamation only by wholesale reset.
+
+    Used as each semispace of the copying collector and as the nursery of
+    the generational collector.  ``reset`` empties the space (after
+    evacuation) and rewinds the bump cursor.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int, base_address: int = HEAP_BASE_ADDRESS):
+        super().__init__(name, capacity_bytes, base_address)
+        self._allocated: dict[int, int] = {}
+
+    def allocate(self, nbytes: int) -> int | None:
+        nbytes = align_up(nbytes)
+        if not self.can_fit(nbytes):
+            return None
+        address = self._bump(nbytes)
+        self._allocated[address] = nbytes
+        self.bytes_in_use += nbytes
+        return address
+
+    def contains(self, address: int) -> bool:
+        return address in self._allocated
+
+    def addresses(self) -> list[int]:
+        return list(self._allocated)
+
+    def release(self, address: int) -> int:
+        """Drop one allocation (used when evacuating survivors one by one)."""
+        nbytes = self._allocated.pop(address)
+        self.bytes_in_use -= nbytes
+        return nbytes
+
+    def reset(self) -> None:
+        """Empty the space entirely and rewind the bump cursor."""
+        self._allocated.clear()
+        self.bytes_in_use = 0
+        self._cursor = self._base

@@ -1,0 +1,30 @@
+"""MiniJ: a small class-based language running on the managed runtime.
+
+Pipeline: :mod:`lexer` → :mod:`parser` → :mod:`compiler` (AST → stack
+bytecode, classes loaded into the VM) → :mod:`interpreter` (frames are GC
+roots; ``gcAssert*`` builtins expose the paper's assertion interface to
+programs).
+"""
+
+from repro.interp.bytecode import Function, Instr, Op
+from repro.interp.compiler import CompiledProgram, compile_program
+from repro.interp.interpreter import Interpreter, Ref, run_source
+from repro.interp.lexer import Lexer, Token, TokenKind, tokenize
+from repro.interp.parser import Parser, parse
+
+__all__ = [
+    "Function",
+    "Instr",
+    "Op",
+    "CompiledProgram",
+    "compile_program",
+    "Interpreter",
+    "Ref",
+    "run_source",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse",
+]

@@ -1,0 +1,357 @@
+"""Abstract syntax tree for MiniJ.
+
+Nodes carry the source line for error reporting.  Type annotations are
+:class:`TypeRef` values: scalar names (``int``, ``bool``, ``str``,
+``float``, ``void``), class names, or arrays of either.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+SCALAR_TYPES = ("int", "bool", "str", "float", "void")
+
+
+class TypeRef:
+    """A syntactic type: name, array depth, and weakness.
+
+    ``Node[]`` has depth 1; ``weak Node`` (field declarations only) marks a
+    non-retaining reference slot.
+    """
+
+    __slots__ = ("name", "array_depth", "weak")
+
+    def __init__(self, name: str, array_depth: int = 0, weak: bool = False):
+        self.name = name
+        self.array_depth = array_depth
+        self.weak = weak
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.array_depth == 0 and self.name in SCALAR_TYPES
+
+    @property
+    def is_reference(self) -> bool:
+        return not self.is_scalar
+
+    def element(self) -> "TypeRef":
+        assert self.array_depth > 0
+        return TypeRef(self.name, self.array_depth - 1)
+
+    def __str__(self) -> str:
+        prefix = "weak " if self.weak else ""
+        return prefix + self.name + "[]" * self.array_depth
+
+    def __repr__(self) -> str:
+        return f"<type {self}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TypeRef)
+            and other.name == self.name
+            and other.array_depth == self.array_depth
+            and other.weak == self.weak
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.array_depth, self.weak))
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int):
+        self.line = line
+
+
+# ---------------------------------------------------------------- expressions
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class NullLit(Expr):
+    __slots__ = ()
+
+
+class ThisExpr(Expr):
+    __slots__ = ()
+
+
+class Name(Expr):
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, line: int):
+        super().__init__(line)
+        self.ident = ident
+
+
+class FieldAccess(Expr):
+    __slots__ = ("target", "field")
+
+    def __init__(self, target: Expr, field: str, line: int):
+        super().__init__(line)
+        self.target = target
+        self.field = field
+
+
+class Index(Expr):
+    __slots__ = ("target", "index")
+
+    def __init__(self, target: Expr, index: Expr, line: int):
+        super().__init__(line)
+        self.target = target
+        self.index = index
+
+
+class Call(Expr):
+    """A free-function or builtin call: ``f(a, b)``."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, args: Sequence[Expr], line: int):
+        super().__init__(line)
+        self.func = func
+        self.args = list(args)
+
+
+class MethodCall(Expr):
+    """``target.m(a, b)`` with dynamic dispatch on the runtime class."""
+
+    __slots__ = ("target", "method", "args")
+
+    def __init__(self, target: Expr, method: str, args: Sequence[Expr], line: int):
+        super().__init__(line)
+        self.target = target
+        self.method = method
+        self.args = list(args)
+
+
+class NewObject(Expr):
+    __slots__ = ("type_name",)
+
+    def __init__(self, type_name: str, line: int):
+        super().__init__(line)
+        self.type_name = type_name
+
+
+class NewArray(Expr):
+    __slots__ = ("elem_type", "length")
+
+    def __init__(self, elem_type: TypeRef, length: Expr, line: int):
+        super().__init__(line)
+        self.elem_type = elem_type
+        self.length = length
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+# ---------------------------------------------------------------- statements
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class VarDecl(Stmt):
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name: str, type_: TypeRef, init: Optional[Expr], line: int):
+        super().__init__(line)
+        self.name = name
+        self.type = type_
+        self.init = init
+
+
+class Assign(Stmt):
+    """Assignment to a local, a field, or an array element."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Expr, value: Expr, line: int):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: Expr, then_body: list[Stmt], else_body: Optional[list[Stmt]], line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: list[Stmt], line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    """C-style for: ``for (init; cond; update) { body }`` — each part
+    optional."""
+
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        update: Optional[Stmt],
+        body: list[Stmt],
+        line: int,
+    ):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int):
+        super().__init__(line)
+        self.value = value
+
+
+# ---------------------------------------------------------------- declarations
+
+
+class Param:
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type_: TypeRef):
+        self.name = name
+        self.type = type_
+
+
+class FuncDecl(Node):
+    """A free function or a method (when ``owner`` is set)."""
+
+    __slots__ = ("name", "params", "return_type", "body", "owner")
+
+    def __init__(
+        self,
+        name: str,
+        params: list[Param],
+        return_type: TypeRef,
+        body: list[Stmt],
+        line: int,
+        owner: Optional[str] = None,
+    ):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.return_type = return_type
+        self.body = body
+        self.owner = owner
+
+
+class FieldDecl:
+    __slots__ = ("name", "type", "line")
+
+    def __init__(self, name: str, type_: TypeRef, line: int):
+        self.name = name
+        self.type = type_
+        self.line = line
+
+
+class ClassDecl(Node):
+    __slots__ = ("name", "superclass", "fields", "methods")
+
+    def __init__(
+        self,
+        name: str,
+        superclass: Optional[str],
+        fields: list[FieldDecl],
+        methods: list[FuncDecl],
+        line: int,
+    ):
+        super().__init__(line)
+        self.name = name
+        self.superclass = superclass
+        self.fields = fields
+        self.methods = methods
+
+
+class Program(Node):
+    __slots__ = ("classes", "functions")
+
+    def __init__(self, classes: list[ClassDecl], functions: list[FuncDecl]):
+        super().__init__(1)
+        self.classes = classes
+        self.functions = functions

@@ -1,0 +1,85 @@
+"""Bytecode for the MiniJ stack machine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Op(enum.Enum):
+    PUSH_CONST = "push_const"    # a = python value (int/float/bool/str)
+    PUSH_NULL = "push_null"
+    LOAD = "load"                # a = local slot
+    STORE = "store"              # a = local slot
+    GET_FIELD = "get_field"      # a = field name;  [obj] -> [value]
+    PUT_FIELD = "put_field"      # a = field name;  [obj, value] -> []
+    ALOAD = "aload"              # [arr, idx] -> [value]
+    ASTORE = "astore"            # [arr, idx, value] -> []
+    NEW_OBJECT = "new_object"    # a = class name
+    NEW_ARRAY = "new_array"      # a = element TypeRef; [length] -> [arr]
+    CALL = "call"                # a = function name, b = argc
+    CALL_METHOD = "call_method"  # a = method name, b = argc; [obj, args...]
+    RETURN = "return"            # [value] -> caller
+    POP = "pop"
+    DUP = "dup"
+    BINARY = "binary"            # a = operator text
+    UNARY = "unary"              # a = operator text
+    JUMP = "jump"                # a = target pc
+    JUMP_IF_FALSE = "jump_if_false"  # a = target pc; [cond] -> []
+
+
+class Instr:
+    """One instruction: opcode plus up to two immediates and a source line."""
+
+    __slots__ = ("op", "a", "b", "line")
+
+    def __init__(self, op: Op, a=None, b=None, line: int = 0):
+        self.op = op
+        self.a = a
+        self.b = b
+        self.line = line
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        if self.a is not None:
+            parts.append(repr(self.a))
+        if self.b is not None:
+            parts.append(repr(self.b))
+        return f"<{' '.join(parts)}>"
+
+
+class Function:
+    """A compiled function or method."""
+
+    __slots__ = ("name", "owner", "params", "n_locals", "code", "return_is_void", "local_names")
+
+    def __init__(
+        self,
+        name: str,
+        owner: Optional[str],
+        params: list[str],
+        n_locals: int,
+        code: list[Instr],
+        return_is_void: bool,
+        local_names: list[str],
+    ):
+        self.name = name
+        self.owner = owner
+        self.params = params
+        self.n_locals = n_locals
+        self.code = code
+        self.return_is_void = return_is_void
+        self.local_names = local_names
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.owner}.{self.name}" if self.owner else self.name
+
+    def disassemble(self) -> str:
+        lines = [f"function {self.qualname}({', '.join(self.params)}) locals={self.n_locals}"]
+        for pc, instr in enumerate(self.code):
+            lines.append(f"  {pc:4d}: {instr!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<fn {self.qualname} ({len(self.code)} instrs)>"

@@ -1,0 +1,344 @@
+"""AST → bytecode compiler for MiniJ.
+
+The compiler also *loads* class declarations into the VM's class registry,
+translating MiniJ field types into heap field kinds (class and array types
+become traced ``REF`` slots; ``int``/``bool``/``str``/``float`` become
+scalar slots) — this is where a MiniJ program's heap shape is fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MiniJCompileError
+from repro.heap.object_model import FieldKind
+from repro.interp import ast_nodes as ast
+from repro.interp.bytecode import Function, Instr, Op
+
+_SCALAR_KINDS = {
+    "int": FieldKind.INT,
+    "bool": FieldKind.BOOL,
+    "str": FieldKind.STR,
+    "float": FieldKind.FLOAT,
+}
+
+
+def field_kind_for(type_: ast.TypeRef) -> FieldKind:
+    """Heap field kind for a MiniJ type annotation."""
+    if type_.name == "void":
+        raise MiniJCompileError("'void' is only valid as a return type")
+    if type_.weak:
+        if type_.array_depth == 0 and type_.name in _SCALAR_KINDS:
+            raise MiniJCompileError(f"'weak' needs a reference type, got {type_.name!r}")
+        return FieldKind.WEAK
+    if type_.array_depth > 0:
+        return FieldKind.REF
+    return _SCALAR_KINDS.get(type_.name, FieldKind.REF)
+
+
+class CompiledProgram:
+    """Everything the interpreter needs to run a MiniJ program."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, Function] = {}
+        #: class name -> {method name -> Function}
+        self.methods: dict[str, dict[str, Function]] = {}
+        #: class name -> superclass name (None for roots).
+        self.supers: dict[str, Optional[str]] = {}
+        self.class_names: list[str] = []
+
+    def resolve_method(self, class_name: str, method: str) -> Optional[Function]:
+        """Dynamic dispatch: walk the superclass chain."""
+        cls: Optional[str] = class_name
+        while cls is not None:
+            fn = self.methods.get(cls, {}).get(method)
+            if fn is not None:
+                return fn
+            cls = self.supers.get(cls)
+        return None
+
+
+class _FunctionCompiler:
+    """Compiles a single function/method body."""
+
+    def __init__(self, decl: ast.FuncDecl):
+        self.decl = decl
+        self.code: list[Instr] = []
+        self.locals: dict[str, int] = {}
+        self.local_names: list[str] = []
+        #: Stack of active loops: each holds the jump indices to patch for
+        #: break (loop end) and continue (condition / update clause).
+        self._loops: list[dict] = []
+        if decl.owner is not None:
+            self._declare("this", decl.line)
+        for param in decl.params:
+            self._declare(param.name, decl.line)
+
+    def _declare(self, name: str, line: int) -> int:
+        if name in self.locals:
+            raise MiniJCompileError(
+                f"duplicate variable {name!r} in {self.decl.name} (line {line})"
+            )
+        slot = len(self.locals)
+        self.locals[name] = slot
+        self.local_names.append(name)
+        return slot
+
+    def _emit(self, op: Op, a=None, b=None, line: int = 0) -> int:
+        self.code.append(Instr(op, a, b, line))
+        return len(self.code) - 1
+
+    # -- entry ------------------------------------------------------------------
+
+    def compile(self) -> Function:
+        for stmt in self.decl.body:
+            self._stmt(stmt)
+        # Implicit return (void functions may fall off the end).
+        self._emit(Op.PUSH_NULL, line=self.decl.line)
+        self._emit(Op.RETURN, line=self.decl.line)
+        return Function(
+            name=self.decl.name,
+            owner=self.decl.owner,
+            params=[p.name for p in self.decl.params],
+            n_locals=len(self.locals),
+            code=self.code,
+            return_is_void=(self.decl.return_type.name == "void"
+                            and self.decl.return_type.array_depth == 0),
+            local_names=self.local_names,
+        )
+
+    # -- statements ---------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            slot = self._declare(stmt.name, stmt.line)
+            if stmt.init is not None:
+                self._expr(stmt.init)
+            elif field_kind_for(stmt.type).is_reference:
+                self._emit(Op.PUSH_NULL, line=stmt.line)
+            else:
+                self._emit(Op.PUSH_CONST, field_kind_for(stmt.type).default(), line=stmt.line)
+            self._emit(Op.STORE, slot, line=stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+            self._emit(Op.POP, line=stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise MiniJCompileError(f"'break' outside a loop (line {stmt.line})")
+            self._loops[-1]["breaks"].append(self._emit(Op.JUMP, line=stmt.line))
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise MiniJCompileError(f"'continue' outside a loop (line {stmt.line})")
+            self._loops[-1]["continues"].append(self._emit(Op.JUMP, line=stmt.line))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            else:
+                self._emit(Op.PUSH_NULL, line=stmt.line)
+            self._emit(Op.RETURN, line=stmt.line)
+        else:  # pragma: no cover - parser produces no other statement kinds
+            raise MiniJCompileError(f"unknown statement {stmt!r}")
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            slot = self.locals.get(target.ident)
+            if slot is None:
+                raise MiniJCompileError(
+                    f"assignment to undeclared variable {target.ident!r} "
+                    f"(line {stmt.line})"
+                )
+            self._expr(stmt.value)
+            self._emit(Op.STORE, slot, line=stmt.line)
+        elif isinstance(target, ast.FieldAccess):
+            self._expr(target.target)
+            self._expr(stmt.value)
+            self._emit(Op.PUT_FIELD, target.field, line=stmt.line)
+        elif isinstance(target, ast.Index):
+            self._expr(target.target)
+            self._expr(target.index)
+            self._expr(stmt.value)
+            self._emit(Op.ASTORE, line=stmt.line)
+        else:  # pragma: no cover - parser validates targets
+            raise MiniJCompileError(f"bad assignment target {target!r}")
+
+    def _if(self, stmt: ast.If) -> None:
+        self._expr(stmt.cond)
+        jump_else = self._emit(Op.JUMP_IF_FALSE, line=stmt.line)
+        for inner in stmt.then_body:
+            self._stmt(inner)
+        if stmt.else_body is not None:
+            jump_end = self._emit(Op.JUMP, line=stmt.line)
+            self.code[jump_else].a = len(self.code)
+            for inner in stmt.else_body:
+                self._stmt(inner)
+            self.code[jump_end].a = len(self.code)
+        else:
+            self.code[jump_else].a = len(self.code)
+
+    def _while(self, stmt: ast.While) -> None:
+        top = len(self.code)
+        self._expr(stmt.cond)
+        jump_out = self._emit(Op.JUMP_IF_FALSE, line=stmt.line)
+        self._loops.append({"breaks": [], "continues": []})
+        for inner in stmt.body:
+            self._stmt(inner)
+        self._emit(Op.JUMP, top, line=stmt.line)
+        loop = self._loops.pop()
+        end = len(self.code)
+        self.code[jump_out].a = end
+        for idx in loop["breaks"]:
+            self.code[idx].a = end
+        for idx in loop["continues"]:
+            self.code[idx].a = top
+
+    def _for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        top = len(self.code)
+        jump_out = None
+        if stmt.cond is not None:
+            self._expr(stmt.cond)
+            jump_out = self._emit(Op.JUMP_IF_FALSE, line=stmt.line)
+        self._loops.append({"breaks": [], "continues": []})
+        for inner in stmt.body:
+            self._stmt(inner)
+        loop = self._loops.pop()
+        update_start = len(self.code)
+        if stmt.update is not None:
+            self._stmt(stmt.update)
+        self._emit(Op.JUMP, top, line=stmt.line)
+        end = len(self.code)
+        if jump_out is not None:
+            self.code[jump_out].a = end
+        for idx in loop["breaks"]:
+            self.code[idx].a = end
+        for idx in loop["continues"]:
+            self.code[idx].a = update_start
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            self._emit(Op.PUSH_CONST, expr.value, line=expr.line)
+        elif isinstance(expr, ast.FloatLit):
+            self._emit(Op.PUSH_CONST, expr.value, line=expr.line)
+        elif isinstance(expr, ast.StrLit):
+            self._emit(Op.PUSH_CONST, expr.value, line=expr.line)
+        elif isinstance(expr, ast.BoolLit):
+            self._emit(Op.PUSH_CONST, expr.value, line=expr.line)
+        elif isinstance(expr, ast.NullLit):
+            self._emit(Op.PUSH_NULL, line=expr.line)
+        elif isinstance(expr, ast.ThisExpr):
+            if "this" not in self.locals:
+                raise MiniJCompileError(f"'this' outside a method (line {expr.line})")
+            self._emit(Op.LOAD, self.locals["this"], line=expr.line)
+        elif isinstance(expr, ast.Name):
+            slot = self.locals.get(expr.ident)
+            if slot is None:
+                raise MiniJCompileError(
+                    f"undeclared variable {expr.ident!r} (line {expr.line})"
+                )
+            self._emit(Op.LOAD, slot, line=expr.line)
+        elif isinstance(expr, ast.FieldAccess):
+            self._expr(expr.target)
+            self._emit(Op.GET_FIELD, expr.field, line=expr.line)
+        elif isinstance(expr, ast.Index):
+            self._expr(expr.target)
+            self._expr(expr.index)
+            self._emit(Op.ALOAD, line=expr.line)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._expr(arg)
+            self._emit(Op.CALL, expr.func, len(expr.args), line=expr.line)
+        elif isinstance(expr, ast.MethodCall):
+            self._expr(expr.target)
+            for arg in expr.args:
+                self._expr(arg)
+            self._emit(Op.CALL_METHOD, expr.method, len(expr.args), line=expr.line)
+        elif isinstance(expr, ast.NewObject):
+            self._emit(Op.NEW_OBJECT, expr.type_name, line=expr.line)
+        elif isinstance(expr, ast.NewArray):
+            self._expr(expr.length)
+            self._emit(Op.NEW_ARRAY, expr.elem_type, line=expr.line)
+        elif isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                self._short_circuit(expr)
+            else:
+                self._expr(expr.left)
+                self._expr(expr.right)
+                self._emit(Op.BINARY, expr.op, line=expr.line)
+        elif isinstance(expr, ast.Unary):
+            self._expr(expr.operand)
+            self._emit(Op.UNARY, expr.op, line=expr.line)
+        else:  # pragma: no cover - parser produces no other expression kinds
+            raise MiniJCompileError(f"unknown expression {expr!r}")
+
+    def _short_circuit(self, expr: ast.Binary) -> None:
+        self._expr(expr.left)
+        self._emit(Op.DUP, line=expr.line)
+        if expr.op == "&&":
+            jump = self._emit(Op.JUMP_IF_FALSE, line=expr.line)
+            self._emit(Op.POP, line=expr.line)
+            self._expr(expr.right)
+            self.code[jump].a = len(self.code)
+        else:  # ||
+            # Invert: jump past the right operand when left is true.
+            self._emit(Op.UNARY, "!", line=expr.line)
+            jump = self._emit(Op.JUMP_IF_FALSE, line=expr.line)
+            self._emit(Op.POP, line=expr.line)
+            self._expr(expr.right)
+            self.code[jump].a = len(self.code)
+
+
+def compile_program(program: ast.Program, vm) -> CompiledProgram:
+    """Load classes into ``vm`` and compile every function and method."""
+    compiled = CompiledProgram()
+
+    # Define classes first (two passes: declarations may reference each other;
+    # a superclass must be defined before its subclasses).
+    pending = list(program.classes)
+    defined: set[str] = set()
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining: list[ast.ClassDecl] = []
+        for decl in pending:
+            if decl.superclass is not None and decl.superclass not in defined:
+                if decl.superclass not in {c.name for c in program.classes}:
+                    raise MiniJCompileError(
+                        f"class {decl.name!r} extends unknown class {decl.superclass!r}"
+                    )
+                remaining.append(decl)
+                continue
+            fields = [(f.name, field_kind_for(f.type)) for f in decl.fields]
+            vm.define_class(decl.name, fields, superclass=decl.superclass)
+            compiled.supers[decl.name] = decl.superclass
+            compiled.class_names.append(decl.name)
+            defined.add(decl.name)
+            progress = True
+        pending = remaining
+    if pending:
+        names = ", ".join(sorted(c.name for c in pending))
+        raise MiniJCompileError(f"inheritance cycle involving: {names}")
+
+    for decl in program.classes:
+        table: dict[str, Function] = {}
+        for method in decl.methods:
+            table[method.name] = _FunctionCompiler(method).compile()
+        compiled.methods[decl.name] = table
+
+    for func in program.functions:
+        if func.name in compiled.functions:
+            raise MiniJCompileError(f"duplicate function {func.name!r}")
+        compiled.functions[func.name] = _FunctionCompiler(func).compile()
+
+    return compiled

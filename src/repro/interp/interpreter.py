@@ -1,0 +1,501 @@
+"""The MiniJ bytecode interpreter.
+
+The interpreter runs *on* the managed runtime: every object a MiniJ program
+creates lives in the simulated heap, and the interpreter's own frames
+(operand stacks and local slots) are registered as GC roots on the executing
+:class:`~repro.runtime.threads.MutatorThread`.  Heap references are held as
+:class:`Ref` values so that root enumeration, copy forwarding, and FORCE
+reactions all see them.
+
+GC assertions are exposed to MiniJ programs as builtins (``gcAssertDead``,
+``gcStartRegion``, ``gcAssertAllDead``, ``gcAssertInstances``,
+``gcAssertUnshared``, ``gcAssertOwnedBy``), which makes the quickstart
+example read like the paper's own usage: write code, add assertions, run,
+and let the collector report violations with full heap paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import MiniJRuntimeError, NullReferenceError
+from repro.heap.layout import NULL
+from repro.heap.object_model import FieldKind, HeapObject
+from repro.interp.bytecode import Function, Op
+from repro.interp.compiler import CompiledProgram, compile_program, field_kind_for
+from repro.interp.parser import parse
+from repro.runtime.threads import MutatorThread
+from repro.runtime.vm import VirtualMachine
+
+
+class Ref:
+    """A heap reference held by interpreter state (a root when in a frame)."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, address: int):
+        self.address = address
+
+    def __repr__(self) -> str:
+        return f"<ref {self.address:#x}>"
+
+
+class InterpFrame:
+    """An interpreter frame; registered on the thread as a GC root source."""
+
+    __slots__ = ("function", "locals", "stack")
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.locals: list = [None] * function.n_locals
+        self.stack: list = []
+
+    # Root-source protocol (duck-typed like runtime.threads.Frame).
+
+    def root_entries(self) -> Iterator[tuple[str, int]]:
+        fn = self.function.qualname
+        names = self.function.local_names
+        for i, value in enumerate(self.locals):
+            if isinstance(value, Ref) and value.address != NULL:
+                name = names[i] if i < len(names) else f"slot{i}"
+                yield f"local '{name}' in {fn}", value.address
+        for value in self.stack:
+            if isinstance(value, Ref) and value.address != NULL:
+                yield f"operand stack of {fn}", value.address
+
+    def apply_forwarding(self, fwd: dict[int, int]) -> None:
+        for value in self.locals:
+            if isinstance(value, Ref):
+                new = fwd.get(value.address)
+                if new is not None:
+                    value.address = new
+        for value in self.stack:
+            if isinstance(value, Ref):
+                new = fwd.get(value.address)
+                if new is not None:
+                    value.address = new
+
+    def null_out(self, victims: set[int]) -> None:
+        for i, value in enumerate(self.locals):
+            if isinstance(value, Ref) and value.address in victims:
+                self.locals[i] = None
+        for i, value in enumerate(self.stack):
+            if isinstance(value, Ref) and value.address in victims:
+                self.stack[i] = None
+
+
+def _int_div(a: int, b: int) -> int:
+    """Java-style integer division: truncation toward zero."""
+    if b == 0:
+        raise MiniJRuntimeError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_rem(a: int, b: int) -> int:
+    if b == 0:
+        raise MiniJRuntimeError("remainder by zero")
+    return a - _int_div(a, b) * b
+
+
+class Interpreter:
+    """Loads and runs MiniJ programs on a VM."""
+
+    def __init__(self, vm: VirtualMachine, echo: bool = False, max_steps: int = 50_000_000):
+        self.vm = vm
+        self.program: Optional[CompiledProgram] = None
+        self.output: list[str] = []
+        self.echo = echo
+        self.max_steps = max_steps
+        self.steps = 0
+        self._builtins = {
+            "print": (1, self._builtin_print),
+            "str": (1, self._builtin_str),
+            "len": (1, self._builtin_len),
+            "gc": (0, self._builtin_gc),
+            "gcMinor": (0, self._builtin_gc_minor),
+            "gcAssertDead": (1, self._builtin_assert_dead),
+            "gcStartRegion": (0, self._builtin_start_region),
+            "gcAssertAllDead": (0, self._builtin_assert_alldead),
+            "gcAssertInstances": (2, self._builtin_assert_instances),
+            "gcAssertUnshared": (1, self._builtin_assert_unshared),
+            "gcAssertOwnedBy": (2, self._builtin_assert_ownedby),
+            "violations": (0, self._builtin_violations),
+            "heapLive": (0, self._builtin_heap_live),
+        }
+
+    # -- loading / running --------------------------------------------------------------
+
+    def load(self, source: str) -> CompiledProgram:
+        """Parse, load classes into the VM, and compile to bytecode."""
+        self.program = compile_program(parse(source), self.vm)
+        return self.program
+
+    def run(self, entry: str = "main", args: tuple = (), thread: Optional[MutatorThread] = None):
+        """Run a compiled function; returns its MiniJ return value."""
+        if self.program is None:
+            raise MiniJRuntimeError("no program loaded; call load(source) first")
+        function = self.program.functions.get(entry)
+        if function is None:
+            raise MiniJRuntimeError(f"no function named {entry!r}")
+        thread = thread or self.vm.current_thread
+        return self._call(function, list(args), thread)
+
+    # -- the dispatch loop ----------------------------------------------------------------
+
+    def _call(self, function: Function, args: list, thread: MutatorThread):
+        expected = len(function.params) + (1 if function.owner else 0)
+        if len(args) != expected:
+            raise MiniJRuntimeError(
+                f"{function.qualname} expects {expected} argument(s), got {len(args)}"
+            )
+        frame = InterpFrame(function)
+        frame.locals[: len(args)] = args
+        thread.frames.append(frame)
+        try:
+            return self._execute(frame, thread)
+        finally:
+            thread.frames.pop()
+
+    def _execute(self, frame: InterpFrame, thread: MutatorThread):
+        vm = self.vm
+        heap = vm.heap
+        code = frame.function.code
+        stack = frame.stack
+        pc = 0
+        while True:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise MiniJRuntimeError(
+                    f"instruction budget exceeded ({self.max_steps}) — infinite loop?"
+                )
+            instr = code[pc]
+            op = instr.op
+            pc += 1
+
+            if op is Op.PUSH_CONST:
+                stack.append(instr.a)
+            elif op is Op.PUSH_NULL:
+                stack.append(None)
+            elif op is Op.LOAD:
+                stack.append(frame.locals[instr.a])
+            elif op is Op.STORE:
+                frame.locals[instr.a] = stack.pop()
+            elif op is Op.GET_FIELD:
+                obj = self._deref(stack.pop(), instr)
+                field = self._field(obj, instr.a, instr)
+                value = obj.slots[field.slot]
+                if field.kind.holds_address:
+                    stack.append(Ref(value) if value != NULL else None)
+                else:
+                    stack.append(value)
+            elif op is Op.PUT_FIELD:
+                value = stack.pop()
+                obj = self._deref(stack.pop(), instr)
+                field = self._field(obj, instr.a, instr)
+                if field.kind.is_weak:
+                    # Weak stores create no strong edge: no write barrier.
+                    obj.slots[field.slot] = self._address_of(value, instr)
+                elif field.kind.is_reference:
+                    vm.write_ref(obj, field.slot, self._address_of(value, instr))
+                else:
+                    obj.slots[field.slot] = value
+            elif op is Op.ALOAD:
+                index = stack.pop()
+                obj = self._deref(stack.pop(), instr)
+                self._check_index(obj, index, instr)
+                value = obj.slots[index]
+                if obj.cls.element_kind.is_reference:
+                    stack.append(Ref(value) if value != NULL else None)
+                else:
+                    stack.append(value)
+            elif op is Op.ASTORE:
+                value = stack.pop()
+                index = stack.pop()
+                obj = self._deref(stack.pop(), instr)
+                self._check_index(obj, index, instr)
+                if obj.cls.element_kind.is_reference:
+                    vm.write_ref(obj, index, self._address_of(value, instr))
+                else:
+                    obj.slots[index] = value
+            elif op is Op.NEW_OBJECT:
+                handle = vm.new(instr.a, thread=thread)
+                stack.append(Ref(handle.obj.address))
+            elif op is Op.NEW_ARRAY:
+                length = stack.pop()
+                if not isinstance(length, int) or length < 0:
+                    raise MiniJRuntimeError(
+                        f"bad array length {length!r} (line {instr.line})"
+                    )
+                elem = instr.a
+                if elem.array_depth > 0 or field_kind_for(elem).is_reference:
+                    element = (
+                        vm.array_class(str(elem.element()))
+                        if elem.array_depth > 0
+                        else vm.classes.get(elem.name)
+                    )
+                else:
+                    element = field_kind_for(elem)
+                handle = vm.new_array(element, length, thread=thread)
+                stack.append(Ref(handle.obj.address))
+            elif op is Op.CALL:
+                result = self._dispatch_call(instr, stack, thread)
+                stack.append(result)
+            elif op is Op.CALL_METHOD:
+                argc = instr.b
+                args = stack[len(stack) - argc :] if argc else []
+                del stack[len(stack) - argc :]
+                receiver = stack.pop()
+                obj = self._deref(receiver, instr)
+                method = self.program.resolve_method(obj.cls.name, instr.a)
+                if method is None:
+                    raise MiniJRuntimeError(
+                        f"{obj.cls.name} has no method {instr.a!r} (line {instr.line})"
+                    )
+                stack.append(self._call(method, [receiver] + args, thread))
+            elif op is Op.RETURN:
+                return stack.pop()
+            elif op is Op.POP:
+                stack.pop()
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.BINARY:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(self._binary(instr.a, left, right, instr))
+            elif op is Op.UNARY:
+                value = stack.pop()
+                stack.append(self._unary(instr.a, value, instr))
+            elif op is Op.JUMP:
+                pc = instr.a
+            elif op is Op.JUMP_IF_FALSE:
+                cond = stack.pop()
+                if not isinstance(cond, bool):
+                    raise MiniJRuntimeError(
+                        f"condition must be bool, got {type(cond).__name__} "
+                        f"(line {instr.line})"
+                    )
+                if not cond:
+                    pc = instr.a
+            else:  # pragma: no cover
+                raise MiniJRuntimeError(f"unknown opcode {op}")
+
+    def _dispatch_call(self, instr, stack: list, thread: MutatorThread):
+        name, argc = instr.a, instr.b
+        args = stack[len(stack) - argc :] if argc else []
+        del stack[len(stack) - argc :]
+        builtin = self._builtins.get(name)
+        if builtin is not None:
+            expected, fn = builtin
+            if argc != expected:
+                raise MiniJRuntimeError(
+                    f"builtin {name!r} expects {expected} argument(s), got {argc} "
+                    f"(line {instr.line})"
+                )
+            return fn(*args)
+        function = self.program.functions.get(name)
+        if function is None:
+            raise MiniJRuntimeError(f"unknown function {name!r} (line {instr.line})")
+        return self._call(function, args, thread)
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _deref(self, value, instr) -> HeapObject:
+        if value is None:
+            raise NullReferenceError(
+                f"null dereference in {instr.op.value} (line {instr.line})"
+            )
+        if not isinstance(value, Ref):
+            raise MiniJRuntimeError(
+                f"expected an object, got {type(value).__name__} (line {instr.line})"
+            )
+        return self.vm.heap.get(value.address)
+
+    @staticmethod
+    def _field(obj: HeapObject, name: str, instr):
+        if obj.cls.is_array or not obj.cls.has_field(name):
+            raise MiniJRuntimeError(
+                f"{obj.cls.name} has no field {name!r} (line {instr.line})"
+            )
+        return obj.cls.field(name)
+
+    @staticmethod
+    def _check_index(obj: HeapObject, index, instr) -> None:
+        if not obj.cls.is_array:
+            raise MiniJRuntimeError(
+                f"{obj.cls.name} is not an array (line {instr.line})"
+            )
+        if not isinstance(index, int) or not 0 <= index < len(obj.slots):
+            raise MiniJRuntimeError(
+                f"index {index!r} out of bounds for length {len(obj.slots)} "
+                f"(line {instr.line})"
+            )
+
+    @staticmethod
+    def _address_of(value, instr) -> int:
+        if value is None:
+            return NULL
+        if isinstance(value, Ref):
+            return value.address
+        raise MiniJRuntimeError(
+            f"cannot store {type(value).__name__} into a reference slot "
+            f"(line {instr.line})"
+        )
+
+    def _binary(self, op: str, left, right, instr):
+        if op in ("==", "!="):
+            equal = self._equal(left, right)
+            return equal if op == "==" else not equal
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        if isinstance(left, bool) or isinstance(right, bool):
+            raise MiniJRuntimeError(
+                f"operator {op!r} not defined for bool (line {instr.line})"
+            )
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            both_int = isinstance(left, int) and isinstance(right, int)
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return _int_div(left, right) if both_int else left / right
+            if op == "%":
+                return _int_rem(left, right) if both_int else left % right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        if isinstance(left, str) and isinstance(right, str) and op in ("<", "<=", ">", ">="):
+            return {"<": left < right, "<=": left <= right,
+                    ">": left > right, ">=": left >= right}[op]
+        raise MiniJRuntimeError(
+            f"operator {op!r} not defined for {type(left).__name__} and "
+            f"{type(right).__name__} (line {instr.line})"
+        )
+
+    @staticmethod
+    def _equal(left, right) -> bool:
+        left_ref = isinstance(left, Ref) or left is None
+        right_ref = isinstance(right, Ref) or right is None
+        if left_ref and right_ref:
+            la = left.address if isinstance(left, Ref) else NULL
+            ra = right.address if isinstance(right, Ref) else NULL
+            return la == ra
+        if left_ref != right_ref:
+            return False
+        return left == right
+
+    def _unary(self, op: str, value, instr):
+        if op == "-" and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return -value
+        if op == "!" and isinstance(value, bool):
+            return not value
+        raise MiniJRuntimeError(
+            f"operator {op!r} not defined for {type(value).__name__} "
+            f"(line {instr.line})"
+        )
+
+    # -- builtins -----------------------------------------------------------------------------
+
+    def _render(self, value) -> str:
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, Ref):
+            obj = self.vm.heap.get(value.address)
+            return f"{obj.cls.name}@{value.address:#x}"
+        return str(value)
+
+    def _builtin_print(self, value):
+        text = self._render(value)
+        self.output.append(text)
+        if self.echo:
+            print(text)
+        return None
+
+    def _builtin_str(self, value):
+        return self._render(value)
+
+    def _builtin_len(self, value):
+        if not isinstance(value, Ref):
+            raise MiniJRuntimeError("len() needs an array")
+        obj = self.vm.heap.get(value.address)
+        if not obj.cls.is_array:
+            raise MiniJRuntimeError(f"len() needs an array, got {obj.cls.name}")
+        return len(obj.slots)
+
+    def _builtin_gc(self):
+        self.vm.gc("MiniJ gc()")
+        return None
+
+    def _builtin_gc_minor(self):
+        self.vm.minor_gc("MiniJ gcMinor()")
+        return None
+
+    def _assertions(self):
+        if self.vm.assertions is None:
+            raise MiniJRuntimeError("this VM was built without GC assertions")
+        return self.vm.assertions
+
+    def _builtin_assert_dead(self, value):
+        if not isinstance(value, Ref):
+            raise MiniJRuntimeError("gcAssertDead() needs an object")
+        self._assertions().assert_dead(value.address, site="MiniJ gcAssertDead")
+        return None
+
+    def _builtin_start_region(self):
+        self._assertions().start_region(self.vm.current_thread, label="MiniJ region")
+        return None
+
+    def _builtin_assert_alldead(self):
+        return self._assertions().assert_alldead(self.vm.current_thread, site="MiniJ region")
+
+    def _builtin_assert_instances(self, type_name, limit):
+        if not isinstance(type_name, str) or not isinstance(limit, int):
+            raise MiniJRuntimeError("gcAssertInstances(typeName: str, limit: int)")
+        self._assertions().assert_instances(type_name, limit)
+        return None
+
+    def _builtin_assert_unshared(self, value):
+        if not isinstance(value, Ref):
+            raise MiniJRuntimeError("gcAssertUnshared() needs an object")
+        self._assertions().assert_unshared(value.address, site="MiniJ gcAssertUnshared")
+        return None
+
+    def _builtin_assert_ownedby(self, owner, ownee):
+        if not isinstance(owner, Ref) or not isinstance(ownee, Ref):
+            raise MiniJRuntimeError("gcAssertOwnedBy() needs two objects")
+        self._assertions().assert_ownedby(
+            owner.address, ownee.address, site="MiniJ gcAssertOwnedBy"
+        )
+        return None
+
+    def _builtin_violations(self):
+        if self.vm.engine is None:
+            return 0
+        return len(self.vm.engine.log)
+
+    def _builtin_heap_live(self):
+        return self.vm.heap.stats.objects_live
+
+
+def run_source(
+    source: str,
+    vm: Optional[VirtualMachine] = None,
+    entry: str = "main",
+    echo: bool = False,
+) -> Interpreter:
+    """Convenience: build a VM (if needed), load, and run a MiniJ program."""
+    vm = vm or VirtualMachine()
+    interp = Interpreter(vm, echo=echo)
+    interp.load(source)
+    interp.run(entry)
+    return interp

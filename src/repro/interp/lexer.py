@@ -1,0 +1,264 @@
+"""Lexer for MiniJ, the small class-based language that runs on the VM.
+
+MiniJ exists so that GC assertions can be exercised the way the paper uses
+them: from *inside programs running on the managed runtime*, with interpreter
+stack frames as real GC roots.  The surface syntax is a small Java-like
+language::
+
+    class Node {
+      var value: int;
+      var next: Node;
+      def sum(): int { ... }
+    }
+
+    def main(): void {
+      var head: Node = new Node();
+      gcAssertDead(head);
+      head = null;
+      gc();
+    }
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import MiniJSyntaxError
+
+
+class TokenKind(enum.Enum):
+    # literals / identifiers
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    STRING = "string-literal"
+    IDENT = "identifier"
+    # keywords
+    CLASS = "class"
+    EXTENDS = "extends"
+    DEF = "def"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    BREAK = "break"
+    CONTINUE = "continue"
+    RETURN = "return"
+    NEW = "new"
+    NULL = "null"
+    TRUE = "true"
+    FALSE = "false"
+    THIS = "this"
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    ASSIGN = "="
+    # operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "class": TokenKind.CLASS,
+    "extends": TokenKind.EXTENDS,
+    "def": TokenKind.DEF,
+    "var": TokenKind.VAR,
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "while": TokenKind.WHILE,
+    "for": TokenKind.FOR,
+    "break": TokenKind.BREAK,
+    "continue": TokenKind.CONTINUE,
+    "return": TokenKind.RETURN,
+    "new": TokenKind.NEW,
+    "null": TokenKind.NULL,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "this": TokenKind.THIS,
+}
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind: TokenKind, text: str, value, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"<token {self.kind.name} {self.text!r} @{self.line}:{self.column}>"
+
+
+class Lexer:
+    """Hand-written scanner with line/column tracking and // and /* comments."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> MiniJSyntaxError:
+        return MiniJSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, column = self.line, self.column
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", None, line, column)
+                return
+            ch = self._peek()
+            if ch.isdigit():
+                yield self._number(line, column)
+            elif ch.isalpha() or ch == "_":
+                yield self._identifier(line, column)
+            elif ch == '"':
+                yield self._string(line, column)
+            else:
+                two = ch + self._peek(1)
+                if two in _TWO_CHAR:
+                    self._advance()
+                    self._advance()
+                    yield Token(_TWO_CHAR[two], two, None, line, column)
+                elif ch in _ONE_CHAR:
+                    self._advance()
+                    yield Token(_ONE_CHAR[ch], ch, None, line, column)
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start : self.pos]
+            return Token(TokenKind.FLOAT, text, float(text), line, column)
+        text = self.source[start : self.pos]
+        return Token(TokenKind.INT, text, int(text), line, column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        value = text if kind is TokenKind.IDENT else None
+        return Token(kind, text, value, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                esc = self._advance()
+                chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+            else:
+                chars.append(ch)
+        text = "".join(chars)
+        return Token(TokenKind.STRING, text, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a whole program, EOF token included."""
+    return list(Lexer(source).tokens())

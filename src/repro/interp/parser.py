@@ -1,0 +1,431 @@
+"""Recursive-descent parser for MiniJ.
+
+Grammar (EBNF sketch)::
+
+    program     := (class_decl | func_decl)*
+    class_decl  := "class" IDENT ["extends" IDENT] "{" (field_decl | method)* "}"
+    field_decl  := "var" IDENT ":" type ";"
+    func_decl   := "def" IDENT "(" params ")" ":" type block
+    type        := IDENT ("[" "]")*
+    block       := "{" stmt* "}"
+    stmt        := var_decl | if | while | return | assign_or_expr
+    var_decl    := "var" IDENT ":" type ["=" expr] ";"
+    assign_or_expr := expr ["=" expr] ";"
+    expr        := or_expr
+    ...the usual precedence ladder: || && == != < <= > >= + - * / % unary postfix
+    postfix     := primary ("." IDENT [call-args] | "[" expr "]")*
+    primary     := literal | "null" | "this" | IDENT [call-args]
+                 | "new" IDENT ( "(" ")" | ("[" expr "]")+ ) | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MiniJSyntaxError
+from repro.interp import ast_nodes as ast
+from repro.interp.lexer import Token, TokenKind, tokenize
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            expected = what or kind.value
+            raise MiniJSyntaxError(
+                f"expected {expected}, found {token.text or token.kind.value!s}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _match(self, kind: TokenKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- program --------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        classes: list[ast.ClassDecl] = []
+        functions: list[ast.FuncDecl] = []
+        while not self._at(TokenKind.EOF):
+            if self._at(TokenKind.CLASS):
+                classes.append(self.parse_class())
+            elif self._at(TokenKind.DEF):
+                functions.append(self.parse_function())
+            else:
+                token = self._peek()
+                raise MiniJSyntaxError(
+                    f"expected 'class' or 'def' at top level, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        return ast.Program(classes, functions)
+
+    def parse_class(self) -> ast.ClassDecl:
+        start = self._expect(TokenKind.CLASS)
+        name = self._expect(TokenKind.IDENT, "class name").text
+        superclass = None
+        if self._match(TokenKind.EXTENDS):
+            superclass = self._expect(TokenKind.IDENT, "superclass name").text
+        self._expect(TokenKind.LBRACE)
+        fields: list[ast.FieldDecl] = []
+        methods: list[ast.FuncDecl] = []
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.VAR):
+                fields.append(self._parse_field())
+            elif self._at(TokenKind.DEF):
+                method = self.parse_function()
+                method.owner = name
+                methods.append(method)
+            else:
+                token = self._peek()
+                raise MiniJSyntaxError(
+                    f"expected field or method in class {name!r}, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        self._expect(TokenKind.RBRACE)
+        return ast.ClassDecl(name, superclass, fields, methods, start.line)
+
+    def _parse_field(self) -> ast.FieldDecl:
+        start = self._expect(TokenKind.VAR)
+        name = self._expect(TokenKind.IDENT, "field name").text
+        self._expect(TokenKind.COLON)
+        # `weak` is a contextual modifier, valid only on field types:
+        # `var cache: weak Node;` declares a non-retaining slot.
+        weak = False
+        if (
+            self._at(TokenKind.IDENT)
+            and self._peek().text == "weak"
+            and self._peek(1).kind is TokenKind.IDENT
+        ):
+            self._advance()
+            weak = True
+        type_ = self.parse_type()
+        type_.weak = weak
+        self._expect(TokenKind.SEMI)
+        return ast.FieldDecl(name, type_, start.line)
+
+    def parse_function(self) -> ast.FuncDecl:
+        start = self._expect(TokenKind.DEF)
+        name = self._expect(TokenKind.IDENT, "function name").text
+        self._expect(TokenKind.LPAREN)
+        params: list[ast.Param] = []
+        while not self._at(TokenKind.RPAREN):
+            if params:
+                self._expect(TokenKind.COMMA)
+            pname = self._expect(TokenKind.IDENT, "parameter name").text
+            self._expect(TokenKind.COLON)
+            params.append(ast.Param(pname, self.parse_type()))
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.COLON)
+        return_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, return_type, body, start.line)
+
+    def parse_type(self) -> ast.TypeRef:
+        name = self._expect(TokenKind.IDENT, "type name").text
+        depth = 0
+        while self._at(TokenKind.LBRACKET) and self._peek(1).kind is TokenKind.RBRACKET:
+            self._advance()
+            self._advance()
+            depth += 1
+        return ast.TypeRef(name, depth)
+
+    # -- statements -------------------------------------------------------------------
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self._expect(TokenKind.LBRACE)
+        body: list[ast.Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            body.append(self.parse_statement())
+        self._expect(TokenKind.RBRACE)
+        return body
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.VAR:
+            return self._parse_var_decl()
+        if token.kind is TokenKind.IF:
+            return self._parse_if()
+        if token.kind is TokenKind.WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.FOR:
+            return self._parse_for()
+        if token.kind is TokenKind.BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Break(token.line)
+        if token.kind is TokenKind.CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Continue(token.line)
+        if token.kind is TokenKind.RETURN:
+            return self._parse_return()
+        return self._parse_assign_or_expr()
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._expect(TokenKind.VAR)
+        name = self._expect(TokenKind.IDENT, "variable name").text
+        self._expect(TokenKind.COLON)
+        type_ = self.parse_type()
+        init = None
+        if self._match(TokenKind.ASSIGN):
+            init = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        return ast.VarDecl(name, type_, init, start.line)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect(TokenKind.IF)
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenKind.RPAREN)
+        then_body = self.parse_block()
+        else_body = None
+        if self._match(TokenKind.ELSE):
+            if self._at(TokenKind.IF):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond, then_body, else_body, start.line)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect(TokenKind.WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenKind.RPAREN)
+        body = self.parse_block()
+        return ast.While(cond, body, start.line)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect(TokenKind.FOR)
+        self._expect(TokenKind.LPAREN)
+        init: ast.Stmt | None = None
+        if not self._at(TokenKind.SEMI):
+            if self._at(TokenKind.VAR):
+                init = self._parse_var_decl()  # consumes its ';'
+            else:
+                init = self._parse_simple_assign_or_expr(start)
+                self._expect(TokenKind.SEMI)
+        else:
+            self._advance()
+        cond: ast.Expr | None = None
+        if not self._at(TokenKind.SEMI):
+            cond = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        update: ast.Stmt | None = None
+        if not self._at(TokenKind.RPAREN):
+            update = self._parse_simple_assign_or_expr(start)
+        self._expect(TokenKind.RPAREN)
+        body = self.parse_block()
+        return ast.For(init, cond, update, body, start.line)
+
+    def _parse_simple_assign_or_expr(self, anchor) -> ast.Stmt:
+        """An assignment or expression without the trailing semicolon
+        (for-loop init/update clauses)."""
+        expr = self.parse_expression()
+        if self._match(TokenKind.ASSIGN):
+            value = self.parse_expression()
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise MiniJSyntaxError(
+                    "assignment target must be a variable, field, or array element",
+                    anchor.line,
+                    anchor.column,
+                )
+            return ast.Assign(expr, value, anchor.line)
+        return ast.ExprStmt(expr, anchor.line)
+
+    def _parse_return(self) -> ast.Return:
+        start = self._expect(TokenKind.RETURN)
+        value = None
+        if not self._at(TokenKind.SEMI):
+            value = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        return ast.Return(value, start.line)
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        start = self._peek()
+        expr = self.parse_expression()
+        if self._match(TokenKind.ASSIGN):
+            value = self.parse_expression()
+            self._expect(TokenKind.SEMI)
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise MiniJSyntaxError(
+                    "assignment target must be a variable, field, or array element",
+                    start.line,
+                    start.column,
+                )
+            return ast.Assign(expr, value, start.line)
+        self._expect(TokenKind.SEMI)
+        return ast.ExprStmt(expr, start.line)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(TokenKind.OR):
+            line = self._advance().line
+            left = ast.Binary("||", left, self._parse_and(), line)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._at(TokenKind.AND):
+            line = self._advance().line
+            left = ast.Binary("&&", left, self._parse_equality(), line)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self._peek().kind in (TokenKind.EQ, TokenKind.NE):
+            token = self._advance()
+            left = ast.Binary(token.text, left, self._parse_comparison(), token.line)
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._peek().kind in (TokenKind.LT, TokenKind.LE, TokenKind.GT, TokenKind.GE):
+            token = self._advance()
+            left = ast.Binary(token.text, left, self._parse_additive(), token.line)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            token = self._advance()
+            left = ast.Binary(token.text, left, self._parse_multiplicative(), token.line)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().kind in (TokenKind.STAR, TokenKind.SLASH, TokenKind.PERCENT):
+            token = self._advance()
+            left = ast.Binary(token.text, left, self._parse_unary(), token.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return ast.Unary("-", self._parse_unary(), token.line)
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            return ast.Unary("!", self._parse_unary(), token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._at(TokenKind.DOT):
+                line = self._advance().line
+                name = self._expect(TokenKind.IDENT, "member name").text
+                if self._at(TokenKind.LPAREN):
+                    args = self._parse_args()
+                    expr = ast.MethodCall(expr, name, args, line)
+                else:
+                    expr = ast.FieldAccess(expr, name, line)
+            elif self._at(TokenKind.LBRACKET):
+                line = self._advance().line
+                index = self.parse_expression()
+                self._expect(TokenKind.RBRACKET)
+                expr = ast.Index(expr, index, line)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self._expect(TokenKind.LPAREN)
+        args: list[ast.Expr] = []
+        while not self._at(TokenKind.RPAREN):
+            if args:
+                self._expect(TokenKind.COMMA)
+            args.append(self.parse_expression())
+        self._expect(TokenKind.RPAREN)
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(token.value, token.line)
+        if token.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(token.value, token.line)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.StrLit(token.value, token.line)
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLit(True, token.line)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLit(False, token.line)
+        if token.kind is TokenKind.NULL:
+            self._advance()
+            return ast.NullLit(token.line)
+        if token.kind is TokenKind.THIS:
+            self._advance()
+            return ast.ThisExpr(token.line)
+        if token.kind is TokenKind.NEW:
+            return self._parse_new()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                args = self._parse_args()
+                return ast.Call(token.text, args, token.line)
+            return ast.Name(token.text, token.line)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self.parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise MiniJSyntaxError(
+            f"unexpected token {token.text or token.kind.value!r} in expression",
+            token.line,
+            token.column,
+        )
+
+    def _parse_new(self) -> ast.Expr:
+        start = self._expect(TokenKind.NEW)
+        type_name = self._expect(TokenKind.IDENT, "type name after 'new'").text
+        if self._at(TokenKind.LBRACKET):
+            self._advance()
+            length = self.parse_expression()
+            self._expect(TokenKind.RBRACKET)
+            depth = 0
+            while self._at(TokenKind.LBRACKET) and self._peek(1).kind is TokenKind.RBRACKET:
+                self._advance()
+                self._advance()
+                depth += 1
+            return ast.NewArray(ast.TypeRef(type_name, depth), length, start.line)
+        self._expect(TokenKind.LPAREN)
+        self._expect(TokenKind.RPAREN)
+        return ast.NewObject(type_name, start.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse a MiniJ program from source text."""
+    return Parser(tokenize(source)).parse_program()

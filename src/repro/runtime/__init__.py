@@ -1,0 +1,19 @@
+"""Managed runtime: class registry, threads/roots, handles, VM facade."""
+
+from repro.runtime.classes import ClassRegistry
+from repro.runtime.handles import Handle, HandleScope
+from repro.runtime.scheduler import Scheduler, Task
+from repro.runtime.threads import Frame, MutatorThread, StaticRoots
+from repro.runtime.vm import VirtualMachine
+
+__all__ = [
+    "ClassRegistry",
+    "Handle",
+    "HandleScope",
+    "Scheduler",
+    "Task",
+    "Frame",
+    "MutatorThread",
+    "StaticRoots",
+    "VirtualMachine",
+]

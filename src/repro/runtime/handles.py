@@ -1,0 +1,193 @@
+"""Handles: ergonomic, identity-stable references for Python driver code.
+
+A :class:`Handle` wraps a :class:`~repro.heap.object_model.HeapObject` so
+workload code can read and write fields with ``obj["field"]`` syntax.  Two
+properties make handles safe against the simulated collector:
+
+* **Identity stability** — a handle references the ``HeapObject`` Python
+  identity, not its address, so it stays valid across copying collections
+  (the collector updates ``obj.address`` in place).
+* **Explicit rooting** — a handle is *not* a GC root.  Objects are kept
+  alive only by heap references, frame locals, statics, and
+  :class:`HandleScope` entries.  Use ``vm.scope()`` around construction
+  code, or ``handle.keep()`` to register an object in the current scope,
+  mirroring JNI local references.  Dereferencing a handle whose object was
+  reclaimed raises :class:`~repro.errors.UseAfterFreeError` — the simulated
+  analog of the dangling pointer a real VM would silently follow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+from repro.errors import TypeFault, UseAfterFreeError
+from repro.heap import header as hdr
+from repro.heap.layout import NULL
+from repro.heap.object_model import FieldKind, HeapObject
+
+if TYPE_CHECKING:
+    from repro.runtime.threads import MutatorThread
+    from repro.runtime.vm import VirtualMachine
+
+FieldValue = Union["Handle", None, int, float, bool, str]
+
+
+class HandleScope:
+    """A root source holding the addresses of actively-used objects."""
+
+    __slots__ = ("label", "addresses")
+
+    def __init__(self, label: str = "scope"):
+        self.label = label
+        self.addresses: list[int] = []
+
+    def register(self, address: int) -> None:
+        self.addresses.append(address)
+
+    def root_entries(self) -> Iterator[tuple[str, int]]:
+        for address in self.addresses:
+            if address != NULL:
+                yield f"handle scope '{self.label}'", address
+
+    def apply_forwarding(self, fwd: dict[int, int]) -> None:
+        self.addresses = [fwd.get(a, a) for a in self.addresses]
+
+    def null_out(self, victims: set[int]) -> None:
+        self.addresses = [a for a in self.addresses if a not in victims]
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+class Handle:
+    """A typed wrapper around one heap object."""
+
+    __slots__ = ("vm", "obj")
+
+    def __init__(self, vm: "VirtualMachine", obj: HeapObject):
+        self.vm = vm
+        self.obj = obj
+
+    # -- basic properties ------------------------------------------------------------
+
+    def _check(self) -> HeapObject:
+        obj = self.obj
+        if obj.status & hdr.FREED_BIT:
+            raise UseAfterFreeError(
+                f"handle to {obj.cls.name} used after the object was reclaimed"
+            )
+        return obj
+
+    @property
+    def address(self) -> int:
+        return self._check().address
+
+    @property
+    def type_name(self) -> str:
+        return self.obj.cls.name
+
+    @property
+    def is_array(self) -> bool:
+        return self.obj.cls.is_array
+
+    @property
+    def is_live(self) -> bool:
+        return not self.obj.is_freed
+
+    def __len__(self) -> int:
+        obj = self._check()
+        if not obj.cls.is_array:
+            raise TypeFault(f"{obj.cls.name} is not an array")
+        return len(obj.slots)
+
+    # -- field / element access --------------------------------------------------------
+
+    def _slot_for(self, key: Union[str, int]) -> tuple[HeapObject, int, FieldKind]:
+        obj = self._check()
+        if isinstance(key, int):
+            if not obj.cls.is_array:
+                raise TypeFault(f"{obj.cls.name} is not an array; cannot index by {key}")
+            if not 0 <= key < len(obj.slots):
+                raise TypeFault(
+                    f"index {key} out of bounds for {obj.cls.name} of length {len(obj.slots)}"
+                )
+            return obj, key, obj.cls.element_kind  # type: ignore[return-value]
+        field = obj.cls.field(key)
+        return obj, field.slot, field.kind
+
+    def __getitem__(self, key: Union[str, int]) -> FieldValue:
+        obj, slot, kind = self._slot_for(key)
+        if self.vm.access_hook is not None:
+            self.vm.access_hook(obj)
+        value = obj.slots[slot]
+        if kind.holds_address:
+            if value == NULL:
+                return None
+            return Handle(self.vm, self.vm.heap.get(value))
+        return value
+
+    def __setitem__(self, key: Union[str, int], value: FieldValue) -> None:
+        obj, slot, kind = self._slot_for(key)
+        if kind.holds_address:
+            if value is None:
+                address = NULL
+            elif isinstance(value, Handle):
+                address = value._check().address
+            elif isinstance(value, HeapObject):
+                address = value.address
+            else:
+                raise TypeFault(
+                    f"reference slot {key!r} of {obj.cls.name} cannot hold {value!r}"
+                )
+            if kind.is_weak:
+                # Weak stores create no strong edge: no write barrier.
+                obj.slots[slot] = address
+            else:
+                self.vm.write_ref(obj, slot, address)
+        else:
+            if isinstance(value, (Handle, HeapObject)):
+                raise TypeFault(
+                    f"scalar slot {key!r} of {obj.cls.name} cannot hold a reference"
+                )
+            obj.slots[slot] = value
+
+    def ref_address(self, key: Union[str, int]) -> int:
+        """Raw address stored in a (strong or weak) reference slot."""
+        obj, slot, kind = self._slot_for(key)
+        if not kind.holds_address:
+            raise TypeFault(f"slot {key!r} of {obj.cls.name} is not a reference")
+        return obj.slots[slot]
+
+    def refs(self) -> Iterator[Optional["Handle"]]:
+        """Iterate reference-array elements as handles."""
+        obj = self._check()
+        for value in obj.reference_slots():
+            yield None if value == NULL else Handle(self.vm, self.vm.heap.get(value))
+
+    # -- rooting -----------------------------------------------------------------------
+
+    def keep(self, thread: Optional["MutatorThread"] = None) -> "Handle":
+        """Register this object in the current handle scope (a GC root)."""
+        thread = thread or self.vm.current_thread
+        if not thread.scopes:
+            raise TypeFault(
+                f"thread {thread.name!r} has no active handle scope; "
+                "wrap driver code in `with vm.scope(): ...`"
+            )
+        thread.scopes[-1].register(self._check().address)
+        return self
+
+    # -- comparisons ---------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Handle) and other.obj is self.obj
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __repr__(self) -> str:
+        state = "freed" if self.obj.is_freed else f"@{self.obj.address:#x}"
+        return f"<handle {self.obj.cls.name} {state}>"

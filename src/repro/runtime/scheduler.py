@@ -1,0 +1,83 @@
+"""A deterministic cooperative scheduler for multi-threaded workloads.
+
+Java threads in the paper's benchmarks (lusearch runs 32 searcher threads)
+are simulated as cooperative tasks: each task is a Python generator that
+yields at its safepoints, and the scheduler interleaves them round-robin on
+top of the VM's :class:`~repro.runtime.threads.MutatorThread` contexts.  No
+OS concurrency is involved, so every run is deterministic — which matters
+because benchmark comparisons rely on identical workload behavior across
+collector configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.runtime.threads import MutatorThread
+from repro.runtime.vm import VirtualMachine
+
+#: A task body: receives (vm, thread) and yields at safepoints.
+TaskBody = Callable[[VirtualMachine, MutatorThread], Generator[None, None, None]]
+
+
+class Task:
+    """One schedulable task bound to a mutator thread."""
+
+    __slots__ = ("name", "thread", "generator", "finished", "steps")
+
+    def __init__(self, name: str, thread: MutatorThread, generator: Generator):
+        self.name = name
+        self.thread = thread
+        self.generator = generator
+        self.finished = False
+        self.steps = 0
+
+
+class Scheduler:
+    """Round-robin cooperative scheduler over VM mutator threads."""
+
+    def __init__(self, vm: VirtualMachine):
+        self.vm = vm
+        self._tasks: deque[Task] = deque()
+        self.completed: list[Task] = []
+
+    def spawn(self, body: TaskBody, name: Optional[str] = None) -> Task:
+        """Create a task on a fresh mutator thread."""
+        thread = self.vm.new_thread(name)
+        generator = body(self.vm, thread)
+        task = Task(name or thread.name, thread, generator)
+        self._tasks.append(task)
+        return task
+
+    def spawn_all(self, bodies: Iterable[TaskBody], prefix: str = "worker") -> list[Task]:
+        return [self.spawn(body, f"{prefix}-{i}") for i, body in enumerate(bodies)]
+
+    @property
+    def pending(self) -> int:
+        return len(self._tasks)
+
+    def step(self) -> bool:
+        """Advance one task by one safepoint; False when all are done."""
+        if not self._tasks:
+            return False
+        task = self._tasks.popleft()
+        with self.vm.on_thread(task.thread):
+            try:
+                next(task.generator)
+                task.steps += 1
+                self._tasks.append(task)
+            except StopIteration:
+                task.finished = True
+                self.completed.append(task)
+        return bool(self._tasks)
+
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """Run until all tasks finish (or ``max_steps`` safepoints)."""
+        steps = 0
+        while self._tasks:
+            if max_steps is not None and steps >= max_steps:
+                break
+            self.step()
+            steps += 1
+        return steps

@@ -1,0 +1,35 @@
+"""Benchmark workloads: pseudojbb, _209_db, lusearch, SwapLeak, synthetics."""
+
+from repro.workloads.containers import HashTable, IntVector, Vector
+from repro.workloads.db import Database, DbConfig, DbResult, run_db
+from repro.workloads.jbb import JbbConfig, JbbResult, LongBTree, run_pseudojbb
+from repro.workloads.lusearch import LusearchConfig, LusearchResult, run_lusearch
+from repro.workloads.suite import SuiteEntry, build_suite, measure_live_peak
+from repro.workloads.swapleak import SwapLeakConfig, SwapLeakResult, run_swapleak
+from repro.workloads.synthetic import PROFILES, SyntheticProfile, run_synthetic
+
+__all__ = [
+    "HashTable",
+    "IntVector",
+    "Vector",
+    "Database",
+    "DbConfig",
+    "DbResult",
+    "run_db",
+    "JbbConfig",
+    "JbbResult",
+    "LongBTree",
+    "run_pseudojbb",
+    "LusearchConfig",
+    "LusearchResult",
+    "run_lusearch",
+    "SuiteEntry",
+    "build_suite",
+    "measure_live_peak",
+    "SwapLeakConfig",
+    "SwapLeakResult",
+    "run_swapleak",
+    "PROFILES",
+    "SyntheticProfile",
+    "run_synthetic",
+]

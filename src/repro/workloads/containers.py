@@ -1,0 +1,287 @@
+"""Heap-backed container library shared by the benchmark workloads.
+
+These are real data structures allocated *in the simulated heap* (every
+node, bucket array, and element reference is a traced heap object), so the
+collector — and therefore the assertion machinery — sees exactly the object
+graphs a Java program would build.  The containers mirror the ones the
+paper's benchmarks lean on: ``java.util.Vector`` (spec ``_209_db`` stores
+``Entry`` objects in one), a chained hash table (lusearch's term
+dictionary), and an int vector for posting lists.
+
+Each container class interns its heap classes per VM on first use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import RuntimeFault
+from repro.heap.object_model import FieldKind
+from repro.runtime.handles import Handle
+from repro.runtime.vm import VirtualMachine
+
+#: Default initial capacity for growable containers.
+DEFAULT_CAPACITY = 8
+
+
+def _ensure_class(vm: VirtualMachine, name: str, fields) -> None:
+    if vm.classes.maybe(name) is None:
+        vm.define_class(name, fields)
+
+
+class Vector:
+    """A growable reference vector (``java.util.Vector`` analog).
+
+    Heap shape: one ``Vector`` object with a ``data`` reference to an
+    ``Object[]`` backing array and an ``int`` size field.
+    """
+
+    CLASS = "Vector"
+
+    def __init__(self, vm: VirtualMachine, handle: Handle):
+        self.vm = vm
+        self.handle = handle
+
+    @classmethod
+    def new(cls, vm: VirtualMachine, capacity: int = DEFAULT_CAPACITY) -> "Vector":
+        _ensure_class(vm, cls.CLASS, [("data", FieldKind.REF), ("size", FieldKind.INT)])
+        with vm.scope("Vector.new"):
+            handle = vm.new(cls.CLASS)
+            backing = vm.new_array(vm.classes.object_class, max(1, capacity))
+            handle["data"] = backing
+            handle["size"] = 0
+        return cls(vm, handle)
+
+    @classmethod
+    def wrap(cls, vm: VirtualMachine, handle: Handle) -> "Vector":
+        return cls(vm, handle)
+
+    def __len__(self) -> int:
+        return self.handle["size"]
+
+    def _data(self) -> Handle:
+        return self.handle["data"]
+
+    def _grow(self) -> None:
+        old = self._data()
+        new = self.vm.new_array(self.vm.classes.object_class, len(old) * 2)
+        for i in range(self.handle["size"]):
+            new[i] = old[i]
+        self.handle["data"] = new
+
+    def append(self, value: Optional[Handle]) -> None:
+        size = self.handle["size"]
+        if size >= len(self._data()):
+            # Growing allocates; keep the (possibly otherwise-unrooted)
+            # value alive across a potential collection.
+            with self.vm.scope("Vector.append") as scope:
+                if value is not None:
+                    scope.register(value.address)
+                self._grow()
+        self._data()[size] = value
+        self.handle["size"] = size + 1
+
+    def get(self, index: int) -> Optional[Handle]:
+        if not 0 <= index < self.handle["size"]:
+            raise RuntimeFault(f"Vector index {index} out of range {self.handle['size']}")
+        return self._data()[index]
+
+    def set(self, index: int, value: Optional[Handle]) -> None:
+        if not 0 <= index < self.handle["size"]:
+            raise RuntimeFault(f"Vector index {index} out of range {self.handle['size']}")
+        self._data()[index] = value
+
+    def pop(self) -> Optional[Handle]:
+        size = self.handle["size"]
+        if size == 0:
+            raise RuntimeFault("pop from an empty Vector")
+        value = self._data()[size - 1]
+        self._data()[size - 1] = None
+        self.handle["size"] = size - 1
+        return value
+
+    def remove_at(self, index: int) -> Optional[Handle]:
+        """Remove and return the element at ``index``, shifting the tail."""
+        size = self.handle["size"]
+        if not 0 <= index < size:
+            raise RuntimeFault(f"Vector index {index} out of range {size}")
+        data = self._data()
+        value = data[index]
+        for i in range(index, size - 1):
+            data[i] = data[i + 1]
+        data[size - 1] = None
+        self.handle["size"] = size - 1
+        return value
+
+    def clear(self) -> None:
+        data = self._data()
+        for i in range(self.handle["size"]):
+            data[i] = None
+        self.handle["size"] = 0
+
+    def __iter__(self) -> Iterator[Optional[Handle]]:
+        for i in range(self.handle["size"]):
+            yield self._data()[i]
+
+    def index_of(self, value: Handle) -> int:
+        for i in range(self.handle["size"]):
+            element = self._data()[i]
+            if element is not None and element == value:
+                return i
+        return -1
+
+
+class IntVector:
+    """A growable scalar int vector (posting lists, id sets)."""
+
+    CLASS = "IntVector"
+
+    def __init__(self, vm: VirtualMachine, handle: Handle):
+        self.vm = vm
+        self.handle = handle
+
+    @classmethod
+    def new(cls, vm: VirtualMachine, capacity: int = DEFAULT_CAPACITY) -> "IntVector":
+        _ensure_class(vm, cls.CLASS, [("data", FieldKind.REF), ("size", FieldKind.INT)])
+        with vm.scope("IntVector.new"):
+            handle = vm.new(cls.CLASS)
+            handle["data"] = vm.new_array(FieldKind.INT, max(1, capacity))
+            handle["size"] = 0
+        return cls(vm, handle)
+
+    def __len__(self) -> int:
+        return self.handle["size"]
+
+    def append(self, value: int) -> None:
+        size = self.handle["size"]
+        data = self.handle["data"]
+        if size >= len(data):
+            new = self.vm.new_array(FieldKind.INT, len(data) * 2)
+            for i in range(size):
+                new[i] = data[i]
+            self.handle["data"] = new
+            data = new
+        data[size] = value
+        self.handle["size"] = size + 1
+
+    def get(self, index: int) -> int:
+        if not 0 <= index < self.handle["size"]:
+            raise RuntimeFault(f"IntVector index {index} out of range")
+        return self.handle["data"][index]
+
+    def __iter__(self) -> Iterator[int]:
+        data = self.handle["data"]
+        for i in range(self.handle["size"]):
+            yield data[i]
+
+
+class HashTable:
+    """A chained hash table mapping string keys to heap references.
+
+    Heap shape: a ``HashTable`` object → ``Object[]`` bucket array →
+    ``HashNode`` chains (``key: str``, ``value: REF``, ``next: REF``).
+    """
+
+    CLASS = "HashTable"
+    NODE_CLASS = "HashNode"
+
+    def __init__(self, vm: VirtualMachine, handle: Handle):
+        self.vm = vm
+        self.handle = handle
+
+    @classmethod
+    def new(cls, vm: VirtualMachine, buckets: int = 64) -> "HashTable":
+        _ensure_class(vm, cls.CLASS, [("buckets", FieldKind.REF), ("size", FieldKind.INT)])
+        _ensure_class(
+            vm,
+            cls.NODE_CLASS,
+            [("key", FieldKind.STR), ("value", FieldKind.REF), ("next", FieldKind.REF)],
+        )
+        with vm.scope("HashTable.new"):
+            handle = vm.new(cls.CLASS)
+            handle["buckets"] = vm.new_array(vm.classes.object_class, max(1, buckets))
+            handle["size"] = 0
+        return cls(vm, handle)
+
+    @staticmethod
+    def _hash(key: str, nbuckets: int) -> int:
+        h = 0
+        for ch in key:
+            h = (h * 31 + ord(ch)) & 0x7FFFFFFF
+        return h % nbuckets
+
+    def __len__(self) -> int:
+        return self.handle["size"]
+
+    def put(self, key: str, value: Optional[Handle]) -> bool:
+        """Insert or update; returns True if the key was new."""
+        buckets = self.handle["buckets"]
+        idx = self._hash(key, len(buckets))
+        node = buckets[idx]
+        while node is not None:
+            if node["key"] == key:
+                node["value"] = value
+                return False
+            node = node["next"]
+        # Allocating the node may collect; root the value across it.
+        with self.vm.scope("HashTable.put") as scope:
+            if value is not None:
+                scope.register(value.address)
+            node = self.vm.new(self.NODE_CLASS)
+            node["key"] = key
+            node["value"] = value
+            node["next"] = buckets[idx]
+            buckets[idx] = node
+        self.handle["size"] = self.handle["size"] + 1
+        return True
+
+    def get(self, key: str) -> Optional[Handle]:
+        buckets = self.handle["buckets"]
+        node = buckets[self._hash(key, len(buckets))]
+        while node is not None:
+            if node["key"] == key:
+                return node["value"]
+            node = node["next"]
+        return None
+
+    def contains(self, key: str) -> bool:
+        buckets = self.handle["buckets"]
+        node = buckets[self._hash(key, len(buckets))]
+        while node is not None:
+            if node["key"] == key:
+                return True
+            node = node["next"]
+        return False
+
+    def remove(self, key: str) -> Optional[Handle]:
+        buckets = self.handle["buckets"]
+        idx = self._hash(key, len(buckets))
+        node = buckets[idx]
+        prev: Optional[Handle] = None
+        while node is not None:
+            if node["key"] == key:
+                value = node["value"]
+                if prev is None:
+                    buckets[idx] = node["next"]
+                else:
+                    prev["next"] = node["next"]
+                self.handle["size"] = self.handle["size"] - 1
+                return value
+            prev, node = node, node["next"]
+        return None
+
+    def keys(self) -> Iterator[str]:
+        buckets = self.handle["buckets"]
+        for i in range(len(buckets)):
+            node = buckets[i]
+            while node is not None:
+                yield node["key"]
+                node = node["next"]
+
+    def values(self) -> Iterator[Optional[Handle]]:
+        buckets = self.handle["buckets"]
+        for i in range(len(buckets)):
+            node = buckets[i]
+            while node is not None:
+                yield node["value"]
+                node = node["next"]

@@ -1,0 +1,208 @@
+"""``_209_db``: the SPEC JVM98 database benchmark analog.
+
+The real ``_209_db`` reads a script of operations against an in-memory
+database of ``Entry`` records (each holding a vector of string items) —
+add, delete, find, sort.  The paper instruments it two ways (§3.1.1):
+
+* "we asserted that all Entry objects are owned by their containing
+  Database object" — ``assert-ownedby`` at every add (15,553 calls in the
+  paper's run, ~15,274 live ownees checked per GC);
+* "we added assert-dead assertions at code locations where the authors had
+  assigned null to an instance variable" — the delete path (695 calls).
+
+The injectable bug (``leak_external_cache``) reproduces the §2.5.2 leak
+pattern: found entries are also cached in an *external* static cache that is
+never cleared, so deleted entries stay reachable — only from outside their
+owner — and both the ownership and the assert-dead assertions fire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.handles import Handle
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.containers import Vector
+
+DATABASE = "spec.db.Database"
+ENTRY = "spec.db.Entry"
+
+
+def define_db_classes(vm: VirtualMachine) -> None:
+    if vm.classes.maybe(DATABASE) is not None:
+        return
+    vm.define_class(
+        DATABASE,
+        [("entries", FieldKind.REF), ("name", FieldKind.STR), ("nextId", FieldKind.INT)],
+    )
+    vm.define_class(
+        ENTRY,
+        [("id", FieldKind.INT), ("items", FieldKind.REF), ("key", FieldKind.STR)],
+    )
+
+
+@dataclass
+class DbConfig:
+    initial_entries: int = 250
+    operations: int = 6000
+    items_per_entry: int = 3
+    key_space: int = 2500
+    seed: int = 99
+    # Operation mix weights.
+    add_weight: int = 5
+    delete_weight: int = 5
+    find_weight: int = 3
+    sort_every: int = 1000
+    # Assertion placements (the paper's, §3.1.1).
+    assert_ownedby_entries: bool = False
+    assert_dead_on_delete: bool = False
+    # Bug: found entries cached in a never-cleared external cache.
+    leak_external_cache: bool = False
+    # Explicit GC cadence (0 = only allocation-triggered GCs).
+    gc_every: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "DbConfig":
+        """Sized so assertion volumes approach §3.1.2's in-text numbers
+        (~15k live owned entries per GC, hundreds of assert-dead calls)."""
+        return cls(
+            initial_entries=15000,
+            operations=4000,
+            add_weight=3,
+            delete_weight=3,
+            find_weight=10,
+            sort_every=0,
+        )
+
+
+@dataclass
+class DbResult:
+    adds: int = 0
+    deletes: int = 0
+    finds: int = 0
+    sorts: int = 0
+    violations: int = 0
+    final_size: int = 0
+
+
+class Database:
+    """Driver wrapper around the on-heap database."""
+
+    def __init__(self, vm: VirtualMachine, config: DbConfig):
+        define_db_classes(vm)
+        self.vm = vm
+        self.config = config
+        self.rng = random.Random(config.seed)
+        with vm.scope("Database.init"):
+            self.handle = vm.new(DATABASE, name="db", nextId=0)
+            self.entries = Vector.new(vm, capacity=max(8, config.initial_entries))
+            self.handle["entries"] = self.entries.handle
+        vm.statics.set_ref("spec.db.database", self.handle.address)
+        if config.leak_external_cache:
+            cache = Vector.new(vm)
+            vm.statics.set_ref("spec.db.foundCache", cache.handle.address)
+            self.cache: Vector | None = cache
+        else:
+            self.cache = None
+        self.result = DbResult()
+
+    # -- operations ------------------------------------------------------------------
+
+    def add(self) -> Handle:
+        vm = self.vm
+        entry_id = self.handle["nextId"]
+        self.handle["nextId"] = entry_id + 1
+        key = f"key-{self.rng.randrange(self.config.key_space)}"
+        with vm.scope("Database.add"):
+            entry = vm.new(ENTRY, id=entry_id, key=key)
+            items = vm.new_array(FieldKind.STR, self.config.items_per_entry)
+            for i in range(self.config.items_per_entry):
+                items[i] = f"item-{entry_id}-{i}"
+            entry["items"] = items
+            self.entries.append(entry)
+        if self.config.assert_ownedby_entries and vm.assertions is not None:
+            vm.assertions.assert_ownedby(self.handle, entry, site="Database.add")
+        self.result.adds += 1
+        return entry
+
+    def delete(self) -> None:
+        """Remove a random entry — the site where the original authors
+        null the reference, where the paper adds assert-dead."""
+        size = len(self.entries)
+        if size == 0:
+            return
+        index = self.rng.randrange(size)
+        entry = self.entries.remove_at(index)
+        if entry is not None and self.config.assert_dead_on_delete and self.vm.assertions is not None:
+            self.vm.assertions.assert_dead(entry, site="Database.remove (ref nulled)")
+        self.result.deletes += 1
+
+    def find(self) -> Handle | None:
+        """Linear scan by key; optionally caches hits in the external cache."""
+        target = f"key-{self.rng.randrange(self.config.key_space)}"
+        found: Handle | None = None
+        for entry in self.entries:
+            if entry is not None and entry["key"] == target:
+                found = entry
+                break
+        if found is not None and self.cache is not None:
+            self.cache.append(found)  # the leak: never cleared
+        self.result.finds += 1
+        return found
+
+    def sort(self) -> None:
+        """Shell sort of the entry vector by id (the _209_db sort phase)."""
+        n = len(self.entries)
+        data = self.entries
+
+        gap = n // 2
+        while gap > 0:
+            for i in range(gap, n):
+                current = data.get(i)
+                current_id = current["id"] if current is not None else -1
+                j = i
+                while j >= gap:
+                    other = data.get(j - gap)
+                    other_id = other["id"] if other is not None else -1
+                    if other_id <= current_id:
+                        break
+                    data.set(j, other)
+                    j -= gap
+                data.set(j, current)
+            gap //= 2
+        self.result.sorts += 1
+
+    # -- driver -----------------------------------------------------------------------
+
+    def run(self) -> DbResult:
+        config = self.config
+        for _ in range(config.initial_entries):
+            self.add()
+        weights = (
+            ["add"] * config.add_weight
+            + ["delete"] * config.delete_weight
+            + ["find"] * config.find_weight
+        )
+        for op_index in range(config.operations):
+            op = self.rng.choice(weights)
+            if op == "add":
+                self.add()
+            elif op == "delete":
+                self.delete()
+            else:
+                self.find()
+            if config.sort_every and (op_index + 1) % config.sort_every == 0:
+                self.sort()
+            if config.gc_every and (op_index + 1) % config.gc_every == 0:
+                self.vm.gc(reason="db explicit cadence")
+        self.result.final_size = len(self.entries)
+        if self.vm.engine is not None:
+            self.result.violations = len(self.vm.engine.log)
+        return self.result
+
+
+def run_db(vm: VirtualMachine, config: DbConfig | None = None) -> DbResult:
+    """Run the _209_db analog on ``vm``."""
+    return Database(vm, config or DbConfig()).run()

@@ -1,0 +1,28 @@
+"""pseudojbb: the SPEC JBB2000 analog workload (entities, B-tree, driver)."""
+
+from repro.workloads.jbb.btree import LongBTree
+from repro.workloads.jbb.driver import JbbConfig, JbbResult, PseudoJbb, run_pseudojbb
+from repro.workloads.jbb.entities import (
+    build_company,
+    define_jbb_classes,
+    destroy_order,
+    districts_of,
+    new_order,
+    order_table_of,
+    process_order,
+)
+
+__all__ = [
+    "LongBTree",
+    "JbbConfig",
+    "JbbResult",
+    "PseudoJbb",
+    "run_pseudojbb",
+    "build_company",
+    "define_jbb_classes",
+    "destroy_order",
+    "districts_of",
+    "new_order",
+    "order_table_of",
+    "process_order",
+]

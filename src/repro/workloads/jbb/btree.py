@@ -1,0 +1,429 @@
+"""``longBTree``: the SPEC JBB2000 order-table B-tree, on the simulated heap.
+
+SPEC JBB2000 stores Orders "into an orderTable, implemented as a BTree"
+(§3.2.1), and the paper's Figure 1 leak path runs straight through it::
+
+    ... -> spec.jbb.District -> spec.jbb.infra.Collections.longBTree
+        -> spec.jbb.infra.Collections.longBTreeNode -> [Object ->
+        spec.jbb.infra.Collections.longBTreeNode -> [Object -> spec.jbb.Order
+
+This is a textbook B-tree (CLRS-style, minimum degree ``t``) in which every
+node, key array, and value array is a heap object, so assertion violations
+report exactly that path shape.  Insert uses preemptive splitting; delete
+implements the full rebalancing algorithm (borrow from siblings, merge).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import RuntimeFault
+from repro.heap.object_model import FieldKind
+from repro.runtime.handles import Handle
+from repro.runtime.vm import VirtualMachine
+
+TREE_CLASS = "spec.jbb.infra.Collections.longBTree"
+NODE_CLASS = "spec.jbb.infra.Collections.longBTreeNode"
+
+#: Default minimum degree: nodes hold t-1..2t-1 keys, t..2t children.
+DEFAULT_DEGREE = 4
+
+
+def _ensure_classes(vm: VirtualMachine) -> None:
+    if vm.classes.maybe(TREE_CLASS) is None:
+        vm.define_class(
+            TREE_CLASS,
+            [("root", FieldKind.REF), ("degree", FieldKind.INT), ("size", FieldKind.INT)],
+        )
+    if vm.classes.maybe(NODE_CLASS) is None:
+        vm.define_class(
+            NODE_CLASS,
+            [
+                ("keys", FieldKind.REF),      # int[2t-1]
+                ("values", FieldKind.REF),    # Object[2t-1]
+                ("children", FieldKind.REF),  # Object[2t]
+                ("nkeys", FieldKind.INT),
+                ("leaf", FieldKind.BOOL),
+            ],
+        )
+
+
+class LongBTree:
+    """Python driver wrapper around the on-heap B-tree."""
+
+    def __init__(self, vm: VirtualMachine, handle: Handle):
+        self.vm = vm
+        self.handle = handle
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def new(cls, vm: VirtualMachine, degree: int = DEFAULT_DEGREE) -> "LongBTree":
+        if degree < 2:
+            raise RuntimeFault(f"B-tree degree must be >= 2, got {degree}")
+        _ensure_classes(vm)
+        with vm.scope("longBTree.new"):
+            handle = vm.new(TREE_CLASS)
+            handle["degree"] = degree
+            handle["size"] = 0
+            handle["root"] = cls._new_node(vm, degree, leaf=True)
+        return cls(vm, handle)
+
+    @classmethod
+    def wrap(cls, vm: VirtualMachine, handle: Handle) -> "LongBTree":
+        return cls(vm, handle)
+
+    @staticmethod
+    def _new_node(vm: VirtualMachine, degree: int, leaf: bool) -> Handle:
+        with vm.scope("longBTreeNode.new"):
+            node = vm.new(NODE_CLASS)
+            node["keys"] = vm.new_array(FieldKind.INT, 2 * degree - 1)
+            node["values"] = vm.new_array(vm.classes.object_class, 2 * degree - 1)
+            node["children"] = vm.new_array(vm.classes.object_class, 2 * degree)
+            node["nkeys"] = 0
+            node["leaf"] = leaf
+        return node
+
+    # -- basic properties ----------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return self.handle["degree"]
+
+    def __len__(self) -> int:
+        return self.handle["size"]
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Handle]:
+        node = self.handle["root"]
+        while node is not None:
+            idx, found = self._search_node(node, key)
+            if found:
+                return node["values"][idx]
+            if node["leaf"]:
+                return None
+            node = node["children"][idx]
+        return None
+
+    def contains(self, key: int) -> bool:
+        node = self.handle["root"]
+        while node is not None:
+            idx, found = self._search_node(node, key)
+            if found:
+                return True
+            if node["leaf"]:
+                return False
+            node = node["children"][idx]
+        return False
+
+    @staticmethod
+    def _search_node(node: Handle, key: int) -> tuple[int, bool]:
+        """Binary search within a node; returns (index, found)."""
+        keys = node["keys"]
+        lo, hi = 0, node["nkeys"]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            k = keys[mid]
+            if k == key:
+                return mid, True
+            if k < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo, False
+
+    # -- insertion -------------------------------------------------------------------
+
+    def insert(self, key: int, value: Optional[Handle]) -> bool:
+        """Insert ``key`` → ``value``; returns False if the key existed."""
+        # Node splits allocate, so the incoming value must stay rooted
+        # across the whole descent.
+        with self.vm.scope("longBTree.insert") as scope:
+            if value is not None:
+                scope.register(value.address)
+            degree = self.degree
+            root = self.handle["root"]
+            if root["nkeys"] == 2 * degree - 1:
+                new_root = self._new_node(self.vm, degree, leaf=False)
+                new_root["children"][0] = root
+                self.handle["root"] = new_root
+                self._split_child(new_root, 0)
+                root = new_root
+            inserted = self._insert_nonfull(root, key, value)
+        if inserted:
+            self.handle["size"] = self.handle["size"] + 1
+        return inserted
+
+    def _split_child(self, parent: Handle, index: int) -> None:
+        degree = self.degree
+        child = parent["children"][index]
+        sibling = self._new_node(self.vm, degree, leaf=child["leaf"])
+        # Move the top t-1 keys/values of child into the sibling.
+        for j in range(degree - 1):
+            sibling["keys"][j] = child["keys"][j + degree]
+            sibling["values"][j] = child["values"][j + degree]
+            child["values"][j + degree] = None
+        if not child["leaf"]:
+            for j in range(degree):
+                sibling["children"][j] = child["children"][j + degree]
+                child["children"][j + degree] = None
+        sibling["nkeys"] = degree - 1
+        # Shift parent's keys/children right to make room.
+        n = parent["nkeys"]
+        for j in range(n, index, -1):
+            parent["keys"][j] = parent["keys"][j - 1]
+            parent["values"][j] = parent["values"][j - 1]
+            parent["children"][j + 1] = parent["children"][j]
+        parent["keys"][index] = child["keys"][degree - 1]
+        parent["values"][index] = child["values"][degree - 1]
+        child["values"][degree - 1] = None
+        parent["children"][index + 1] = sibling
+        parent["nkeys"] = n + 1
+        child["nkeys"] = degree - 1
+
+    def _insert_nonfull(self, node: Handle, key: int, value: Optional[Handle]) -> bool:
+        degree = self.degree
+        while True:
+            idx, found = self._search_node(node, key)
+            if found:
+                node["values"][idx] = value
+                return False
+            if node["leaf"]:
+                n = node["nkeys"]
+                for j in range(n, idx, -1):
+                    node["keys"][j] = node["keys"][j - 1]
+                    node["values"][j] = node["values"][j - 1]
+                node["keys"][idx] = key
+                node["values"][idx] = value
+                node["nkeys"] = n + 1
+                return True
+            child = node["children"][idx]
+            if child["nkeys"] == 2 * degree - 1:
+                self._split_child(node, idx)
+                # The promoted key may change which side we descend to.
+                if key == node["keys"][idx]:
+                    node["values"][idx] = value
+                    return False
+                if key > node["keys"][idx]:
+                    idx += 1
+                child = node["children"][idx]
+            node = child
+
+    # -- deletion ---------------------------------------------------------------------
+
+    def remove(self, key: int) -> Optional[Handle]:
+        """Remove ``key``; returns its value, or None if absent."""
+        if not self.contains(key):
+            return None
+        removed = self._remove_from(self.handle["root"], key)
+        root = self.handle["root"]
+        if root["nkeys"] == 0 and not root["leaf"]:
+            self.handle["root"] = root["children"][0]
+        self.handle["size"] = self.handle["size"] - 1
+        return removed
+
+    def _remove_from(self, node: Handle, key: int) -> Optional[Handle]:
+        degree = self.degree
+        idx, found = self._search_node(node, key)
+        if found and node["leaf"]:
+            value = node["values"][idx]
+            n = node["nkeys"]
+            for j in range(idx, n - 1):
+                node["keys"][j] = node["keys"][j + 1]
+                node["values"][j] = node["values"][j + 1]
+            node["values"][n - 1] = None
+            node["nkeys"] = n - 1
+            return value
+        if found:
+            value = node["values"][idx]
+            left = node["children"][idx]
+            right = node["children"][idx + 1]
+            if left["nkeys"] >= degree:
+                pred_key, pred_val = self._max_entry(left)
+                node["keys"][idx] = pred_key
+                node["values"][idx] = pred_val
+                self._remove_from(self._fill_for_descent(node, idx), pred_key)
+            elif right["nkeys"] >= degree:
+                succ_key, succ_val = self._min_entry(right)
+                node["keys"][idx] = succ_key
+                node["values"][idx] = succ_val
+                self._remove_from(self._fill_for_descent(node, idx + 1), succ_key)
+            else:
+                self._merge_children(node, idx)
+                self._remove_from(node["children"][idx], key)
+            return value
+        # Key lives in a subtree; ensure the child we descend into has >= t keys.
+        child = self._fill_for_descent(node, idx)
+        return self._remove_from(child, key)
+
+    def _fill_for_descent(self, node: Handle, idx: int) -> Handle:
+        """Guarantee ``children[idx]`` has at least ``degree`` keys."""
+        degree = self.degree
+        if idx > node["nkeys"]:
+            idx = node["nkeys"]
+        child = node["children"][idx]
+        if child["nkeys"] >= degree:
+            return child
+        if idx > 0 and node["children"][idx - 1]["nkeys"] >= degree:
+            self._borrow_from_left(node, idx)
+            return node["children"][idx]
+        if idx < node["nkeys"] and node["children"][idx + 1]["nkeys"] >= degree:
+            self._borrow_from_right(node, idx)
+            return node["children"][idx]
+        if idx < node["nkeys"]:
+            self._merge_children(node, idx)
+            return node["children"][idx]
+        self._merge_children(node, idx - 1)
+        return node["children"][idx - 1]
+
+    def _borrow_from_left(self, node: Handle, idx: int) -> None:
+        child = node["children"][idx]
+        left = node["children"][idx - 1]
+        n = child["nkeys"]
+        for j in range(n, 0, -1):
+            child["keys"][j] = child["keys"][j - 1]
+            child["values"][j] = child["values"][j - 1]
+        if not child["leaf"]:
+            for j in range(n + 1, 0, -1):
+                child["children"][j] = child["children"][j - 1]
+        child["keys"][0] = node["keys"][idx - 1]
+        child["values"][0] = node["values"][idx - 1]
+        ln = left["nkeys"]
+        node["keys"][idx - 1] = left["keys"][ln - 1]
+        node["values"][idx - 1] = left["values"][ln - 1]
+        left["values"][ln - 1] = None
+        if not child["leaf"]:
+            child["children"][0] = left["children"][ln]
+            left["children"][ln] = None
+        left["nkeys"] = ln - 1
+        child["nkeys"] = n + 1
+
+    def _borrow_from_right(self, node: Handle, idx: int) -> None:
+        child = node["children"][idx]
+        right = node["children"][idx + 1]
+        n = child["nkeys"]
+        child["keys"][n] = node["keys"][idx]
+        child["values"][n] = node["values"][idx]
+        node["keys"][idx] = right["keys"][0]
+        node["values"][idx] = right["values"][0]
+        if not child["leaf"]:
+            child["children"][n + 1] = right["children"][0]
+        rn = right["nkeys"]
+        for j in range(rn - 1):
+            right["keys"][j] = right["keys"][j + 1]
+            right["values"][j] = right["values"][j + 1]
+        right["values"][rn - 1] = None
+        if not right["leaf"]:
+            for j in range(rn):
+                right["children"][j] = right["children"][j + 1]
+            right["children"][rn] = None
+        right["nkeys"] = rn - 1
+        child["nkeys"] = n + 1
+
+    def _merge_children(self, node: Handle, idx: int) -> None:
+        """Merge children[idx], keys[idx], children[idx+1] into one node."""
+        child = node["children"][idx]
+        right = node["children"][idx + 1]
+        n = child["nkeys"]
+        child["keys"][n] = node["keys"][idx]
+        child["values"][n] = node["values"][idx]
+        rn = right["nkeys"]
+        for j in range(rn):
+            child["keys"][n + 1 + j] = right["keys"][j]
+            child["values"][n + 1 + j] = right["values"][j]
+        if not child["leaf"]:
+            for j in range(rn + 1):
+                child["children"][n + 1 + j] = right["children"][j]
+        child["nkeys"] = n + 1 + rn
+        # Remove keys[idx] / children[idx+1] from the parent.
+        pn = node["nkeys"]
+        for j in range(idx, pn - 1):
+            node["keys"][j] = node["keys"][j + 1]
+            node["values"][j] = node["values"][j + 1]
+            node["children"][j + 1] = node["children"][j + 2]
+        node["values"][pn - 1] = None
+        node["children"][pn] = None
+        node["nkeys"] = pn - 1
+
+    @staticmethod
+    def _min_entry(node: Handle) -> tuple[int, Optional[Handle]]:
+        while not node["leaf"]:
+            node = node["children"][0]
+        return node["keys"][0], node["values"][0]
+
+    @staticmethod
+    def _max_entry(node: Handle) -> tuple[int, Optional[Handle]]:
+        while not node["leaf"]:
+            node = node["children"][node["nkeys"]]
+        n = node["nkeys"]
+        return node["keys"][n - 1], node["values"][n - 1]
+
+    # -- iteration ---------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[int, Optional[Handle]]]:
+        """In-order iteration over (key, value)."""
+        yield from self._iter_node(self.handle["root"])
+
+    def _iter_node(self, node: Handle) -> Iterator[tuple[int, Optional[Handle]]]:
+        n = node["nkeys"]
+        if node["leaf"]:
+            for i in range(n):
+                yield node["keys"][i], node["values"][i]
+            return
+        for i in range(n):
+            yield from self._iter_node(node["children"][i])
+            yield node["keys"][i], node["values"][i]
+        yield from self._iter_node(node["children"][n])
+
+    def keys(self) -> Iterator[int]:
+        for key, _value in self.items():
+            yield key
+
+    def min_key(self) -> Optional[int]:
+        if len(self) == 0:
+            return None
+        key, _value = self._min_entry(self.handle["root"])
+        return key
+
+    def first_keys(self, count: int) -> list[int]:
+        """The smallest ``count`` keys (delivery processes oldest orders)."""
+        out: list[int] = []
+        for key in self.keys():
+            if len(out) >= count:
+                break
+            out.append(key)
+        return out
+
+    # -- invariants (used by property tests) ------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if B-tree structural invariants are violated."""
+        degree = self.degree
+        count = self._check_node(self.handle["root"], degree, is_root=True, lo=None, hi=None)
+        if count != len(self):
+            raise RuntimeFault(f"size mismatch: counted {count}, recorded {len(self)}")
+
+    def _check_node(self, node: Handle, degree: int, is_root: bool, lo, hi) -> int:
+        n = node["nkeys"]
+        if not is_root and n < degree - 1:
+            raise RuntimeFault(f"underfull node: {n} keys, min {degree - 1}")
+        if n > 2 * degree - 1:
+            raise RuntimeFault(f"overfull node: {n} keys, max {2 * degree - 1}")
+        keys = [node["keys"][i] for i in range(n)]
+        if keys != sorted(keys) or len(set(keys)) != len(keys):
+            raise RuntimeFault(f"node keys not strictly sorted: {keys}")
+        for key in keys:
+            if (lo is not None and key <= lo) or (hi is not None and key >= hi):
+                raise RuntimeFault(f"key {key} outside range ({lo}, {hi})")
+        if node["leaf"]:
+            return n
+        count = n
+        for i in range(n + 1):
+            child = node["children"][i]
+            if child is None:
+                raise RuntimeFault(f"missing child {i} of internal node")
+            child_lo = keys[i - 1] if i > 0 else lo
+            child_hi = keys[i] if i < n else hi
+            count += self._check_node(child, degree, False, child_lo, child_hi)
+        return count

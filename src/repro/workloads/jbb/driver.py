@@ -1,0 +1,244 @@
+"""pseudojbb: the fixed-workload SPEC JBB2000 driver.
+
+Reproduces the transaction loop the paper instruments, with every bug from
+§3.2.1 individually injectable:
+
+* ``leak_order_table`` — Delivery does not remove completed Orders from the
+  orderTable B-tree (the Jump & McKinley leak).
+* ``leak_last_order`` — destroy() does not clear ``Customer.lastOrder``.
+* ``drag_old_company`` — the previous iteration's Company stays referenced
+  by the ``oldCompany`` local for the whole iteration (memory drag, not a
+  leak).
+
+And every assertion placement from §3.1.1/§3.2.1:
+
+* ``assert_dead_orders`` — assert-dead on each Order at the end of
+  Delivery's processing of it.
+* ``assert_ownedby_orders`` — in ``District.addOrder``: each Order is owned
+  by its district's orderTable.
+* ``assert_instances_company`` — at most one Company alive at a time.
+* ``region_payments`` — bracket Payment transactions (allocation-neutral
+  servicing code) with start-region / assert-alldead, the §2.3.2 server
+  idiom.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.jbb import entities
+from repro.workloads.jbb.entities import (
+    STATUS_DESTROYED,
+    build_company,
+    destroy_order,
+    districts_of,
+    new_order,
+    order_table_of,
+    process_order,
+)
+
+
+@dataclass
+class JbbConfig:
+    """Workload size and bug/assertion switches."""
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 2
+    customers_per_district: int = 12
+    iterations: int = 2
+    transactions_per_iteration: int = 300
+    orderlines_per_order: int = 4
+    delivery_batch: int = 6
+    seed: int = 1234
+    btree_degree: int = 4
+
+    # Bugs (paper defaults: all present in the original benchmark).
+    leak_order_table: bool = False
+    leak_last_order: bool = False
+    drag_old_company: bool = False
+
+    # Assertion placements.
+    assert_dead_orders: bool = False
+    assert_ownedby_orders: bool = False
+    assert_instances_company: bool = False
+    region_payments: bool = False
+
+    # Transaction mix (weights; JBB is NewOrder-heavy).
+    mix: dict = field(
+        default_factory=lambda: {"new_order": 10, "payment": 10, "delivery": 3}
+    )
+
+    #: Force one full GC at each iteration boundary (while the Company is
+    #: still rooted), giving deterministic assertion-checking points for
+    #: the case studies.  Benchmarks instead rely on allocation-triggered
+    #: collections, like the paper.
+    gc_per_iteration: bool = False
+
+    @classmethod
+    def paper_scale(cls) -> "JbbConfig":
+        """A configuration sized so per-GC assertion volumes approach §3.1.2
+        (hundreds of live ownee Orders per GC, tens of thousands of
+        assert-ownedby calls over a run)."""
+        return cls(
+            warehouses=2,
+            districts_per_warehouse=3,
+            customers_per_district=30,
+            iterations=4,
+            transactions_per_iteration=3000,
+            delivery_batch=8,
+        )
+
+
+@dataclass
+class JbbResult:
+    transactions: int = 0
+    new_orders: int = 0
+    payments: int = 0
+    deliveries: int = 0
+    orders_destroyed: int = 0
+    iterations: int = 0
+    violations: int = 0
+
+
+class PseudoJbb:
+    """One pseudojbb run against a VM."""
+
+    def __init__(self, vm: VirtualMachine, config: JbbConfig):
+        self.vm = vm
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.result = JbbResult()
+        entities.define_jbb_classes(vm)
+        if config.assert_instances_company and vm.assertions is not None:
+            vm.assertions.assert_instances(entities.COMPANY, 1)
+
+    # -- transactions -----------------------------------------------------------------
+
+    def _pick_district(self, company) -> object:
+        districts = districts_of(company)
+        return self.rng.choice(districts)
+
+    def _pick_customer(self, district) -> object:
+        customers = district["customers"]
+        return customers[self.rng.randrange(len(customers))]
+
+    def do_new_order(self, company) -> None:
+        """NewOrderTransaction: create an Order, add it to the orderTable."""
+        vm = self.vm
+        district = self._pick_district(company)
+        customer = self._pick_customer(district)
+        order = new_order(vm, district, customer, self.config.orderlines_per_order)
+        table = order_table_of(district)
+        table.insert(order["id"], order)
+        # "we instrumented the District.addOrder() method and asserted that
+        # each Order added is owned by its orderTable" (§3.2.1).
+        if self.config.assert_ownedby_orders and vm.assertions is not None:
+            vm.assertions.assert_ownedby(
+                table.handle, order, site="District.addOrder"
+            )
+        customer["lastOrder"] = order
+        self.result.new_orders += 1
+
+    def do_payment(self, company) -> None:
+        """PaymentTransaction: allocation-neutral servicing code."""
+        vm = self.vm
+        assertions = vm.assertions
+        use_region = self.config.region_payments and assertions is not None
+        if use_region:
+            assertions.start_region(vm.current_thread, label="payment")
+        district = self._pick_district(company)
+        customer = self._pick_customer(district)
+        # Temporary history records: all dead once the payment completes.
+        amount = float(self.rng.randrange(1, 500))
+        with vm.scope("payment-temporaries"):
+            history = vm.new_array(vm.classes.get(entities.ORDERLINE), 2)
+            for i in range(2):
+                history[i] = vm.new(
+                    entities.ORDERLINE, item=i, qty=1, amount=amount / 2.0
+                )
+        customer["balance"] = customer["balance"] + amount
+        if use_region:
+            assertions.assert_alldead(vm.current_thread, site="payment region")
+        self.result.payments += 1
+
+    def do_delivery(self, company) -> None:
+        """DeliveryTransaction: process and destroy the oldest orders.
+
+        The paper's assert-dead placement: "we placed an assert-dead
+        assertion for the Order object at the end of
+        DeliveryTransaction.process()."
+        """
+        vm = self.vm
+        district = self._pick_district(company)
+        table = order_table_of(district)
+        for order_id in table.first_keys(self.config.delivery_batch):
+            order = table.get(order_id)
+            if order is None or order["status"] == STATUS_DESTROYED:
+                # Leaked table entries may hold already-destroyed orders.
+                if not self.config.leak_order_table:
+                    table.remove(order_id)
+                continue
+            process_order(order)
+            if not self.config.leak_order_table:
+                table.remove(order_id)
+            destroy_order(order, clear_last_order=not self.config.leak_last_order)
+            if self.config.assert_dead_orders and vm.assertions is not None:
+                vm.assertions.assert_dead(
+                    order, site="DeliveryTransaction.process() end"
+                )
+            self.result.orders_destroyed += 1
+        self.result.deliveries += 1
+
+    # -- main loop -----------------------------------------------------------------------
+
+    def run(self) -> JbbResult:
+        vm = self.vm
+        config = self.config
+        frame = vm.current_thread.push_frame("pseudojbb.main")
+        try:
+            choices = [name for name, w in config.mix.items() for _ in range(w)]
+            for _iteration in range(config.iterations):
+                with vm.scope("company-construction"):
+                    company = build_company(
+                        vm,
+                        config.warehouses,
+                        config.districts_per_warehouse,
+                        config.customers_per_district,
+                        btree_degree=config.btree_degree,
+                    )
+                    frame.set_ref("company", company.address)
+                for _tx in range(config.transactions_per_iteration):
+                    kind = self.rng.choice(choices)
+                    if kind == "new_order":
+                        self.do_new_order(company)
+                    elif kind == "payment":
+                        self.do_payment(company)
+                    else:
+                        self.do_delivery(company)
+                    self.result.transactions += 1
+                if config.gc_per_iteration:
+                    vm.gc(reason="pseudojbb iteration boundary")
+                # End of iteration: destroy the Company (factory pattern).
+                company["destroyed"] = True
+                if config.assert_dead_orders and vm.assertions is not None:
+                    vm.assertions.assert_dead(company, site="Company.destroy()")
+                if config.drag_old_company:
+                    # The §3.2.1 drag: previous Company stays in a visible
+                    # local for the whole next iteration.
+                    frame.set_ref("oldCompany", company.address)
+                else:
+                    frame.clear_ref("oldCompany")
+                frame.clear_ref("company")
+                self.result.iterations += 1
+            if vm.engine is not None:
+                self.result.violations = len(vm.engine.log)
+            return self.result
+        finally:
+            vm.current_thread.pop_frame()
+
+
+def run_pseudojbb(vm: VirtualMachine, config: JbbConfig | None = None) -> JbbResult:
+    """Run pseudojbb on ``vm`` and return its result counters."""
+    return PseudoJbb(vm, config or JbbConfig()).run()

@@ -1,0 +1,212 @@
+"""SPEC JBB2000 entity model (the heap shape the paper debugs).
+
+The paper describes pseudojbb's heap precisely, and Figure 1 shows it:
+``spec.jbb.Company -> Object[] -> spec.jbb.Warehouse -> Object[] ->
+spec.jbb.District -> longBTree -> ... -> spec.jbb.Order``.  We reproduce the
+same classes (same names, so violation paths read like the paper's), the
+factory pattern with ``destroy()`` methods, and the three bugs §3.2.1 finds:
+
+* **lastOrder leak** — "each Customer object maintains a reference to the
+  last Order this Customer placed.  When the Order is destroyed, the
+  lastOrder field in the associated Customer is not cleared."
+* **Address leak** — Addresses are also pointed to by Customers and cannot
+  be repaired because "there is no back reference from Addresses to
+  Customers."
+* **orderTable leak** (Jump & McKinley) — Orders "are completed during a
+  DeliveryTransaction but are not removed from the table."
+
+Plus the **oldCompany drag**: the previous iteration's Company stays
+reachable from a local variable for the whole main loop.
+"""
+
+from __future__ import annotations
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.handles import Handle
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.jbb.btree import LongBTree
+
+COMPANY = "spec.jbb.Company"
+WAREHOUSE = "spec.jbb.Warehouse"
+DISTRICT = "spec.jbb.District"
+CUSTOMER = "spec.jbb.Customer"
+ADDRESS = "spec.jbb.Address"
+ORDER = "spec.jbb.Order"
+ORDERLINE = "spec.jbb.Orderline"
+
+#: Order status codes (spec.jbb uses process states on its entities).
+STATUS_NEW = 0
+STATUS_PROCESSED = 1
+STATUS_DESTROYED = 2
+
+
+def define_jbb_classes(vm: VirtualMachine) -> None:
+    """Load the spec.jbb entity classes into a VM (idempotent)."""
+    if vm.classes.maybe(COMPANY) is not None:
+        return
+    vm.define_class(
+        COMPANY,
+        [("warehouses", FieldKind.REF), ("name", FieldKind.STR), ("destroyed", FieldKind.BOOL)],
+    )
+    vm.define_class(
+        WAREHOUSE,
+        [("id", FieldKind.INT), ("districts", FieldKind.REF), ("company", FieldKind.REF)],
+    )
+    vm.define_class(
+        DISTRICT,
+        [
+            ("id", FieldKind.INT),
+            ("warehouse", FieldKind.REF),
+            ("orderTable", FieldKind.REF),
+            ("customers", FieldKind.REF),
+            ("nextOrderId", FieldKind.INT),
+        ],
+    )
+    vm.define_class(
+        CUSTOMER,
+        [
+            ("id", FieldKind.INT),
+            ("name", FieldKind.STR),
+            ("lastOrder", FieldKind.REF),
+            ("address", FieldKind.REF),
+            ("balance", FieldKind.FLOAT),
+        ],
+    )
+    vm.define_class(ADDRESS, [("street", FieldKind.STR), ("city", FieldKind.STR)])
+    vm.define_class(
+        ORDER,
+        [
+            ("id", FieldKind.INT),
+            ("customer", FieldKind.REF),
+            ("lines", FieldKind.REF),
+            ("status", FieldKind.INT),
+            ("total", FieldKind.FLOAT),
+        ],
+    )
+    vm.define_class(ORDERLINE, [("item", FieldKind.INT), ("qty", FieldKind.INT), ("amount", FieldKind.FLOAT)])
+
+
+def build_company(
+    vm: VirtualMachine,
+    warehouses: int,
+    districts_per_warehouse: int,
+    customers_per_district: int,
+    name: str = "SPECjbb",
+    btree_degree: int = 4,
+) -> Handle:
+    """Construct the full Company object graph (Figure 1's spine)."""
+    define_jbb_classes(vm)
+    with vm.scope("build_company"):
+        company = _build_company_graph(
+            vm, warehouses, districts_per_warehouse, customers_per_district, name, btree_degree
+        )
+    return company
+
+
+def _build_company_graph(
+    vm: VirtualMachine,
+    warehouses: int,
+    districts_per_warehouse: int,
+    customers_per_district: int,
+    name: str,
+    btree_degree: int,
+) -> Handle:
+    company = vm.new(COMPANY, name=name, destroyed=False)
+    warehouse_array = vm.new_array(vm.classes.get(WAREHOUSE), warehouses)
+    company["warehouses"] = warehouse_array
+    for w in range(warehouses):
+        warehouse = vm.new(WAREHOUSE, id=w)
+        warehouse["company"] = company
+        warehouse_array[w] = warehouse
+        district_array = vm.new_array(vm.classes.get(DISTRICT), districts_per_warehouse)
+        warehouse["districts"] = district_array
+        for d in range(districts_per_warehouse):
+            district = vm.new(DISTRICT, id=w * districts_per_warehouse + d, nextOrderId=1)
+            district["warehouse"] = warehouse
+            district_array[d] = district
+            district["orderTable"] = LongBTree.new(vm, degree=btree_degree).handle
+            customer_array = vm.new_array(vm.classes.get(CUSTOMER), customers_per_district)
+            district["customers"] = customer_array
+            for c in range(customers_per_district):
+                customer = vm.new(
+                    CUSTOMER,
+                    id=c,
+                    name=f"customer-{w}-{d}-{c}",
+                    balance=0.0,
+                )
+                customer["address"] = vm.new(
+                    ADDRESS, street=f"{c} Main St", city=f"city-{d}"
+                )
+                customer_array[c] = customer
+    return company
+
+
+def districts_of(company: Handle) -> list[Handle]:
+    """All districts of a company, warehouse-major order."""
+    out: list[Handle] = []
+    warehouses = company["warehouses"]
+    for w in range(len(warehouses)):
+        districts = warehouses[w]["districts"]
+        for d in range(len(districts)):
+            out.append(districts[d])
+    return out
+
+
+def order_table_of(district: Handle) -> LongBTree:
+    return LongBTree.wrap(district.vm, district["orderTable"])
+
+
+def new_order(
+    vm: VirtualMachine,
+    district: Handle,
+    customer: Handle,
+    n_lines: int,
+) -> Handle:
+    """Create an Order with its Orderline array (not yet in the table)."""
+    order_id = district["nextOrderId"]
+    district["nextOrderId"] = order_id + 1
+    with vm.scope("new_order"):
+        order = vm.new(ORDER, id=order_id, status=STATUS_NEW, total=0.0)
+        order["customer"] = customer
+        lines = vm.new_array(vm.classes.get(ORDERLINE), n_lines)
+        order["lines"] = lines
+        total = 0.0
+        for i in range(n_lines):
+            amount = float((order_id + i) % 97) + 0.5
+            lines[i] = vm.new(
+                ORDERLINE, item=(order_id * 7 + i) % 1000, qty=1 + i % 5, amount=amount
+            )
+            total += amount
+        order["total"] = total
+    return order
+
+
+def process_order(order: Handle) -> float:
+    """DeliveryTransaction's per-order work: total the order lines."""
+    lines = order["lines"]
+    total = 0.0
+    for i in range(len(lines)):
+        line = lines[i]
+        total += line["amount"] * line["qty"]
+    order["status"] = STATUS_PROCESSED
+    order["total"] = total
+    return total
+
+
+def destroy_order(order: Handle, clear_last_order: bool) -> None:
+    """The Entity.destroy() idiom the paper instruments (§3.2.1).
+
+    With ``clear_last_order=False`` this reproduces the paper's bug: the
+    Customer's ``lastOrder`` field keeps the destroyed Order reachable.
+    The repair is exactly the paper's: "setting the reference in the
+    Customer to null when the Order is destroyed" (possible because each
+    Order has a back reference to its Customer).
+    """
+    order["status"] = STATUS_DESTROYED
+    if clear_last_order:
+        customer = order["customer"]
+        if customer is not None:
+            last = customer["lastOrder"]
+            if last is not None and last == order:
+                customer["lastOrder"] = None
+    order["customer"] = None

@@ -1,0 +1,118 @@
+"""SwapLeak: the Sun Developer Network memory-leak program (§3.2.3).
+
+A user's program defines ``SObject`` with a *non-static inner class*
+``Rep``; ``swap()`` exchanges the ``rep`` fields of two SObjects.  The user
+expects freshly allocated SObjects to die after the swap — but non-static
+inner classes "must maintain a hidden reference to the enclosing class
+instance in which they were instantiated", so each swapped-in Rep keeps its
+original SObject alive.  The paper's assert-dead report makes the hidden
+edge visible::
+
+    Type: LSObject;
+    Path to object:  LSArray; -> [LSObject; -> LSObject; -> LSObject$Rep; -> LSObject;
+
+We model both variants: the leaky inner class (``Rep`` with a hidden
+``outer`` reference, class name ``SObject$Rep``) and the repaired static
+inner class (no ``outer`` field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.handles import Handle
+from repro.runtime.vm import VirtualMachine
+
+SARRAY = "SArray"
+SOBJECT = "SObject"
+REP_INNER = "SObject$Rep"          # non-static inner class: hidden outer ref
+REP_STATIC = "SObject$StaticRep"   # repaired: static inner class
+
+
+def define_swapleak_classes(vm: VirtualMachine) -> None:
+    if vm.classes.maybe(SOBJECT) is not None:
+        return
+    vm.define_class(SARRAY, [("items", FieldKind.REF), ("size", FieldKind.INT)])
+    vm.define_class(SOBJECT, [("rep", FieldKind.REF), ("id", FieldKind.INT)])
+    vm.define_class(REP_INNER, [("data", FieldKind.INT), ("outer", FieldKind.REF)])
+    vm.define_class(REP_STATIC, [("data", FieldKind.INT)])
+
+
+def new_sobject(vm: VirtualMachine, object_id: int, static_rep: bool) -> Handle:
+    """Allocate an SObject, instantiating its Rep inner-class instance.
+
+    With ``static_rep=False`` the Rep records the hidden reference to its
+    enclosing instance — exactly what javac emits for a non-static inner
+    class.
+    """
+    with vm.scope("SObject.new"):
+        obj = vm.new(SOBJECT, id=object_id)
+        if static_rep:
+            rep = vm.new(REP_STATIC, data=object_id)
+        else:
+            rep = vm.new(REP_INNER, data=object_id)
+            rep["outer"] = obj  # the hidden `this$0` reference
+        obj["rep"] = rep
+    return obj
+
+
+def swap(a: Handle, b: Handle) -> None:
+    """``SObject.swap()``: exchange the two Rep fields."""
+    a_rep = a["rep"]
+    a["rep"] = b["rep"]
+    b["rep"] = a_rep
+
+
+@dataclass
+class SwapLeakConfig:
+    array_size: int = 32
+    swaps: int = 64
+    #: True = the repaired program (static inner class, no hidden reference).
+    static_rep: bool = False
+    assert_dead_swapped: bool = True
+    gc_at_end: bool = True
+
+
+@dataclass
+class SwapLeakResult:
+    swaps: int = 0
+    violations: int = 0
+    asserted: int = 0
+
+
+def run_swapleak(vm: VirtualMachine, config: SwapLeakConfig | None = None) -> SwapLeakResult:
+    """Run the SwapLeak program; returns counters (violations included)."""
+    config = config or SwapLeakConfig()
+    define_swapleak_classes(vm)
+    result = SwapLeakResult()
+
+    frame = vm.current_thread.push_frame("SwapLeak.main")
+    try:
+        with vm.scope("SwapLeak.setup"):
+            holder = vm.new(SARRAY, size=config.array_size)
+            array = vm.new_array(vm.classes.get(SOBJECT), config.array_size)
+            holder["items"] = array
+            frame.set_ref("array", holder.address)
+        for i in range(config.array_size):
+            array[i] = new_sobject(vm, i, config.static_rep)
+
+        for swap_index in range(config.swaps):
+            slot = swap_index % config.array_size
+            # "allocating new SObjects and swapping their Rep fields with
+            # those of the SObjects already in the array."
+            fresh = new_sobject(vm, 1000 + swap_index, config.static_rep)
+            swap(fresh, array[slot])
+            result.swaps += 1
+            # The user expects `fresh` to be reclaimable now.
+            if config.assert_dead_swapped and vm.assertions is not None:
+                vm.assertions.assert_dead(fresh, site="after swap()")
+                result.asserted += 1
+
+        if config.gc_at_end:
+            vm.gc(reason="SwapLeak check")
+        if vm.engine is not None:
+            result.violations = len(vm.engine.log)
+        return result
+    finally:
+        vm.current_thread.pop_frame()

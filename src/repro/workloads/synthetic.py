@@ -1,0 +1,168 @@
+"""Synthetic allocation-profile stand-ins for the benchmark suite.
+
+Figures 2 and 3 of the paper measure the assertion *infrastructure* overhead
+across DaCapo 2006, SPEC JVM98, and pseudojbb.  Those are large Java
+codebases; what the measurement actually depends on is each benchmark's
+allocation/lifetime/connectivity profile — how many objects the collector
+traces, how often it runs, how pointer-dense the heap is.  Each suite member
+is therefore modeled as a :class:`SyntheticProfile` driving one generic
+graph-mutator kernel:
+
+* per iteration, allocate a batch of linked *clusters* (short-lived nursery
+  objects with scalar payload arrays);
+* promote every k-th cluster into a retained FIFO structure rooted in a
+  static (long-lived heap, bounded so the workload reaches a steady state);
+* connect promoted clusters to random earlier survivors (pointer density).
+
+Profiles are tuned per benchmark to qualitatively echo published DaCapo /
+JVM98 characterizations: ``bloat`` is the GC-heaviest (the paper's worst
+case, +30% GC time), ``compress`` allocates few large arrays, ``xalan`` and
+``jython`` churn hard, ``hsqldb`` retains a large live set, etc.  The
+figures' *claims* (infrastructure overhead small, concentrated in GC time)
+are about these profile axes, not about benchmark source code — DESIGN.md
+§4 records this substitution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.containers import Vector
+
+NODE = "synthetic.Node"
+
+
+def define_synthetic_classes(vm: VirtualMachine) -> None:
+    if vm.classes.maybe(NODE) is not None:
+        return
+    vm.define_class(
+        NODE,
+        [
+            ("next", FieldKind.REF),
+            ("cross", FieldKind.REF),
+            ("payload", FieldKind.REF),
+            ("id", FieldKind.INT),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticProfile:
+    """Knobs for the generic graph-mutator kernel."""
+
+    name: str
+    iterations: int = 40
+    clusters_per_iteration: int = 60
+    cluster_size: int = 4          # objects per linked chain
+    payload_ints: int = 4          # scalar array attached to chain heads
+    promote_every: int = 8         # every k-th cluster survives
+    retained_cap: int = 120        # FIFO bound on survivors
+    cross_link_chance: float = 0.2 # pointer density between survivors
+    seed: int = 11
+
+    #: Heap budget giving roughly 2x the steady-state live size, which is
+    #: the paper's heap-sizing rule ("two times the minimum possible").
+    heap_bytes: int = 1 << 21
+
+
+@dataclass
+class SyntheticResult:
+    objects_allocated: int = 0
+    clusters_promoted: int = 0
+    iterations: int = 0
+
+
+def run_synthetic(vm: VirtualMachine, profile: SyntheticProfile) -> SyntheticResult:
+    """Run the kernel under ``profile``; deterministic given the seed."""
+    define_synthetic_classes(vm)
+    rng = random.Random(profile.seed)
+    result = SyntheticResult()
+    node_cls = vm.classes.get(NODE)
+
+    retained = Vector.new(vm, capacity=profile.retained_cap + 1)
+    vm.statics.set_ref(f"synthetic.{profile.name}.retained", retained.handle.address)
+
+    counter = 0
+    for _iteration in range(profile.iterations):
+        frame = vm.current_thread.push_frame(f"synthetic.{profile.name}")
+        try:
+            for cluster_index in range(profile.clusters_per_iteration):
+                # Build one linked cluster; the frame local roots it while
+                # it is under construction.
+                head = vm.new(node_cls, id=counter)
+                counter += 1
+                frame.set_ref("head", head.address)
+                head["payload"] = vm.new_array(FieldKind.INT, profile.payload_ints)
+                tail = head
+                for _ in range(profile.cluster_size - 1):
+                    node = vm.new(node_cls, id=counter)
+                    counter += 1
+                    tail["next"] = node
+                    tail = node
+                result.objects_allocated += profile.cluster_size + 1
+
+                if cluster_index % profile.promote_every == 0:
+                    if len(retained) >= profile.retained_cap:
+                        retained.remove_at(0)
+                    retained.append(head)
+                    result.clusters_promoted += 1
+                    if len(retained) > 1 and rng.random() < profile.cross_link_chance:
+                        other = retained.get(rng.randrange(len(retained) - 1))
+                        head["cross"] = other
+                frame.clear_ref("head")
+        finally:
+            vm.current_thread.pop_frame()
+        result.iterations += 1
+    return result
+
+
+def _profile(name: str, **overrides) -> SyntheticProfile:
+    return SyntheticProfile(name=name, **overrides)
+
+
+#: The suite members of Figures 2/3 modeled as synthetic profiles.
+#: (db, lusearch, and pseudojbb run their real analog workloads instead.)
+PROFILES: dict[str, SyntheticProfile] = {
+    # DaCapo 2006
+    "antlr": _profile("antlr", clusters_per_iteration=90, cluster_size=3,
+                      promote_every=12, retained_cap=80, payload_ints=2, seed=1),
+    "bloat": _profile("bloat", iterations=50, clusters_per_iteration=80,
+                      cluster_size=6, promote_every=3, retained_cap=400,
+                      cross_link_chance=0.5, payload_ints=3,
+                      heap_bytes=1 << 22, seed=2),
+    "fop": _profile("fop", clusters_per_iteration=50, cluster_size=5,
+                    promote_every=6, retained_cap=150, payload_ints=6, seed=3),
+    "hsqldb": _profile("hsqldb", iterations=90, clusters_per_iteration=40,
+                       cluster_size=5, promote_every=2, retained_cap=600,
+                       payload_ints=8, heap_bytes=1 << 22, seed=4),
+    "jython": _profile("jython", iterations=60, clusters_per_iteration=90,
+                       cluster_size=2, promote_every=15, retained_cap=60,
+                       payload_ints=2, seed=5),
+    "luindex": _profile("luindex", clusters_per_iteration=55, cluster_size=4,
+                        promote_every=5, retained_cap=200, payload_ints=10, seed=6),
+    "pmd": _profile("pmd", clusters_per_iteration=65, cluster_size=7,
+                    promote_every=7, retained_cap=180, cross_link_chance=0.35, seed=7),
+    "xalan": _profile("xalan", iterations=70, clusters_per_iteration=90,
+                      cluster_size=3, promote_every=20, retained_cap=50,
+                      payload_ints=3, seed=8),
+    # SPEC JVM98
+    "compress": _profile("compress", iterations=20, clusters_per_iteration=8,
+                         cluster_size=2, promote_every=2, retained_cap=24,
+                         payload_ints=512, heap_bytes=1 << 21, seed=9),
+    "jess": _profile("jess", clusters_per_iteration=70, cluster_size=3,
+                     promote_every=9, retained_cap=120, seed=10),
+    "javac": _profile("javac", clusters_per_iteration=60, cluster_size=6,
+                      promote_every=4, retained_cap=260,
+                      cross_link_chance=0.4, seed=12),
+    "mpegaudio": _profile("mpegaudio", iterations=15, clusters_per_iteration=12,
+                          cluster_size=2, promote_every=4, retained_cap=20,
+                          payload_ints=64, seed=13),
+    "mtrt": _profile("mtrt", iterations=50, clusters_per_iteration=85,
+                     cluster_size=2, promote_every=18, retained_cap=40,
+                     payload_ints=4, seed=14),
+    "jack": _profile("jack", clusters_per_iteration=60, cluster_size=4,
+                     promote_every=8, retained_cap=110, seed=15),
+}

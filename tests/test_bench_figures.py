@@ -1,0 +1,83 @@
+"""FigureResult construction, rendering, and serialization."""
+
+import pytest
+
+from repro.bench.figures import (
+    ASSERTED_BENCHMARKS,
+    PAPER_REFERENCE,
+    FigureResult,
+    infrastructure_figures,
+    withassertions_figures,
+)
+from repro.bench.methodology import Config, OverheadRow
+
+
+def make_row(name, base, other):
+    return OverheadRow(name, base, other, 0.001, 0.001, {}, {})
+
+
+class TestFigureResult:
+    def test_geomean_of_ratios(self):
+        fig = FigureResult("t", "time", Config.INFRASTRUCTURE)
+        fig.rows.append(make_row("a", 1.0, 2.0))
+        fig.rows.append(make_row("b", 1.0, 0.5))
+        assert fig.geomean_ratio == pytest.approx(1.0)
+        assert fig.geomean_overhead_pct == pytest.approx(0.0)
+
+    def test_row_lookup(self):
+        fig = FigureResult("t", "time", Config.INFRASTRUCTURE)
+        fig.rows.append(make_row("a", 1.0, 1.1))
+        assert fig.row("a").other_mean == 1.1
+        with pytest.raises(KeyError):
+            fig.row("zzz")
+
+    def test_render_shows_baseline_and_target_configs(self):
+        fig = FigureResult(
+            "t", "GC time", Config.WITH_ASSERTIONS, config_a=Config.INFRASTRUCTURE
+        )
+        fig.rows.append(make_row("db", 1.0, 1.3))
+        text = fig.render()
+        assert "Infrastructure vs WithAssertions" in text
+        assert "Infrastructure = 100" in text
+        assert "db" in text
+        assert "+30.0%" in text
+
+    def test_render_includes_paper_reference(self):
+        fig = FigureResult(
+            "fig3", "GC time", Config.INFRASTRUCTURE, paper=PAPER_REFERENCE["fig3"]
+        )
+        fig.rows.append(make_row("bloat", 1.0, 1.2))
+        assert "13.36" in fig.render()
+
+    def test_as_dict_round_trips_rows(self):
+        fig = FigureResult("fig2", "total", Config.INFRASTRUCTURE)
+        fig.rows.append(make_row("antlr", 2.0, 2.2))
+        data = fig.as_dict()
+        assert data["figure"] == "fig2"
+        assert data["rows"]["antlr"]["overhead_pct"] == pytest.approx(10.0)
+        assert data["rows"]["antlr"]["base_mean_s"] == 2.0
+        import json
+
+        json.dumps(data)  # must be JSON-serializable
+
+    def test_paper_reference_complete(self):
+        assert set(PAPER_REFERENCE) == {"fig2", "fig3", "fig4", "fig5", "counts"}
+        assert PAPER_REFERENCE["fig3"]["worst_case"][0] == "bloat"
+
+
+class TestFigureGenerators:
+    def test_infrastructure_figures_share_samples(self):
+        figs = infrastructure_figures(trials=1, benchmarks=["mpegaudio"])
+        assert set(figs) == {"fig2", "fig2-mutator", "fig3"}
+        for fig in figs.values():
+            assert [r.benchmark for r in fig.rows] == ["mpegaudio"]
+        # Deterministic counters agree across the shared-sample figures.
+        assert (
+            figs["fig2"].row("mpegaudio").counters_base
+            == figs["fig3"].row("mpegaudio").counters_base
+        )
+
+    def test_withassertions_figures_cover_paper_benchmarks(self):
+        figs = withassertions_figures(trials=1)
+        assert {r.benchmark for r in figs["fig4"].rows} == set(ASSERTED_BENCHMARKS)
+        assert figs["fig5-infra"].config_a is Config.INFRASTRUCTURE

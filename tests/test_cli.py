@@ -1,0 +1,55 @@
+"""CLI (`python -m repro`) tests, driven through main(argv)."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAMS = pathlib.Path(__file__).resolve().parent.parent / "examples" / "programs"
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GC assertions" in out
+        assert "pseudojbb" in out
+        assert "marksweep" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Warning: an object that was asserted dead is reachable." in out
+        assert "1 satisfied" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        for collector in ("marksweep", "semispace", "generational"):
+            assert collector in out
+        assert "OK" in out
+        assert "FAILED" not in out
+
+    def test_minij(self, capsys):
+        path = str(PROGRAMS / "linked_list.minij")
+        assert main(["minij", path]) == 0
+        out = capsys.readouterr().out
+        assert "sum: 55" in out
+
+    def test_minij_custom_entry(self, tmp_path, capsys):
+        source = tmp_path / "t.minij"
+        source.write_text("def go(): void { print(7); }")
+        assert main(["minij", str(source), "--entry", "go"]) == 0
+        assert "7" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_figures_fast(self, capsys):
+        assert main(["figures", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "fig5" in out
+        assert "geomean" in out

@@ -1,0 +1,118 @@
+"""assert-dead (§2.3.1): the dead header bit checked during tracing."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.errors import AssertionUsageError
+from repro.heap import header as hdr
+from tests.conftest import build_chain
+
+
+class TestBasicSemantics:
+    def test_reachable_object_triggers(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 2)
+        vm.assertions.assert_dead(nodes[1], site="t")
+        vm.gc()
+        assert len(vm.engine.log) == 1
+        violation = vm.engine.log.violations[0]
+        assert violation.kind is AssertionKind.DEAD
+        assert violation.type_name == "Node"
+        assert violation.site == "t"
+
+    def test_reclaimed_object_satisfies(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 2)
+        vm.assertions.assert_dead(nodes[1], site="t")
+        nodes[0]["next"] = None
+        vm.gc()
+        assert len(vm.engine.log) == 0
+        assert vm.engine.registry.dead_satisfied == 1
+        assert vm.assertions.pending_dead() == 0
+
+    def test_dead_bit_set_in_header(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 1)
+        vm.assertions.assert_dead(nodes[0])
+        assert nodes[0].obj.test(hdr.DEAD_BIT)
+
+    def test_not_checked_before_gc(self, vm, node_class):
+        """Unlike ordinary assertions, checking is deferred to the collector."""
+        nodes = build_chain(vm, node_class, 1)
+        vm.assertions.assert_dead(nodes[0], site="deferred")
+        assert len(vm.engine.log) == 0  # nothing until a GC runs
+
+    def test_violation_repeats_each_gc_while_reachable(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 1)
+        vm.assertions.assert_dead(nodes[0], site="t")
+        vm.gc()
+        vm.gc()
+        assert len(vm.engine.log) == 2
+
+    def test_per_instance_not_per_class(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 3)
+        vm.assertions.assert_dead(nodes[1], site="t")
+        vm.gc()
+        # Only one violation even though three Nodes are live.
+        assert len(vm.engine.log) == 1
+        assert vm.engine.log.violations[0].address == nodes[1].obj.address
+
+    def test_call_counter(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 3)
+        for n in nodes:
+            vm.assertions.assert_dead(n)
+        assert vm.assertions.call_counts()["assert-dead"] == 3
+
+    def test_assert_on_freed_object_rejected(self, vm, node_class):
+        with vm.scope():
+            doomed = vm.new(node_class)
+        vm.gc()
+        with pytest.raises(AssertionUsageError):
+            vm.assertions.assert_dead(doomed)
+
+    def test_accepts_raw_address_and_heapobject(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 2)
+        vm.assertions.assert_dead(nodes[0].address, site="by-address")
+        vm.assertions.assert_dead(nodes[1].obj, site="by-object")
+        vm.gc()
+        assert len(vm.engine.log) == 2
+
+
+class TestRetraction:
+    def test_retract_dead_cancels(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 1)
+        vm.assertions.assert_dead(nodes[0])
+        assert vm.assertions.retract_dead(nodes[0])
+        vm.gc()
+        assert len(vm.engine.log) == 0
+        assert not nodes[0].obj.test(hdr.DEAD_BIT)
+
+    def test_retract_without_assert_returns_false(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 1)
+        assert not vm.assertions.retract_dead(nodes[0])
+
+
+class TestNullingIdiom:
+    """The Java `x = null` idiom the paper motivates assert-dead with."""
+
+    def test_null_assignment_with_hidden_reference(self, vm, node_class):
+        with vm.scope():
+            keeper = vm.new(node_class)
+            target = vm.new(node_class)
+            keeper["next"] = target  # the forgotten second reference
+            vm.statics.set_ref("keeper", keeper.address)
+            vm.statics.set_ref("target", target.address)
+        # Programmer nulls what they believe is the only reference...
+        vm.statics.clear_ref("target")
+        vm.assertions.assert_dead(target, site="after x = null")
+        vm.gc()
+        assert len(vm.engine.log) == 1
+        # ...and the path report shows who actually holds it.
+        path = vm.engine.log.violations[0].path
+        assert "keeper" in path.root_description
+
+    def test_null_assignment_correct_case(self, vm, node_class):
+        with vm.scope():
+            target = vm.new(node_class)
+            vm.statics.set_ref("target", target.address)
+        vm.statics.clear_ref("target")
+        vm.assertions.assert_dead(target, site="after x = null")
+        vm.gc()
+        assert len(vm.engine.log) == 0

@@ -1,0 +1,250 @@
+"""assert-ownedby (§2.5.2): the two-phase ownership scan."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.errors import AssertionUsageError
+from repro.heap import header as hdr
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+
+
+@pytest.fixture
+def container_classes(vm):
+    container = vm.define_class(
+        "Container", [("items", FieldKind.REF), ("name", FieldKind.STR)]
+    )
+    element = vm.define_class("Element", [("id", FieldKind.INT)])
+    return container, element
+
+
+def build_container(vm, container, element, count, root="db"):
+    with vm.scope():
+        cont = vm.new(container)
+        arr = vm.new_array(element, count)
+        cont["items"] = arr
+        vm.statics.set_ref(root, cont.address)
+        elements = []
+        for i in range(count):
+            e = vm.new(element, id=i)
+            arr[i] = e
+            elements.append(e)
+    return vm.handle(cont.obj), elements
+
+
+class TestOwnedBy:
+    def test_owned_elements_pass(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 4)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_extra_reference_is_allowed_while_owner_path_exists(self, vm, container_classes):
+        """'An ownee may be referenced by other objects' — only losing the
+        owner path is an error."""
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 2)
+        vm.statics.set_ref("cache", elements[0].address)
+        vm.assertions.assert_ownedby(cont, elements[0])
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_element_only_in_cache_triggers(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 3)
+        vm.statics.set_ref("cache", elements[1].address)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        cont["items"][1] = None  # removed from container, still cached
+        vm.gc()
+        violations = vm.engine.log.of_kind(AssertionKind.OWNED_BY)
+        assert len(violations) == 1
+        assert violations[0].address == elements[1].obj.address
+        assert "cache" in violations[0].path.root_description
+
+    def test_element_reclaimed_with_owner_path_is_fine(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 2)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        cont["items"][0] = None  # removed and unreferenced: dies quietly
+        vm.gc()
+        assert len(vm.engine.log) == 0
+        assert vm.assertions.live_ownees() == 1
+
+    def test_owner_and_ownee_header_bits(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 1)
+        vm.assertions.assert_ownedby(cont, elements[0])
+        assert cont.obj.test(hdr.OWNER_BIT)
+        assert elements[0].obj.test(hdr.OWNEE_BIT)
+
+    def test_self_ownership_rejected(self, vm, container_classes):
+        container, element = container_classes
+        cont, _ = build_container(vm, container, element, 1)
+        with pytest.raises(AssertionUsageError):
+            vm.assertions.assert_ownedby(cont, cont)
+
+    def test_two_owners_for_same_ownee_rejected(self, vm, container_classes):
+        container, element = container_classes
+        cont_a, elements = build_container(vm, container, element, 1, root="a")
+        cont_b, _ = build_container(vm, container, element, 1, root="b")
+        vm.assertions.assert_ownedby(cont_a, elements[0])
+        with pytest.raises(AssertionUsageError):
+            vm.assertions.assert_ownedby(cont_b, elements[0])
+
+    def test_reassert_same_pair_idempotent(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 1)
+        vm.assertions.assert_ownedby(cont, elements[0])
+        vm.assertions.assert_ownedby(cont, elements[0])
+        record = vm.engine.registry.owners[cont.obj.address]
+        assert len(record) == 1
+
+    def test_multiple_owners_with_disjoint_regions(self, vm, container_classes):
+        container, element = container_classes
+        cont_a, elements_a = build_container(vm, container, element, 2, root="a")
+        cont_b, elements_b = build_container(vm, container, element, 2, root="b")
+        for e in elements_a:
+            vm.assertions.assert_ownedby(cont_a, e)
+        for e in elements_b:
+            vm.assertions.assert_ownedby(cont_b, e)
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_reclaimed_ownee_purged_from_registry(self, vm, container_classes):
+        """'We must remove each unreachable ownee after a GC.'"""
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 3)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        cont["items"][0] = None
+        cont["items"][2] = None
+        vm.gc()
+        assert vm.assertions.live_ownees() == 1
+        assert vm.engine.registry.ownees_reclaimed == 2
+
+    def test_dead_owner_record_dropped_without_spurious_reports(
+        self, vm, container_classes
+    ):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 2)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        vm.statics.drop_ref("db")
+        vm.gc()  # owner dies; ownees float for one GC
+        assert len(vm.engine.log) == 0
+        assert len(vm.engine.registry.owners) == 0
+        vm.gc()  # floating ownees die quietly
+        assert len(vm.engine.log) == 0
+        assert vm.heap.stats.objects_live == 0
+
+    def test_retract_ownedby(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 1)
+        vm.assertions.assert_ownedby(cont, elements[0])
+        vm.statics.set_ref("cache", elements[0].address)
+        cont["items"][0] = None
+        assert vm.assertions.retract_ownedby(elements[0])
+        vm.gc()
+        assert len(vm.engine.log) == 0
+        assert not elements[0].obj.test(hdr.OWNEE_BIT)
+
+
+class TestOwnershipPhaseMechanics:
+    def test_no_retrace_of_owner_subgraph(self, vm, container_classes):
+        """Owner-reachable objects are marked in phase 1 and not traced again."""
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 5)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        vm.gc()
+        live = vm.heap.stats.objects_live
+        # Every live object is traced exactly once across both phases.
+        assert vm.stats.objects_traced == live
+
+    def test_floating_garbage_from_dead_owner(self, vm, container_classes):
+        """§2.5.2: objects reachable only from a dead owner survive one GC."""
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 3)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        vm.statics.drop_ref("db")
+        vm.gc()
+        # The owner itself died, but its phase-1-marked subgraph floats.
+        assert not cont.is_live
+        assert all(e.is_live for e in elements)
+        vm.gc()
+        assert all(not e.is_live for e in elements)
+
+    def test_back_edges_tolerated(self, vm):
+        """Ownees with back edges to the owner's structure must not loop."""
+        container = vm.define_class("C2", [("items", FieldKind.REF)])
+        element = vm.define_class("E2", [("parent", FieldKind.REF), ("peer", FieldKind.REF)])
+        with vm.scope():
+            cont = vm.new(container)
+            arr = vm.new_array(element, 2)
+            cont["items"] = arr
+            vm.statics.set_ref("c2", cont.address)
+            a = vm.new(element)
+            b = vm.new(element)
+            arr[0] = a
+            arr[1] = b
+            a["parent"] = cont  # back edge to the owner
+            a["peer"] = b       # ownee -> ownee edge
+            b["peer"] = a
+            vm.assertions.assert_ownedby(cont, a)
+            vm.assertions.assert_ownedby(cont, b)
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_ownee_search_probes_counted(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 8)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        vm.gc()
+        assert vm.stats.ownee_lookups >= 8
+        assert vm.stats.ownee_search_probes >= vm.stats.ownee_lookups
+
+    def test_ownees_checked_counter(self, vm, container_classes):
+        container, element = container_classes
+        cont, elements = build_container(vm, container, element, 6)
+        for e in elements:
+            vm.assertions.assert_ownedby(cont, e)
+        vm.gc()
+        assert vm.stats.ownees_checked == 6
+
+
+class TestNaiveAblation:
+    def test_naive_mode_detects_same_violations(self, container_classes):
+        for mode in ("two-phase", "naive"):
+            vm = VirtualMachine(heap_bytes=4 << 20, ownership_mode=mode)
+            container = vm.define_class("C", [("items", FieldKind.REF)])
+            element = vm.define_class("E", [("id", FieldKind.INT)])
+            cont, elements = build_container(vm, container, element, 3)
+            vm.statics.set_ref("cache", elements[1].address)
+            for e in elements:
+                vm.assertions.assert_ownedby(cont, e)
+            cont["items"][1] = None
+            vm.gc()
+            violations = vm.engine.log.of_kind(AssertionKind.OWNED_BY)
+            assert len(violations) == 1, mode
+
+    def test_naive_mode_does_more_work(self, container_classes):
+        def visits(mode):
+            vm = VirtualMachine(heap_bytes=4 << 20, ownership_mode=mode)
+            container = vm.define_class("C", [("items", FieldKind.REF)])
+            element = vm.define_class("E", [("id", FieldKind.INT)])
+            cont, elements = build_container(vm, container, element, 20)
+            for e in elements:
+                vm.assertions.assert_ownedby(cont, e)
+            vm.gc()
+            return vm.stats.naive_ownership_visits, vm.stats.objects_traced
+
+        naive_visits, _ = visits("naive")
+        zero_visits, traced = visits("two-phase")
+        assert zero_visits == 0
+        assert naive_visits > traced  # per-pair re-tracing blows up

@@ -1,0 +1,110 @@
+"""start-region / assert-alldead (§2.3.2): per-thread region bracketing."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.errors import RegionError
+from tests.conftest import make_node_class
+
+
+class TestRegions:
+    def test_memory_stable_region_passes(self, vm, node_class):
+        vm.assertions.start_region(label="service")
+        with vm.scope():
+            for _ in range(5):
+                vm.new(node_class)
+        asserted = vm.assertions.assert_alldead(site="service end")
+        assert asserted == 5
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_escaping_allocation_triggers(self, vm, node_class):
+        vm.assertions.start_region(label="service")
+        with vm.scope():
+            escaping = vm.new(node_class)
+            vm.statics.set_ref("escaped", escaping.address)  # the leak
+            vm.new(node_class)
+        vm.assertions.assert_alldead(site="service end")
+        vm.gc()
+        assert len(vm.engine.log) == 1
+        violation = vm.engine.log.violations[0]
+        assert violation.kind is AssertionKind.ALLDEAD
+        assert violation.address == escaping.obj.address
+
+    def test_allocations_before_region_not_included(self, vm, node_class):
+        with vm.scope():
+            before = vm.new(node_class)
+            vm.statics.set_ref("pre", before.address)
+        vm.assertions.start_region()
+        asserted = vm.assertions.assert_alldead()
+        assert asserted == 0
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_region_objects_reclaimed_mid_region_satisfy(self, vm, node_class):
+        """If a GC inside the region already reclaimed a queued object, it is
+        trivially dead and must not be re-asserted at a recycled address."""
+        vm.assertions.start_region()
+        with vm.scope():
+            vm.new(node_class)
+        vm.gc(reason="mid-region")  # queued object dies here
+        asserted = vm.assertions.assert_alldead()
+        assert asserted == 0
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_regions_are_per_thread(self, vm, node_class):
+        worker = vm.new_thread("w")
+        vm.assertions.start_region(thread=worker)
+        with vm.scope():
+            vm.new(node_class)  # allocated on main: not in worker's region
+        with vm.on_thread(worker):
+            with vm.scope():
+                vm.new(node_class)
+        main_count = len(vm.main_thread.region_queue)
+        asserted = vm.assertions.assert_alldead(thread=worker)
+        assert main_count == 0
+        assert asserted == 1
+
+    def test_concurrent_regions_on_different_threads(self, vm, node_class):
+        t1 = vm.new_thread("t1")
+        t2 = vm.new_thread("t2")
+        vm.assertions.start_region(thread=t1)
+        vm.assertions.start_region(thread=t2)
+        with vm.on_thread(t1), vm.scope():
+            vm.new(node_class)
+        with vm.on_thread(t2), vm.scope():
+            vm.new(node_class)
+            vm.new(node_class)
+        assert vm.assertions.assert_alldead(thread=t1) == 1
+        assert vm.assertions.assert_alldead(thread=t2) == 2
+
+    def test_nested_region_rejected(self, vm):
+        vm.assertions.start_region()
+        with pytest.raises(RegionError):
+            vm.assertions.start_region()
+
+    def test_alldead_without_region_rejected(self, vm):
+        with pytest.raises(RegionError):
+            vm.assertions.assert_alldead()
+
+    def test_alldead_counts_as_dead_calls(self, vm, node_class):
+        vm.assertions.start_region()
+        with vm.scope():
+            vm.new(node_class)
+            vm.new(node_class)
+        vm.assertions.assert_alldead()
+        counts = vm.assertions.call_counts()
+        assert counts["assert-alldead"] == 1
+        assert counts["assert-dead"] == 2  # queue drained into assert-dead
+
+    def test_server_idiom_loop(self, vm, node_class):
+        """The paper's server example: bracket each connection service."""
+        for request in range(3):
+            vm.assertions.start_region(label=f"conn-{request}")
+            with vm.scope():
+                for _ in range(4):
+                    vm.new(node_class)  # per-request temporaries
+            vm.assertions.assert_alldead(site=f"conn-{request} done")
+            vm.gc()
+        assert len(vm.engine.log) == 0

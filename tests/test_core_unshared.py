@@ -1,0 +1,110 @@
+"""assert-unshared (§2.5.1): the spare-bit single-parent check."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.heap import header as hdr
+from tests.conftest import build_chain
+
+
+class TestUnshared:
+    def test_single_parent_passes(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 3)
+        vm.assertions.assert_unshared(nodes[1], site="u")
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_two_heap_parents_trigger(self, vm, node_class):
+        with vm.scope():
+            a = vm.new(node_class)
+            b = vm.new(node_class)
+            target = vm.new(node_class)
+            a["next"] = target
+            b["next"] = target
+            vm.statics.set_ref("a", a.address)
+            vm.statics.set_ref("b", b.address)
+        vm.assertions.assert_unshared(target, site="u")
+        vm.gc()
+        violations = vm.engine.log.of_kind(AssertionKind.UNSHARED)
+        assert len(violations) == 1
+        assert violations[0].address == target.obj.address
+
+    def test_tree_becomes_dag_detected(self, vm):
+        """The paper's example: verify a tree has not become a DAG."""
+        tree_cls = vm.define_class("Tree", [("left", "ref"), ("right", "ref")])
+        with vm.scope():
+            root = vm.new(tree_cls)
+            left = vm.new(tree_cls)
+            right = vm.new(tree_cls)
+            shared = vm.new(tree_cls)
+            root["left"] = left
+            root["right"] = right
+            left["left"] = shared
+            vm.statics.set_ref("tree", root.address)
+            for node in (root, left, right, shared):
+                vm.assertions.assert_unshared(node, site="tree-check")
+        vm.gc()
+        assert len(vm.engine.log) == 0
+        # Introduce sharing: the tree is now a DAG.
+        right["left"] = shared
+        vm.gc()
+        violations = vm.engine.log.of_kind(AssertionKind.UNSHARED)
+        assert len(violations) == 1
+        assert violations[0].address == shared.obj.address
+
+    def test_unshared_bit_in_header(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 1)
+        vm.assertions.assert_unshared(nodes[0])
+        assert nodes[0].obj.test(hdr.UNSHARED_BIT)
+
+    def test_second_path_reported(self, vm, node_class):
+        """§2.7: 'We can print the second path.'"""
+        with vm.scope():
+            a = vm.new(node_class)
+            b = vm.new(node_class)
+            target = vm.new(node_class)
+            a["next"] = target
+            b["next"] = target
+            vm.statics.set_ref("a", a.address)
+            vm.statics.set_ref("b", b.address)
+            vm.assertions.assert_unshared(target)
+        vm.gc()
+        violation = vm.engine.log.of_kind(AssertionKind.UNSHARED)[0]
+        assert violation.path is not None
+        assert violation.path.type_names()[-1] == "Node"
+
+    def test_unasserted_shared_objects_ignored(self, vm, node_class):
+        with vm.scope():
+            a = vm.new(node_class)
+            b = vm.new(node_class)
+            target = vm.new(node_class)
+            a["next"] = target
+            b["next"] = target
+            vm.statics.set_ref("a", a.address)
+            vm.statics.set_ref("b", b.address)
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_metadata_purged_when_object_dies(self, vm, node_class):
+        with vm.scope():
+            target = vm.new(node_class)
+            vm.assertions.assert_unshared(target)
+        vm.gc()
+        assert len(vm.engine.registry.unshared_sites) == 0
+
+    def test_dead_and_unshared_coexist(self, vm, node_class):
+        """Both spare bits can be set on the same header."""
+        with vm.scope():
+            a = vm.new(node_class)
+            b = vm.new(node_class)
+            target = vm.new(node_class)
+            a["next"] = target
+            b["next"] = target
+            vm.statics.set_ref("a", a.address)
+            vm.statics.set_ref("b", b.address)
+            vm.assertions.assert_unshared(target)
+            vm.assertions.assert_dead(target)
+        vm.gc()
+        kinds = {v.kind for v in vm.engine.log}
+        assert AssertionKind.DEAD in kinds
+        assert AssertionKind.UNSHARED in kinds

@@ -1,0 +1,136 @@
+"""Heap-analysis toolkit tests (paths, retained size, incoming refs)."""
+
+import pytest
+
+from repro.gc.analysis import (
+    heap_census,
+    incoming_references,
+    path_to,
+    reachable_from,
+    retained_size,
+)
+from repro.heap.object_model import FieldKind
+from tests.conftest import build_chain, make_node_class
+
+
+class TestPathTo:
+    def test_path_through_chain(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 4)
+        root_desc, chain = path_to(vm, nodes[3])
+        assert "head" in root_desc
+        assert [o.address for o in chain] == [n.obj.address for n in nodes]
+
+    def test_path_is_shortest(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 5)
+        vm.statics.set_ref("shortcut", nodes[3].address)
+        root_desc, chain = path_to(vm, nodes[4])
+        assert "shortcut" in root_desc
+        assert len(chain) == 2
+
+    def test_unreachable_returns_none(self, vm, node_class):
+        with vm.scope():
+            orphan = vm.new(node_class)
+        assert path_to(vm, orphan.obj) is None
+
+    def test_direct_root(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 1)
+        root_desc, chain = path_to(vm, nodes[0])
+        assert len(chain) == 1
+
+
+class TestReachability:
+    def test_closure_includes_self_and_descendants(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 4)
+        closure = reachable_from(vm, nodes[1])
+        assert closure == {n.obj.address for n in nodes[1:]}
+
+    def test_cycle_terminates(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 3)
+        nodes[2]["next"] = nodes[0]
+        closure = reachable_from(vm, nodes[0])
+        assert len(closure) == 3
+
+
+class TestRetainedSize:
+    def test_chain_tail_retained_by_middle(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 5)
+        size = retained_size(vm, nodes[2])
+        expected = sum(n.obj.size_bytes for n in nodes[2:])
+        assert size == expected
+
+    def test_shared_objects_not_retained(self, vm, node_class):
+        with vm.scope():
+            a = vm.new(node_class)
+            b = vm.new(node_class)
+            shared = vm.new(node_class)
+            a["next"] = shared
+            b["next"] = shared
+            vm.statics.set_ref("a", a.address)
+            vm.statics.set_ref("b", b.address)
+        # a retains only itself: shared survives via b.
+        assert retained_size(vm, a) == a.obj.size_bytes
+
+    def test_memory_drag_quantified(self, vm):
+        """The §3.2.1 oldCompany point: the dragged root retains the whole
+        structure it dominates."""
+        from repro.workloads.jbb.entities import build_company
+
+        with vm.scope():
+            company = build_company(vm, 1, 2, 5)
+            vm.statics.set_ref("oldCompany", company.address)
+        drag = retained_size(vm, company)
+        # The company graph is hundreds of objects; dropping the root frees
+        # essentially all of it.
+        assert drag > 50 * 8
+        vm.statics.drop_ref("oldCompany")
+        vm.gc()
+        assert vm.heap.stats.objects_live == 0
+
+    def test_unreachable_object_retains_own_closure(self, vm, node_class):
+        with vm.scope():
+            a = vm.new(node_class)
+            b = vm.new(node_class)
+            a["next"] = b
+        assert retained_size(vm, a) == a.obj.size_bytes + b.obj.size_bytes
+
+
+class TestIncomingReferences:
+    def test_field_and_root_holders_found(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 2)
+        vm.statics.set_ref("also", nodes[1].address)
+        holders = incoming_references(vm, nodes[1])
+        descriptions = [d for d, _h in holders]
+        assert any("also" in d for d in descriptions)
+        assert any(d == "Node.next" for d in descriptions)
+
+    def test_array_slot_named_by_index(self, vm, node_class):
+        with vm.scope():
+            arr = vm.new_array(node_class, 3)
+            target = vm.new(node_class)
+            arr[2] = target
+            vm.statics.set_ref("arr", arr.address)
+        holders = incoming_references(vm, target)
+        assert any("[2]" in d for d, _h in holders)
+
+    def test_no_holders_for_orphan(self, vm, node_class):
+        with vm.scope():
+            orphan = vm.new(node_class)
+        assert incoming_references(vm, orphan.obj) == []
+
+
+class TestCensus:
+    def test_census_counts_by_class(self, vm, node_class):
+        other = vm.define_class("Other", [("pad", FieldKind.INT)])
+        build_chain(vm, node_class, 3)
+        with vm.scope():
+            vm.statics.set_ref("o", vm.new(other).address)
+        census = heap_census(vm)
+        assert census["Node"]["objects"] == 3
+        assert census["Other"]["objects"] == 1
+        assert census["Node"]["bytes"] == 3 * node_class.instance_size
+
+    def test_census_sorted_by_bytes(self, vm, node_class):
+        build_chain(vm, node_class, 10)
+        census = heap_census(vm)
+        sizes = [entry["bytes"] for entry in census.values()]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,143 @@
+"""Generational collector: nursery, write barrier, promotion, assertion latency."""
+
+import pytest
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from tests.conftest import build_chain, make_node_class
+
+
+@pytest.fixture
+def gen_vm():
+    return VirtualMachine(heap_bytes=1 << 20, collector="generational")
+
+
+@pytest.fixture
+def gen_node(gen_vm):
+    return make_node_class(gen_vm)
+
+
+class TestMinorCollection:
+    def test_minor_gc_reclaims_nursery_garbage(self, gen_vm, gen_node):
+        with gen_vm.scope():
+            gen_vm.new(gen_node)
+        gen_vm.minor_gc()
+        assert gen_vm.heap.stats.objects_live == 0
+        assert gen_vm.stats.minor_collections == 1
+        assert gen_vm.stats.full_collections == 0
+
+    def test_minor_gc_promotes_rooted_survivors(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 3)
+        gen_vm.minor_gc()
+        assert all(n.is_live for n in nodes)
+        assert gen_vm.stats.objects_promoted == 3
+        collector = gen_vm.collector
+        for n in nodes:
+            assert collector.mature.contains(n.obj.address)
+            assert not collector.nursery.contains(n.obj.address)
+
+    def test_promotion_rewrites_references(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 5)
+        gen_vm.minor_gc()
+        current = nodes[0]
+        values = [current["value"]]
+        while current["next"] is not None:
+            current = current["next"]
+            values.append(current["value"])
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_write_barrier_keeps_nursery_object_alive(self, gen_vm, gen_node):
+        # Promote a holder into the mature space first.
+        with gen_vm.scope():
+            holder = gen_vm.new(gen_node, value=100)
+            gen_vm.statics.set_ref("holder", holder.address)
+        gen_vm.minor_gc()
+        assert gen_vm.collector.mature.contains(holder.obj.address)
+        # Store a nursery object into the mature holder, then drop all roots
+        # to it: only the remembered set keeps it alive at the next minor GC.
+        with gen_vm.scope():
+            young = gen_vm.new(gen_node, value=7)
+            holder["next"] = young
+        gen_vm.minor_gc()
+        assert young.is_live
+        assert holder["next"]["value"] == 7
+
+    def test_without_barrier_scan_object_would_die(self, gen_vm, gen_node):
+        """Control for the barrier test: an unreferenced nursery object dies."""
+        with gen_vm.scope():
+            gen_vm.new(gen_node, value=7)
+        before = gen_vm.heap.stats.objects_freed
+        gen_vm.minor_gc()
+        assert gen_vm.heap.stats.objects_freed == before + 1
+
+    def test_nursery_full_triggers_minor_not_full(self):
+        vm = VirtualMachine(heap_bytes=256 << 10, collector="generational")
+        cls = make_node_class(vm)
+        for _ in range(4000):
+            with vm.scope():
+                vm.new(cls)
+        assert vm.stats.minor_collections > 0
+        assert vm.stats.full_collections == 0
+
+    def test_large_objects_allocate_directly_mature(self, gen_vm):
+        threshold = gen_vm.collector._large_threshold
+        big_length = threshold // 8 + 16  # comfortably past the threshold
+        with gen_vm.scope():
+            big = gen_vm.new_array(FieldKind.INT, big_length)
+            assert gen_vm.collector.mature.contains(big.obj.address)
+        with gen_vm.scope():
+            small = gen_vm.new_array(FieldKind.INT, 4)
+            assert gen_vm.collector.nursery.contains(small.obj.address)
+
+
+class TestFullCollection:
+    def test_full_gc_empties_nursery(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 4)
+        gen_vm.gc()
+        assert gen_vm.collector.nursery.bytes_in_use == 0
+        assert all(n.is_live for n in nodes)
+
+    def test_full_gc_reclaims_mature_garbage(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 4)
+        gen_vm.minor_gc()  # promote
+        gen_vm.statics.drop_ref("head")
+        gen_vm.gc()
+        assert all(not n.is_live for n in nodes)
+
+
+class TestAssertionLatency:
+    """§2.2: 'A generational collector ... performs full-heap collections
+    infrequently, allowing some assertions to go unchecked for long periods
+    of time.'"""
+
+    def test_minor_gc_does_not_check_assertions(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 3)
+        gen_vm.assertions.assert_dead(nodes[0], site="latency-test")
+        gen_vm.minor_gc()
+        # Still reachable, but minor GCs check nothing.
+        assert len(gen_vm.engine.log) == 0
+
+    def test_full_gc_detects_what_minor_missed(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 3)
+        gen_vm.assertions.assert_dead(nodes[0], site="latency-test")
+        gen_vm.minor_gc()
+        gen_vm.gc()
+        assert len(gen_vm.engine.log) == 1
+
+    def test_minor_gc_still_purges_metadata(self, gen_vm, gen_node):
+        with gen_vm.scope():
+            doomed = gen_vm.new(gen_node)
+            gen_vm.assertions.assert_dead(doomed, site="purge-test")
+        gen_vm.minor_gc()
+        # The object died as asserted; its registry entry must be gone.
+        assert gen_vm.assertions.pending_dead() == 0
+        assert gen_vm.engine.registry.dead_satisfied == 1
+
+    def test_dead_bit_follows_promotion(self, gen_vm, gen_node):
+        nodes = build_chain(gen_vm, gen_node, 2)
+        gen_vm.assertions.assert_dead(nodes[1], site="promo-test")
+        gen_vm.minor_gc()  # promotes; registry keys must be forwarded
+        gen_vm.gc()
+        assert len(gen_vm.engine.log) == 1
+        violation = gen_vm.engine.log.violations[0]
+        assert violation.site == "promo-test"

@@ -1,0 +1,112 @@
+"""Regression: promotion into same-GC-freed cells must not corrupt metadata.
+
+The generational full-heap collection frees mature cells during its sweep
+and then promotes nursery survivors — which the free list serves from the
+cells just freed.  Registry/queue purging therefore has to happen *between*
+sweeping and promotion: purging afterwards (by address) would delete the
+metadata of live, just-promoted objects that landed in recycled cells.
+
+This test pins the exact scenario the soak test originally exposed.
+"""
+
+import pytest
+
+from repro.gc.verify import verify_heap
+from repro.heap import header as hdr
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+
+
+@pytest.fixture
+def gen_vm():
+    return VirtualMachine(heap_bytes=1 << 20, collector="generational")
+
+
+def test_promoted_ownee_keeps_registry_entry(gen_vm):
+    vm = gen_vm
+    cls = vm.define_class("R", [("link", FieldKind.REF), ("id", FieldKind.INT)])
+
+    # 1. A sacrificial object of the same size class, promoted to mature...
+    with vm.scope():
+        sacrifice = vm.new(cls, id=0)
+        vm.statics.set_ref("s", sacrifice.address)
+    vm.minor_gc()
+    assert vm.collector.mature.contains(sacrifice.obj.address)
+    # ...then unrooted, so the next full GC frees its mature cell.
+    vm.statics.drop_ref("s")
+
+    # 2. A live owner/ownee pair still in the nursery.
+    with vm.scope():
+        owner = vm.new(cls, id=1)
+        ownee = vm.new(cls, id=2)
+        owner["link"] = ownee
+        vm.statics.set_ref("owner", owner.address)
+        vm.assertions.assert_ownedby(owner, ownee, site="regression")
+    assert vm.collector.nursery.contains(owner.obj.address)
+
+    freed_cell = sacrifice.obj.address
+
+    # 3. Full GC: the sacrifice dies, owner+ownee are promoted — one of
+    # them recycles the freed mature cell.
+    vm.gc()
+    assert sacrifice.obj.is_freed
+    assert owner.is_live and ownee.is_live
+    promoted = {owner.obj.address, ownee.obj.address}
+    assert freed_cell in promoted, "test precondition: a cell was recycled"
+
+    # The registry followed the promotion instead of being purged.
+    registry = vm.engine.registry
+    assert registry.owner_of(ownee.obj.address) == owner.obj.address
+    assert owner.obj.address in registry.owners
+    assert ownee.obj.test(hdr.OWNEE_BIT)
+    assert verify_heap(vm) == []
+
+    # And the next collection checks cleanly — no phantom misuse reports,
+    # no unowned-ownee violations.
+    vm.gc()
+    assert len(vm.engine.log) == 0
+
+
+def test_promoted_dead_assertion_keeps_site(gen_vm):
+    vm = gen_vm
+    cls = vm.define_class("R", [("link", FieldKind.REF)])
+    with vm.scope():
+        sacrifice = vm.new(cls)
+        vm.statics.set_ref("s", sacrifice.address)
+    vm.minor_gc()
+    vm.statics.drop_ref("s")
+
+    with vm.scope():
+        victim = vm.new(cls)
+        vm.statics.set_ref("keep", victim.address)  # intentionally kept alive
+        vm.assertions.assert_dead(victim, site="pinned-site")
+
+    vm.gc()
+    # The violation fires with its registered site, even though the victim
+    # may now occupy the sacrifice's recycled cell.
+    violations = vm.engine.log.violations
+    assert len(violations) == 1
+    assert violations[0].site == "pinned-site"
+    assert verify_heap(vm) == []
+
+
+def test_region_queue_entries_follow_promotion(gen_vm):
+    vm = gen_vm
+    cls = vm.define_class("R", [("link", FieldKind.REF)])
+    with vm.scope():
+        sacrifice = vm.new(cls)
+        vm.statics.set_ref("s", sacrifice.address)
+    vm.minor_gc()
+    vm.statics.drop_ref("s")
+
+    vm.assertions.start_region(label="regression")
+    with vm.scope():
+        escapee = vm.new(cls)
+        vm.statics.set_ref("escaped", escapee.address)
+    vm.gc()  # full GC mid-region: the queue entry must follow the move
+    assert vm.main_thread.region_queue == [escapee.obj.address]
+
+    vm.assertions.assert_alldead(site="regression end")
+    vm.gc()
+    assert len(vm.engine.log) == 1  # the escapee is correctly reported
+    assert vm.engine.log.violations[0].address == escapee.obj.address

@@ -1,0 +1,145 @@
+"""SemiSpace copying collector: evacuation, forwarding, handle stability."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from tests.conftest import build_chain, make_node_class
+
+
+@pytest.fixture
+def ss_vm():
+    return VirtualMachine(heap_bytes=1 << 20, collector="semispace")
+
+
+@pytest.fixture
+def ss_node(ss_vm):
+    return make_node_class(ss_vm)
+
+
+class TestEvacuation:
+    def test_live_objects_move_on_collection(self, ss_vm, ss_node):
+        nodes = build_chain(ss_vm, ss_node, 5)
+        before = [n.obj.address for n in nodes]
+        ss_vm.gc()
+        after = [n.obj.address for n in nodes]
+        assert all(b != a for b, a in zip(before, after))
+        assert all(n.is_live for n in nodes)
+
+    def test_dead_objects_do_not_move(self, ss_vm, ss_node):
+        with ss_vm.scope():
+            a = ss_vm.new(ss_node)
+        ss_vm.gc()
+        assert not a.is_live
+
+    def test_field_references_rewritten(self, ss_vm, ss_node):
+        nodes = build_chain(ss_vm, ss_node, 5)
+        ss_vm.gc()
+        # Walking the chain through the heap still reaches every node.
+        current = nodes[0]
+        seen = [current["value"]]
+        while current["next"] is not None:
+            current = current["next"]
+            seen.append(current["value"])
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_static_roots_rewritten(self, ss_vm, ss_node):
+        build_chain(ss_vm, ss_node, 2, root_name="chain")
+        ss_vm.gc()
+        addr = ss_vm.statics.get_ref("chain")
+        assert ss_vm.heap.contains(addr)
+
+    def test_frame_roots_rewritten(self, ss_vm, ss_node):
+        frame = ss_vm.current_thread.push_frame("f")
+        with ss_vm.scope():
+            node = ss_vm.new(ss_node, value=7)
+            frame.set_ref("n", node.address)
+        ss_vm.gc()
+        assert ss_vm.heap.contains(frame.get_ref("n"))
+        assert ss_vm.handle(frame.get_ref("n"))["value"] == 7
+
+    def test_handles_stay_valid_across_moves(self, ss_vm, ss_node):
+        nodes = build_chain(ss_vm, ss_node, 3)
+        ss_vm.gc()
+        ss_vm.gc()
+        assert nodes[1]["value"] == 1
+
+    def test_spaces_flip(self, ss_vm, ss_node):
+        build_chain(ss_vm, ss_node, 2)
+        first = ss_vm.collector.from_space.name
+        ss_vm.gc()
+        assert ss_vm.collector.from_space.name != first
+        ss_vm.gc()
+        assert ss_vm.collector.from_space.name == first
+
+    def test_no_dangling_after_copy(self, ss_vm, ss_node):
+        nodes = build_chain(ss_vm, ss_node, 12)
+        nodes[5]["next"] = None
+        ss_vm.gc()
+        heap = ss_vm.heap
+        for obj in heap:
+            for ref in obj.reference_slots():
+                if ref != 0:
+                    assert heap.contains(ref)
+
+
+class TestSemiSpaceCapacity:
+    def test_usable_capacity_is_half(self):
+        vm = VirtualMachine(heap_bytes=64 << 10, collector="semispace")
+        cls = make_node_class(vm)
+        with pytest.raises(OutOfMemoryError):
+            build_chain(vm, cls, 10_000)
+
+    def test_allocation_triggered_collection(self):
+        vm = VirtualMachine(heap_bytes=32 << 10, collector="semispace")
+        cls = make_node_class(vm)
+        for _ in range(3000):
+            with vm.scope():
+                vm.new(cls)
+        assert vm.stats.collections > 0
+        vm.gc()  # the last batch of floating garbage dies here
+        assert vm.heap.stats.objects_live == 0
+
+
+class TestAssertionsOnSemiSpace:
+    """§2.2: the technique works with any tracing collector."""
+
+    def test_assert_dead_violation_detected(self, ss_vm, ss_node):
+        nodes = build_chain(ss_vm, ss_node, 3)
+        ss_vm.assertions.assert_dead(nodes[2], site="ss-test")
+        ss_vm.gc()
+        assert len(ss_vm.engine.log) == 1
+
+    def test_assert_dead_satisfied_after_move(self, ss_vm, ss_node):
+        nodes = build_chain(ss_vm, ss_node, 3)
+        ss_vm.assertions.assert_dead(nodes[2], site="ss-test")
+        nodes[1]["next"] = None
+        ss_vm.gc()
+        assert len(ss_vm.engine.log) == 0
+        assert ss_vm.engine.registry.dead_satisfied == 1
+
+    def test_ownership_metadata_forwarded(self, ss_vm, ss_node):
+        with ss_vm.scope():
+            owner = ss_vm.new(ss_node)
+            ownee = ss_vm.new(ss_node)
+            owner["next"] = ownee
+            ss_vm.statics.set_ref("o", owner.address)
+            ss_vm.assertions.assert_ownedby(owner, ownee)
+        ss_vm.gc()  # everything moves; registry must follow
+        assert ss_vm.engine.registry.owner_of(ownee.obj.address) == owner.obj.address
+        ss_vm.gc()
+        assert len(ss_vm.engine.log) == 0
+
+    def test_unshared_violation_detected_after_moves(self, ss_vm, ss_node):
+        with ss_vm.scope():
+            a = ss_vm.new(ss_node)
+            b = ss_vm.new(ss_node)
+            target = ss_vm.new(ss_node)
+            a["next"] = target
+            b["next"] = target
+            ss_vm.statics.set_ref("a", a.address)
+            ss_vm.statics.set_ref("b", b.address)
+            ss_vm.assertions.assert_unshared(target)
+        ss_vm.gc()
+        assert any(v.kind.value == "assert-unshared" for v in ss_vm.engine.log)

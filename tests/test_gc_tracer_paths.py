@@ -1,0 +1,130 @@
+"""The §2.7 path-tracking worklist: full root-to-object paths."""
+
+import pytest
+
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from tests.conftest import build_chain, make_node_class
+
+
+class TestPathReporting:
+    def test_path_runs_root_to_object(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 4)
+        vm.assertions.assert_dead(nodes[3], site="path-test")
+        vm.gc()
+        violation = vm.engine.log.violations[0]
+        assert violation.path.type_names() == ["Node"] * 4
+        assert "static 'head'" in violation.path.root_description
+
+    def test_path_identifies_frame_root(self, vm, node_class):
+        frame = vm.current_thread.push_frame("holder_method")
+        with vm.scope():
+            node = vm.new(node_class)
+            frame.set_ref("keeper", node.address)
+        vm.assertions.assert_dead(node, site="frame-path")
+        vm.gc()
+        violation = vm.engine.log.violations[0]
+        assert "keeper" in violation.path.root_description
+        assert "holder_method" in violation.path.root_description
+
+    def test_path_entries_are_instances_not_just_types(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 3)
+        vm.assertions.assert_dead(nodes[2], site="instances")
+        vm.gc()
+        entries = vm.engine.log.violations[0].path.entries
+        addresses = [e.address for e in entries]
+        assert addresses == [n.obj.address for n in nodes]
+        hashes = {e.identity_hash for e in entries}
+        assert len(hashes) == 3  # distinct instances
+
+    def test_path_through_arrays_names_array_types(self, vm, node_class):
+        with vm.scope():
+            arr = vm.new_array(node_class, 3)
+            target = vm.new(node_class)
+            arr[1] = target
+            vm.statics.set_ref("arr", arr.address)
+            vm.assertions.assert_dead(target, site="array-path")
+        vm.gc()
+        names = vm.engine.log.violations[0].path.type_names()
+        assert names == ["Node[]", "Node"]
+
+    def test_direct_root_reference_path(self, vm, node_class):
+        with vm.scope():
+            node = vm.new(node_class)
+            vm.statics.set_ref("direct", node.address)
+            vm.assertions.assert_dead(node, site="direct")
+        vm.gc()
+        violation = vm.engine.log.violations[0]
+        assert violation.path.type_names() == ["Node"]
+        assert "direct" in violation.path.root_description
+
+    def test_figure1_rendering_format(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 2)
+        vm.assertions.assert_dead(nodes[1], site="fmt")
+        vm.gc()
+        text = vm.engine.log.violations[0].render()
+        assert text.startswith("Warning: an object that was asserted dead is reachable.")
+        assert "Type: Node" in text
+        assert "Path to object:" in text
+        assert "->" in text
+
+    def test_deep_path_complete(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 50)
+        vm.assertions.assert_dead(nodes[-1], site="deep")
+        vm.gc()
+        assert len(vm.engine.log.violations[0].path) == 50
+
+
+class TestPathTrackingToggle:
+    def test_disabled_paths_still_detect_violations(self, node_class):
+        vm = VirtualMachine(heap_bytes=1 << 20, track_paths=False)
+        cls = make_node_class(vm)
+        nodes = build_chain(vm, cls, 3)
+        vm.assertions.assert_dead(nodes[2], site="no-paths")
+        vm.gc()
+        assert len(vm.engine.log) == 1
+        violation = vm.engine.log.violations[0]
+        assert violation.path is None or len(violation.path) <= 1
+
+    def test_tagged_entries_counted_only_when_tracking(self):
+        vm_on = VirtualMachine(heap_bytes=1 << 20, track_paths=True)
+        cls_on = make_node_class(vm_on)
+        build_chain(vm_on, cls_on, 10)
+        vm_on.gc()
+        assert vm_on.stats.path_entries_tagged >= 10
+
+        vm_off = VirtualMachine(heap_bytes=1 << 20, track_paths=False)
+        cls_off = make_node_class(vm_off)
+        build_chain(vm_off, cls_off, 10)
+        vm_off.gc()
+        assert vm_off.stats.path_entries_tagged == 0
+
+    def test_marking_identical_with_and_without_tracking(self):
+        results = []
+        for track in (True, False):
+            vm = VirtualMachine(heap_bytes=1 << 20, track_paths=track)
+            cls = make_node_class(vm)
+            nodes = build_chain(vm, cls, 20)
+            nodes[10]["next"] = None
+            vm.gc()
+            results.append(vm.heap.stats.objects_live)
+        assert results[0] == results[1]
+
+
+class TestBaseConfigurationHasNoInfrastructure:
+    def test_base_vm_has_no_engine(self, base_vm):
+        assert base_vm.engine is None
+        assert base_vm.assertions is None
+
+    def test_base_vm_collects_correctly(self, base_vm):
+        cls = make_node_class(base_vm)
+        nodes = build_chain(base_vm, cls, 6)
+        nodes[2]["next"] = None
+        base_vm.gc()
+        assert base_vm.heap.stats.objects_live == 3
+
+    def test_base_vm_counts_no_header_checks(self, base_vm):
+        cls = make_node_class(base_vm)
+        build_chain(base_vm, cls, 6)
+        base_vm.gc()
+        assert base_vm.stats.header_bit_checks == 0

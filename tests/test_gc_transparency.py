@@ -1,0 +1,93 @@
+"""GC transparency: program results must not depend on GC configuration.
+
+The collector (any policy, any heap size, any assertion configuration under
+the LOG reaction) must be semantically invisible to the mutator.  These
+tests run identical workloads across configurations and require bit-equal
+program results.
+"""
+
+import pytest
+
+from repro.gc.marksweep import MarkSweepCollector
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.db import DbConfig, run_db
+from repro.workloads.jbb import JbbConfig, run_pseudojbb
+from repro.workloads.lusearch import LusearchConfig, run_lusearch
+
+JBB = JbbConfig(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=8,
+    iterations=1,
+    transactions_per_iteration=200,
+)
+DB = DbConfig(initial_entries=80, operations=400)
+LUSEARCH = LusearchConfig(
+    threads=6, queries_per_thread=10, ndocs=40, terms_per_doc=6, gc_midway=False
+)
+
+
+def _strip(result):
+    data = dict(vars(result))
+    data.pop("violations", None)
+    return data
+
+
+class TestHeapSizeTransparency:
+    @pytest.mark.parametrize("heap_bytes", [48 << 10, 256 << 10, 4 << 20])
+    def test_jbb_result_independent_of_heap_size(self, heap_bytes):
+        reference = run_pseudojbb(VirtualMachine(heap_bytes=4 << 20), JBB)
+        vm = VirtualMachine(heap_bytes=heap_bytes)
+        result = run_pseudojbb(vm, JBB)
+        assert _strip(result) == _strip(reference)
+
+    @pytest.mark.parametrize("heap_bytes", [48 << 10, 1 << 20])
+    def test_db_result_independent_of_heap_size(self, heap_bytes):
+        reference = run_db(VirtualMachine(heap_bytes=4 << 20), DB)
+        result = run_db(VirtualMachine(heap_bytes=heap_bytes), DB)
+        assert _strip(result) == _strip(reference)
+
+
+class TestCollectorTransparency:
+    @pytest.mark.parametrize("collector", ["marksweep", "semispace", "generational"])
+    def test_jbb_result_independent_of_collector(self, collector):
+        reference = run_pseudojbb(VirtualMachine(heap_bytes=1 << 20), JBB)
+        vm = VirtualMachine(heap_bytes=1 << 20, collector=collector)
+        result = run_pseudojbb(vm, JBB)
+        assert _strip(result) == _strip(reference)
+
+    @pytest.mark.parametrize("collector", ["semispace", "generational"])
+    def test_lusearch_result_independent_of_collector(self, collector):
+        reference = run_lusearch(VirtualMachine(heap_bytes=2 << 20), LUSEARCH)
+        vm = VirtualMachine(heap_bytes=2 << 20, collector=collector)
+        result = run_lusearch(vm, LUSEARCH)
+        assert _strip(result) == _strip(reference)
+
+    def test_jbb_result_independent_of_space_policy(self):
+        reference = run_pseudojbb(VirtualMachine(heap_bytes=256 << 10), JBB)
+        collector = MarkSweepCollector(256 << 10, space_policy="blocks")
+        result = run_pseudojbb(VirtualMachine(collector=collector), JBB)
+        assert _strip(result) == _strip(reference)
+
+
+class TestAssertionTransparency:
+    def test_jbb_result_independent_of_assertions(self):
+        config_plain = JBB
+        config_asserted = JbbConfig(
+            **{
+                **vars(JBB),
+                "assert_dead_orders": True,
+                "assert_ownedby_orders": True,
+                "assert_instances_company": True,
+            }
+        )
+        plain = run_pseudojbb(VirtualMachine(heap_bytes=96 << 10), config_plain)
+        asserted = run_pseudojbb(VirtualMachine(heap_bytes=96 << 10), config_asserted)
+        assert _strip(plain) == _strip(asserted)
+
+    def test_base_vs_infrastructure_identical_results(self):
+        base = run_pseudojbb(
+            VirtualMachine(heap_bytes=96 << 10, assertions=False), JBB
+        )
+        infra = run_pseudojbb(VirtualMachine(heap_bytes=96 << 10), JBB)
+        assert _strip(base) == _strip(infra)

@@ -1,0 +1,189 @@
+"""Block-structured space tests (the Jikes-style MarkSweep layout)."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.heap.blocks import BLOCK_BYTES, LARGE_CUTOFF, Block, BlockSpace
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from repro.gc.marksweep import MarkSweepCollector
+from tests.conftest import build_chain, make_node_class
+
+
+@pytest.fixture
+def space():
+    return BlockSpace("test", 16 * BLOCK_BYTES)
+
+
+class TestBlock:
+    def test_format_carves_cells(self):
+        block = Block(0x1000, 64)
+        assert block.n_cells == BLOCK_BYTES // 64
+        assert not block.is_full
+        assert block.is_empty
+
+    def test_take_and_return_cell(self):
+        block = Block(0x1000, 64)
+        a = block.take_cell()
+        assert a == 0x1000
+        assert block.live_cells == 1
+        block.return_cell(a)
+        assert block.is_empty
+
+    def test_cells_are_distinct_and_in_block(self):
+        block = Block(0x1000, 256)
+        cells = {block.take_cell() for _ in range(block.n_cells)}
+        assert len(cells) == block.n_cells
+        assert all(0x1000 <= c < 0x1000 + BLOCK_BYTES for c in cells)
+        assert block.is_full
+
+    def test_return_bad_address_rejected(self):
+        block = Block(0x1000, 64)
+        block.take_cell()
+        with pytest.raises(HeapError):
+            block.return_cell(0x1000 + 13)  # not cell aligned
+
+    def test_double_free_detected(self):
+        block = Block(0x1000, 64)
+        a = block.take_cell()
+        block.return_cell(a)
+        with pytest.raises(HeapError):
+            block.return_cell(a)
+
+    def test_reformat_changes_cell_size(self):
+        block = Block(0x1000, 64)
+        block.take_cell()
+        block.format(128)
+        assert block.cell_bytes == 128
+        assert block.is_empty
+
+
+class TestBlockSpace:
+    def test_small_allocations_share_a_block(self, space):
+        a = space.allocate(32)
+        b = space.allocate(32)
+        assert a // BLOCK_BYTES == b // BLOCK_BYTES
+        assert space.bytes_in_use == BLOCK_BYTES  # one block of budget
+
+    def test_different_size_classes_use_different_blocks(self, space):
+        a = space.allocate(32)
+        b = space.allocate(512)
+        assert a // BLOCK_BYTES != b // BLOCK_BYTES
+        assert space.bytes_in_use == 2 * BLOCK_BYTES
+
+    def test_free_recycles_cell_within_block(self, space):
+        a = space.allocate(64)
+        space.free(a)
+        assert space.allocate(64) == a
+
+    def test_empty_block_recycles_across_size_classes(self, space):
+        a = space.allocate(32)
+        space.free(a)  # block empties, returns to the pool
+        b = space.allocate(1024)  # different class reuses the same block
+        assert b // BLOCK_BYTES == a // BLOCK_BYTES
+
+    def test_full_block_leaves_partial_list_and_returns(self, space):
+        cell = 2048  # two cells per block
+        a = space.allocate(cell)
+        b = space.allocate(cell)
+        c = space.allocate(cell)  # forces a second block
+        assert c // BLOCK_BYTES != a // BLOCK_BYTES
+        space.free(b)
+        # The freed cell in the first (previously full) block is reused.
+        assert space.allocate(cell) == b
+
+    def test_capacity_is_block_granular(self):
+        space = BlockSpace("tiny", 2 * BLOCK_BYTES)
+        assert space.allocate(32) is not None   # block 1 (size class 32)
+        assert space.allocate(512) is not None  # block 2 (size class 512)
+        assert space.allocate(1024) is None     # would need a third block
+        assert space.allocate(32) is not None   # block 1 still has cells
+
+    def test_large_objects_get_spans(self, space):
+        a = space.allocate(LARGE_CUTOFF + 1)
+        assert a is not None
+        assert space.contains(a)
+        size = space.cell_size(a)
+        assert size % BLOCK_BYTES == 0
+        freed = space.free(a)
+        assert freed == size
+        assert not space.contains(a)
+
+    def test_free_of_unallocated_rejected(self, space):
+        with pytest.raises(HeapError):
+            space.free(space._base + 8)
+
+    def test_contains(self, space):
+        a = space.allocate(64)
+        assert space.contains(a)
+        assert not space.contains(a + 8)  # interior, not a live cell start
+        space.free(a)
+        assert not space.contains(a)
+
+    def test_fragmentation_report(self, space):
+        kept = [space.allocate(32) for _ in range(4)]
+        frag = space.fragmentation()
+        assert frag["bytes_in_use"] == BLOCK_BYTES
+        assert frag["live_cell_bytes"] == 4 * 32
+        assert 0 < frag["utilization"] < 1.0
+
+    def test_addresses_word_aligned(self, space):
+        for nbytes in (8, 24, 100, 4000, 9000):
+            address = space.allocate(nbytes)
+            assert address % 8 == 0
+
+
+class TestMarkSweepOnBlocks:
+    def _vm(self, heap_bytes=1 << 20):
+        collector = MarkSweepCollector(heap_bytes, space_policy="blocks")
+        return VirtualMachine(collector=collector, assertions=False)
+
+    def test_collects_and_recycles(self):
+        vm = self._vm()
+        cls = make_node_class(vm)
+        nodes = build_chain(vm, cls, 10)
+        nodes[4]["next"] = None
+        vm.gc()
+        assert vm.heap.stats.objects_live == 5
+
+    def test_runs_workload_under_pressure(self):
+        collector = MarkSweepCollector(128 << 10, space_policy="blocks")
+        vm = VirtualMachine(collector=collector, assertions=True)
+        from repro.workloads.jbb import JbbConfig, run_pseudojbb
+
+        result = run_pseudojbb(
+            vm,
+            JbbConfig(
+                iterations=1,
+                transactions_per_iteration=200,
+                assert_dead_orders=True,
+                gc_per_iteration=True,
+            ),
+        )
+        assert result.violations == 0
+        assert vm.stats.collections >= 1
+
+    def test_matches_freelist_reachability(self):
+        survivors = []
+        for policy in ("freelist", "blocks"):
+            collector = MarkSweepCollector(1 << 20, space_policy=policy)
+            vm = VirtualMachine(collector=collector, assertions=False)
+            cls = make_node_class(vm)
+            nodes = build_chain(vm, cls, 20)
+            nodes[9]["next"] = None
+            vm.gc()
+            survivors.append(sum(1 for n in nodes if n.is_live))
+        assert survivors[0] == survivors[1] == 10
+
+    def test_heap_verifies_clean(self):
+        vm = self._vm()
+        from repro.gc.verify import verify_heap
+
+        cls = make_node_class(vm)
+        build_chain(vm, cls, 30)
+        vm.gc()
+        assert verify_heap(vm) == []
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(HeapError):
+            MarkSweepCollector(1 << 20, space_policy="arena")

@@ -1,0 +1,82 @@
+"""Unit tests for size classes and free lists."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.heap.freelist import SIZE_CLASSES, FreeList, size_class_for
+from repro.heap.layout import WORD_BYTES, align_up
+
+
+class TestSizeClasses:
+    def test_ascending_and_aligned(self):
+        assert list(SIZE_CLASSES) == sorted(SIZE_CLASSES)
+        for size in SIZE_CLASSES:
+            assert size % WORD_BYTES == 0
+
+    def test_smallest_class_is_one_word(self):
+        assert SIZE_CLASSES[0] == WORD_BYTES
+
+    def test_size_class_at_least_request(self):
+        for n in range(1, 2000, 17):
+            assert size_class_for(n) >= n
+
+    def test_exact_class_for_small_sizes(self):
+        assert size_class_for(8) == 8
+        assert size_class_for(24) == 24
+        assert size_class_for(25) == 32
+
+    def test_large_objects_get_exact_cells(self):
+        big = SIZE_CLASSES[-1] + 1000
+        assert size_class_for(big) == align_up(big)
+
+    def test_zero_or_negative_rejected(self):
+        with pytest.raises(HeapError):
+            size_class_for(0)
+        with pytest.raises(HeapError):
+            size_class_for(-8)
+
+    def test_class_waste_bounded(self):
+        """Geometric classes waste at most ~25%."""
+        for n in range(WORD_BYTES, SIZE_CLASSES[-1], 13):
+            cell = size_class_for(n)
+            assert cell <= align_up(int(n * 1.3)) + WORD_BYTES
+
+
+class TestFreeList:
+    def test_pop_empty_returns_none(self):
+        fl = FreeList()
+        assert fl.pop(16) is None
+
+    def test_push_pop_roundtrip(self):
+        fl = FreeList()
+        fl.push(0x1000, 16)
+        assert fl.free_bytes == 16
+        assert fl.pop(16) == 0x1000
+        assert fl.free_bytes == 0
+
+    def test_pop_wrong_size_misses(self):
+        fl = FreeList()
+        fl.push(0x1000, 16)
+        assert fl.pop(32) is None
+        assert fl.pop(16) == 0x1000
+
+    def test_lifo_recycling(self):
+        fl = FreeList()
+        fl.push(0x1000, 16)
+        fl.push(0x2000, 16)
+        assert fl.pop(16) == 0x2000
+        assert fl.pop(16) == 0x1000
+
+    def test_cell_count(self):
+        fl = FreeList()
+        fl.push(0x1000, 16)
+        fl.push(0x2000, 32)
+        assert fl.cell_count() == 2
+
+    def test_clear(self):
+        fl = FreeList()
+        fl.push(0x1000, 16)
+        fl.clear()
+        assert fl.cell_count() == 0
+        assert fl.free_bytes == 0
+        assert fl.pop(16) is None

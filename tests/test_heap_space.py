@@ -1,0 +1,110 @@
+"""Unit tests for FreeListSpace and BumpSpace."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.heap.space import BumpSpace, FreeListSpace, Space
+
+
+class TestSpaceAccounting:
+    def test_positive_capacity_required(self):
+        with pytest.raises(HeapError):
+            FreeListSpace("x", 0)
+
+    def test_bytes_free(self):
+        space = FreeListSpace("x", 1024)
+        assert space.bytes_free == 1024
+        space.allocate(100)
+        assert space.bytes_free < 1024
+
+
+class TestFreeListSpace:
+    def test_allocate_returns_aligned_addresses(self):
+        space = FreeListSpace("x", 4096)
+        for _ in range(10):
+            addr = space.allocate(24)
+            assert addr is not None
+            assert addr % 8 == 0
+
+    def test_distinct_addresses(self):
+        space = FreeListSpace("x", 4096)
+        addrs = {space.allocate(16) for _ in range(20)}
+        assert len(addrs) == 20
+
+    def test_allocation_fails_when_full(self):
+        space = FreeListSpace("x", 64)
+        assert space.allocate(32) is not None
+        assert space.allocate(32) is not None
+        assert space.allocate(32) is None
+
+    def test_free_recycles_cell(self):
+        space = FreeListSpace("x", 128)
+        a = space.allocate(32)
+        space.free(a)
+        b = space.allocate(32)
+        assert b == a  # the freed cell is reused
+
+    def test_free_restores_capacity(self):
+        space = FreeListSpace("x", 64)
+        a = space.allocate(64)
+        assert space.allocate(8) is None
+        space.free(a)
+        assert space.allocate(8) is not None
+
+    def test_double_free_rejected(self):
+        space = FreeListSpace("x", 128)
+        a = space.allocate(16)
+        space.free(a)
+        with pytest.raises(HeapError):
+            space.free(a)
+
+    def test_free_unknown_address_rejected(self):
+        space = FreeListSpace("x", 128)
+        with pytest.raises(HeapError):
+            space.free(0xDEAD0)
+
+    def test_cell_size_rounding_tracked(self):
+        space = FreeListSpace("x", 1 << 16)
+        a = space.allocate(25)  # rounds to 32
+        assert space.cell_size(a) == 32
+        assert space.free(a) == 32
+
+    def test_contains(self):
+        space = FreeListSpace("x", 128)
+        a = space.allocate(16)
+        assert space.contains(a)
+        space.free(a)
+        assert not space.contains(a)
+
+
+class TestBumpSpace:
+    def test_monotone_addresses(self):
+        space = BumpSpace("x", 4096)
+        a = space.allocate(16)
+        b = space.allocate(16)
+        assert b > a
+
+    def test_full_space_fails(self):
+        space = BumpSpace("x", 32)
+        assert space.allocate(32) is not None
+        assert space.allocate(8) is None
+
+    def test_reset_rewinds_cursor(self):
+        space = BumpSpace("x", 64)
+        a = space.allocate(16)
+        space.reset()
+        assert space.bytes_in_use == 0
+        assert space.allocate(16) == a  # address space reused after reset
+
+    def test_release_single_allocation(self):
+        space = BumpSpace("x", 64)
+        a = space.allocate(16)
+        released = space.release(a)
+        assert released == 16
+        assert not space.contains(a)
+        assert space.bytes_in_use == 0
+
+    def test_addresses_lists_live_allocations(self):
+        space = BumpSpace("x", 128)
+        addresses = [space.allocate(16) for _ in range(3)]
+        assert sorted(space.addresses()) == sorted(addresses)

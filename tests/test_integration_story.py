@@ -1,0 +1,112 @@
+"""End-to-end integration story: the full debugging workflow on one VM.
+
+Replays the lifecycle the paper envisions for a deployed system:
+
+1. ship a service with assertions in place (LOG policy);
+2. the collector reports a leak with its path during normal operation;
+3. a responder flips the assertion kind to FORCE to keep the service alive
+   (the paper's "might allow a program to run longer without running out
+   of memory");
+4. the underlying bug is fixed; assertions go quiet; memory is stable.
+"""
+
+import pytest
+
+from repro.core.reactions import Reaction
+from repro.core.reporting import AssertionKind
+from repro.errors import OutOfMemoryError
+from repro.gc.verify import verify_heap
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.containers import Vector
+
+
+class Service:
+    """A toy request-processing service with a toggleable leak."""
+
+    def __init__(self, vm, leak: bool):
+        self.vm = vm
+        self.leak = leak
+        vm.define_class("Request", [("id", FieldKind.INT), ("payload", FieldKind.REF)])
+        self.inflight = Vector.new(vm)
+        vm.statics.set_ref("svc.inflight", self.inflight.handle.address)
+        self.audit_log = Vector.new(vm)
+        vm.statics.set_ref("svc.auditLog", self.audit_log.handle.address)
+        self.processed = 0
+
+    def handle_request(self, request_id: int) -> None:
+        vm = self.vm
+        with vm.scope("request"):
+            request = vm.new("Request", id=request_id)
+            request["payload"] = vm.new_array(FieldKind.INT, 32)
+            self.inflight.append(request)
+        # ... processing ...
+        finished = self.inflight.remove_at(0)
+        if self.leak:
+            self.audit_log.append(finished)  # BUG: audit log never trimmed
+        vm.assertions.assert_dead(finished, site="Service.finish")
+        self.processed += 1
+
+
+def test_deploy_detect_mitigate_fix_lifecycle():
+    # --- 1. deploy with assertions on (LOG) at a production-ish heap.
+    vm = VirtualMachine(heap_bytes=96 << 10)
+    service = Service(vm, leak=True)
+
+    # --- 2. traffic arrives; the collector reports the leak in-flight.
+    for request_id in range(40):
+        service.handle_request(request_id)
+    vm.gc(reason="scheduled")
+    dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+    assert dead, "the leak must be detected during normal operation"
+    assert "auditLog" in dead[0].path.root_description
+
+    # --- 3. mitigation: FORCE reclaims asserted-dead objects so the
+    # service survives instead of creeping toward OOM.
+    vm.engine.policy.set_reaction(AssertionKind.DEAD, Reaction.FORCE)
+    for request_id in range(40, 400):
+        service.handle_request(request_id)
+    # Despite the leak still being present, forced reclamation keeps the
+    # live set bounded: far fewer than 360 leaked requests survive.
+    vm.gc(reason="post-mitigation")
+    request_cls = vm.classes.get("Request")
+    live_requests = sum(1 for o in vm.heap if o.cls is request_cls)
+    assert live_requests < 50
+    assert service.processed == 400
+    assert verify_heap(vm) == []
+
+    # --- 4. the fix ships: fresh deployment without the bug.
+    vm_fixed = VirtualMachine(heap_bytes=96 << 10)
+    fixed = Service(vm_fixed, leak=False)
+    for request_id in range(400):
+        fixed.handle_request(request_id)
+    vm_fixed.gc(reason="steady state")
+    assert len(vm_fixed.engine.log) == 0
+    assert vm_fixed.heap.stats.objects_live < 30
+    assert verify_heap(vm_fixed) == []
+
+
+def test_unmitigated_leak_exhausts_heap():
+    """Control: without FORCE, the same traffic eventually OOMs."""
+    vm = VirtualMachine(heap_bytes=96 << 10)
+    service = Service(vm, leak=True)
+    with pytest.raises(OutOfMemoryError):
+        for request_id in range(2000):
+            service.handle_request(request_id)
+    # Even at death, the reports collected so far identify the culprit.
+    dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+    assert dead
+    assert "auditLog" in dead[0].path.root_description
+
+
+def test_lifecycle_on_generational_collector():
+    """The same story holds when minor GCs interleave (checking deferred
+    to full-heap collections, §2.2)."""
+    vm = VirtualMachine(heap_bytes=192 << 10, collector="generational")
+    service = Service(vm, leak=True)
+    for request_id in range(60):
+        service.handle_request(request_id)
+    assert vm.stats.minor_collections >= 0  # minors may or may not have run
+    vm.gc(reason="full check")
+    assert vm.engine.log.of_kind(AssertionKind.DEAD)
+    assert verify_heap(vm) == []

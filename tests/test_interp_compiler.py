@@ -1,0 +1,140 @@
+"""MiniJ bytecode-compiler unit tests."""
+
+import pytest
+
+from repro.errors import MiniJCompileError
+from repro.heap.object_model import FieldKind
+from repro.interp.ast_nodes import TypeRef
+from repro.interp.bytecode import Op
+from repro.interp.compiler import compile_program, field_kind_for
+from repro.interp.parser import parse
+from repro.runtime.vm import VirtualMachine
+
+
+def compile_src(source):
+    vm = VirtualMachine(heap_bytes=1 << 20)
+    return compile_program(parse(source), vm), vm
+
+
+def ops_of(function):
+    return [instr.op for instr in function.code]
+
+
+class TestFieldKinds:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("int", FieldKind.INT),
+            ("bool", FieldKind.BOOL),
+            ("str", FieldKind.STR),
+            ("float", FieldKind.FLOAT),
+            ("Node", FieldKind.REF),
+        ],
+    )
+    def test_scalar_and_class_kinds(self, name, expected):
+        assert field_kind_for(TypeRef(name)) is expected
+
+    def test_arrays_are_refs(self):
+        assert field_kind_for(TypeRef("int", 1)) is FieldKind.REF
+
+    def test_void_rejected(self):
+        with pytest.raises(MiniJCompileError):
+            field_kind_for(TypeRef("void"))
+
+
+class TestClassLoading:
+    def test_classes_defined_in_vm(self):
+        program, vm = compile_src(
+            "class A { var x: int; } class B extends A { var y: B; } "
+            "def main(): void { }"
+        )
+        a = vm.classes.get("A")
+        b = vm.classes.get("B")
+        assert b.superclass is a
+        assert b.field("x").slot == 0
+        assert b.field("y").kind is FieldKind.REF
+
+    def test_forward_references_between_classes(self):
+        program, vm = compile_src(
+            "class A { var b: B; } class B { var a: A; } def main(): void { }"
+        )
+        assert vm.classes.get("A").field("b").kind is FieldKind.REF
+
+    def test_subclass_defined_before_superclass(self):
+        program, vm = compile_src(
+            "class B extends A { } class A { var x: int; } def main(): void { }"
+        )
+        assert vm.classes.get("B").has_field("x")
+
+    def test_method_table_and_supers(self):
+        program, _vm = compile_src(
+            """
+            class A { def m(): int { return 1; } }
+            class B extends A { }
+            class C extends B { def m(): int { return 3; } }
+            def main(): void { }
+            """
+        )
+        assert program.resolve_method("B", "m").owner == "A"
+        assert program.resolve_method("C", "m").owner == "C"
+        assert program.resolve_method("A", "missing") is None
+
+
+class TestCodeGeneration:
+    def test_implicit_void_return_appended(self):
+        program, _ = compile_src("def f(): void { }")
+        assert ops_of(program.functions["f"]) == [Op.PUSH_NULL, Op.RETURN]
+
+    def test_locals_get_slots(self):
+        program, _ = compile_src(
+            "def f(a: int, b: int): int { var c: int = a; return c; }"
+        )
+        fn = program.functions["f"]
+        assert fn.n_locals == 3
+        assert fn.local_names == ["a", "b", "c"]
+
+    def test_methods_reserve_this_slot(self):
+        program, _ = compile_src(
+            "class C { def m(x: int): int { return x; } } def main(): void { }"
+        )
+        method = program.methods["C"]["m"]
+        assert method.local_names[0] == "this"
+        assert method.n_locals == 2
+
+    def test_while_emits_backward_jump(self):
+        program, _ = compile_src("def f(): void { while (true) { } }")
+        code = program.functions["f"].code
+        jumps = [i for i in code if i.op is Op.JUMP]
+        assert jumps and jumps[0].a == 0  # back to the condition
+
+    def test_if_else_jump_targets_in_range(self):
+        program, _ = compile_src(
+            "def f(x: bool): int { if (x) { return 1; } else { return 2; } }"
+        )
+        code = program.functions["f"].code
+        for instr in code:
+            if instr.op in (Op.JUMP, Op.JUMP_IF_FALSE):
+                assert 0 <= instr.a <= len(code)
+
+    def test_short_circuit_uses_dup(self):
+        program, _ = compile_src("def f(a: bool, b: bool): bool { return a && b; }")
+        assert Op.DUP in ops_of(program.functions["f"])
+
+    def test_scalar_var_without_init_gets_default(self):
+        program, _ = compile_src("def f(): int { var x: int; return x; }")
+        code = program.functions["f"].code
+        assert code[0].op is Op.PUSH_CONST
+        assert code[0].a == 0
+
+    def test_ref_var_without_init_gets_null(self):
+        program, _ = compile_src(
+            "class C { } def f(): C { var x: C; return x; }"
+        )
+        assert program.functions["f"].code[0].op is Op.PUSH_NULL
+
+    def test_disassemble_readable(self):
+        program, _ = compile_src("def f(): int { return 41 + 1; }")
+        text = program.functions["f"].disassemble()
+        assert "function f" in text
+        assert "push_const" in text
+        assert "binary" in text

@@ -1,0 +1,279 @@
+"""MiniJ compiler + interpreter: language semantics."""
+
+import pytest
+
+from repro.errors import (
+    MiniJCompileError,
+    MiniJRuntimeError,
+    NullReferenceError,
+)
+from repro.interp.interpreter import Interpreter, run_source
+from repro.runtime.vm import VirtualMachine
+
+
+def run(source, entry="main"):
+    return run_source(source, VirtualMachine(heap_bytes=4 << 20), entry)
+
+
+def output_of(source):
+    return run(source).output
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        out = output_of("def main(): void { print(2 + 3 * 4 - 1); }")
+        assert out == ["13"]
+
+    def test_integer_division_truncates_toward_zero(self):
+        out = output_of(
+            "def main(): void { print(7 / 2); print(0 - 7 / 2); print((0-7) % 2); }"
+        )
+        assert out == ["3", "-3", "-1"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(MiniJRuntimeError):
+            run("def main(): void { print(1 / 0); }")
+
+    def test_float_arithmetic(self):
+        out = output_of("def main(): void { print(1.5 + 2.25); }")
+        assert out == ["3.75"]
+
+    def test_string_concat(self):
+        out = output_of('def main(): void { print("a" + "b"); }')
+        assert out == ["ab"]
+
+    def test_comparisons_and_booleans(self):
+        out = output_of(
+            "def main(): void { print(1 < 2); print(2 <= 1); print(!(1 == 1)); }"
+        )
+        assert out == ["true", "false", "false"]
+
+    def test_short_circuit_and(self):
+        # The right operand would divide by zero; && must not evaluate it.
+        out = output_of("def main(): void { print(false && (1 / 0 == 1)); }")
+        assert out == ["false"]
+
+    def test_short_circuit_or(self):
+        out = output_of("def main(): void { print(true || (1 / 0 == 1)); }")
+        assert out == ["true"]
+
+    def test_reference_equality(self):
+        out = output_of(
+            """
+            class C { var x: int; }
+            def main(): void {
+              var a: C = new C();
+              var b: C = new C();
+              var c: C = a;
+              print(a == b); print(a == c); print(a != null); print(null == null);
+            }
+            """
+        )
+        assert out == ["false", "true", "true", "true"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        out = output_of(
+            """
+            def main(): void {
+              var x: int = 3;
+              if (x > 2) { print("big"); } else { print("small"); }
+            }
+            """
+        )
+        assert out == ["big"]
+
+    def test_while_loop(self):
+        out = output_of(
+            """
+            def main(): void {
+              var i: int = 0;
+              var sum: int = 0;
+              while (i < 5) { sum = sum + i; i = i + 1; }
+              print(sum);
+            }
+            """
+        )
+        assert out == ["10"]
+
+    def test_recursion(self):
+        out = output_of(
+            """
+            def fib(n: int): int {
+              if (n < 2) { return n; }
+              return fib(n - 1) + fib(n - 2);
+            }
+            def main(): void { print(fib(10)); }
+            """
+        )
+        assert out == ["55"]
+
+    def test_non_bool_condition_rejected(self):
+        with pytest.raises(MiniJRuntimeError):
+            run("def main(): void { if (1) { } }")
+
+
+class TestObjectsAndArrays:
+    def test_fields_and_methods(self):
+        out = output_of(
+            """
+            class Counter {
+              var n: int;
+              def bump(): int { this.n = this.n + 1; return this.n; }
+            }
+            def main(): void {
+              var c: Counter = new Counter();
+              c.bump(); c.bump();
+              print(c.bump());
+            }
+            """
+        )
+        assert out == ["3"]
+
+    def test_method_dispatch_through_inheritance(self):
+        out = output_of(
+            """
+            class Animal { def speak(): str { return "..."; } }
+            class Dog extends Animal { def speak(): str { return "woof"; } }
+            class Cat extends Animal { }
+            def main(): void {
+              var d: Dog = new Dog();
+              var c: Cat = new Cat();
+              print(d.speak());
+              print(c.speak());
+            }
+            """
+        )
+        assert out == ["woof", "..."]
+
+    def test_inherited_fields(self):
+        out = output_of(
+            """
+            class A { var x: int; }
+            class B extends A { var y: int; }
+            def main(): void {
+              var b: B = new B();
+              b.x = 1; b.y = 2;
+              print(b.x + b.y);
+            }
+            """
+        )
+        assert out == ["3"]
+
+    def test_arrays(self):
+        out = output_of(
+            """
+            def main(): void {
+              var a: int[] = new int[3];
+              a[0] = 5; a[2] = 7;
+              print(a[0] + a[1] + a[2]);
+              print(len(a));
+            }
+            """
+        )
+        assert out == ["12", "3"]
+
+    def test_reference_arrays(self):
+        out = output_of(
+            """
+            class P { var v: int; }
+            def main(): void {
+              var ps: P[] = new P[2];
+              ps[0] = new P();
+              ps[0].v = 9;
+              print(ps[0].v);
+              print(ps[1] == null);
+            }
+            """
+        )
+        assert out == ["9", "true"]
+
+    def test_null_dereference(self):
+        with pytest.raises(NullReferenceError):
+            run(
+                """
+                class C { var x: int; }
+                def main(): void { var c: C = null; print(c.x); }
+                """
+            )
+
+    def test_array_bounds_checked(self):
+        with pytest.raises(MiniJRuntimeError):
+            run("def main(): void { var a: int[] = new int[2]; print(a[5]); }")
+
+    def test_unknown_field(self):
+        with pytest.raises(MiniJRuntimeError):
+            run(
+                """
+                class C { var x: int; }
+                def main(): void { var c: C = new C(); print(c.nope); }
+                """
+            )
+
+    def test_unknown_method(self):
+        with pytest.raises(MiniJRuntimeError):
+            run(
+                """
+                class C { }
+                def main(): void { var c: C = new C(); c.nope(); }
+                """
+            )
+
+
+class TestCompileErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(MiniJCompileError):
+            run("def main(): void { x = 1; }")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(MiniJCompileError):
+            run("def main(): void { var x: int; var x: int; }")
+
+    def test_this_outside_method(self):
+        with pytest.raises(MiniJCompileError):
+            run("def main(): void { print(this); }")
+
+    def test_unknown_superclass(self):
+        with pytest.raises(MiniJCompileError):
+            run("class A extends Nope {} def main(): void { }")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(MiniJCompileError):
+            run("class A extends B {} class B extends A {} def main(): void { }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(MiniJCompileError):
+            run("def f(): void {} def f(): void {} def main(): void {}")
+
+
+class TestRuntime:
+    def test_missing_entry_point(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        interp = Interpreter(vm)
+        interp.load("def helper(): void { }")
+        with pytest.raises(MiniJRuntimeError):
+            interp.run("main")
+
+    def test_wrong_arity(self):
+        with pytest.raises(MiniJRuntimeError):
+            run("def f(a: int): void { } def main(): void { f(); }")
+
+    def test_instruction_budget(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        interp = Interpreter(vm, max_steps=1000)
+        interp.load("def main(): void { while (true) { } }")
+        with pytest.raises(MiniJRuntimeError):
+            interp.run()
+
+    def test_return_value_from_entry(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        interp = Interpreter(vm)
+        interp.load("def answer(): int { return 42; }")
+        assert interp.run("answer") == 42
+
+    def test_builtin_str_and_print_render(self):
+        out = output_of(
+            'def main(): void { print(str(1) + " " + str(true) + " " + str(null)); }'
+        )
+        assert out == ["1 true null"]

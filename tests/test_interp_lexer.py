@@ -1,0 +1,97 @@
+"""MiniJ lexer tests."""
+
+import pytest
+
+from repro.errors import MiniJSyntaxError
+from repro.interp.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_int_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].value == 42
+
+    def test_float_literal(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind is TokenKind.FLOAT
+        assert tokens[0].value == 3.25
+
+    def test_int_dot_not_float_without_digits(self):
+        assert kinds("3.x")[:3] == [TokenKind.INT, TokenKind.DOT, TokenKind.IDENT]
+
+    def test_string_literal_with_escapes(self):
+        tokens = tokenize(r'"a\n\"b\\"')
+        assert tokens[0].value == 'a\n"b\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(MiniJSyntaxError):
+            tokenize('"abc')
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("class classy")
+        assert tokens[0].kind is TokenKind.CLASS
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[1].value == "classy"
+
+    def test_booleans_and_null(self):
+        assert kinds("true false null")[:3] == [
+            TokenKind.TRUE,
+            TokenKind.FALSE,
+            TokenKind.NULL,
+        ]
+
+    def test_two_char_operators(self):
+        assert kinds("== != <= >= && ||")[:6] == [
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.AND,
+            TokenKind.OR,
+        ]
+
+    def test_one_char_operators(self):
+        assert kinds("+-*/%<>!=")[:8] == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.PERCENT,
+            TokenKind.LT,
+            TokenKind.GT,
+            TokenKind.NE,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(MiniJSyntaxError):
+            tokenize("@")
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert kinds("1 // comment\n2")[:2] == [TokenKind.INT, TokenKind.INT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("1 /* x\ny */ 2")[:2] == [TokenKind.INT, TokenKind.INT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(MiniJSyntaxError):
+            tokenize("/* never closed")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(MiniJSyntaxError) as exc:
+            tokenize("ok\n  @")
+        assert exc.value.line == 2

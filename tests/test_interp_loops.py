@@ -1,0 +1,211 @@
+"""MiniJ for / break / continue semantics."""
+
+import pytest
+
+from repro.errors import MiniJCompileError
+from repro.interp.interpreter import run_source
+from repro.runtime.vm import VirtualMachine
+
+
+def output_of(source):
+    return run_source(source, VirtualMachine(heap_bytes=4 << 20)).output
+
+
+class TestForLoops:
+    def test_basic_counting(self):
+        out = output_of(
+            """
+            def main(): void {
+              var sum: int = 0;
+              for (var i: int = 0; i < 5; i = i + 1) { sum = sum + i; }
+              print(sum);
+            }
+            """
+        )
+        assert out == ["10"]
+
+    def test_init_can_be_assignment(self):
+        out = output_of(
+            """
+            def main(): void {
+              var i: int = 99;
+              var n: int = 0;
+              for (i = 0; i < 3; i = i + 1) { n = n + 1; }
+              print(n); print(i);
+            }
+            """
+        )
+        assert out == ["3", "3"]
+
+    def test_all_clauses_optional(self):
+        out = output_of(
+            """
+            def main(): void {
+              var i: int = 0;
+              for (;;) {
+                i = i + 1;
+                if (i == 4) { break; }
+              }
+              print(i);
+            }
+            """
+        )
+        assert out == ["4"]
+
+    def test_zero_iterations(self):
+        out = output_of(
+            """
+            def main(): void {
+              var n: int = 0;
+              for (var i: int = 9; i < 5; i = i + 1) { n = n + 1; }
+              print(n);
+            }
+            """
+        )
+        assert out == ["0"]
+
+    def test_nested_for(self):
+        out = output_of(
+            """
+            def main(): void {
+              var total: int = 0;
+              for (var i: int = 0; i < 3; i = i + 1) {
+                for (var j: int = 0; j < 4; j = j + 1) { total = total + 1; }
+              }
+              print(total);
+            }
+            """
+        )
+        assert out == ["12"]
+
+    def test_for_over_heap_array(self):
+        out = output_of(
+            """
+            def main(): void {
+              var a: int[] = new int[6];
+              for (var i: int = 0; i < len(a); i = i + 1) { a[i] = i * i; }
+              var sum: int = 0;
+              for (var j: int = 0; j < len(a); j = j + 1) { sum = sum + a[j]; }
+              print(sum);
+            }
+            """
+        )
+        assert out == ["55"]
+
+
+class TestBreakContinue:
+    def test_break_in_while(self):
+        out = output_of(
+            """
+            def main(): void {
+              var i: int = 0;
+              while (true) {
+                i = i + 1;
+                if (i >= 7) { break; }
+              }
+              print(i);
+            }
+            """
+        )
+        assert out == ["7"]
+
+    def test_continue_in_while(self):
+        out = output_of(
+            """
+            def main(): void {
+              var i: int = 0;
+              var odds: int = 0;
+              while (i < 10) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                odds = odds + 1;
+              }
+              print(odds);
+            }
+            """
+        )
+        assert out == ["5"]
+
+    def test_continue_in_for_runs_update(self):
+        """continue must jump to the update clause, not the condition."""
+        out = output_of(
+            """
+            def main(): void {
+              var evens: int = 0;
+              for (var i: int = 0; i < 10; i = i + 1) {
+                if (i % 2 == 1) { continue; }
+                evens = evens + 1;
+              }
+              print(evens);
+            }
+            """
+        )
+        assert out == ["5"]
+
+    def test_break_exits_only_inner_loop(self):
+        out = output_of(
+            """
+            def main(): void {
+              var count: int = 0;
+              for (var i: int = 0; i < 3; i = i + 1) {
+                for (var j: int = 0; j < 10; j = j + 1) {
+                  if (j == 2) { break; }
+                  count = count + 1;
+                }
+              }
+              print(count);
+            }
+            """
+        )
+        assert out == ["6"]
+
+    def test_continue_targets_inner_loop(self):
+        out = output_of(
+            """
+            def main(): void {
+              var count: int = 0;
+              for (var i: int = 0; i < 2; i = i + 1) {
+                for (var j: int = 0; j < 4; j = j + 1) {
+                  if (j == 0) { continue; }
+                  count = count + 1;
+                }
+              }
+              print(count);
+            }
+            """
+        )
+        assert out == ["6"]
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(MiniJCompileError):
+            output_of("def main(): void { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(MiniJCompileError):
+            output_of("def main(): void { continue; }")
+
+    def test_break_in_if_outside_loop_rejected(self):
+        with pytest.raises(MiniJCompileError):
+            output_of("def main(): void { if (true) { break; } }")
+
+
+class TestLoopsWithGc:
+    def test_allocation_in_for_loop_under_pressure(self):
+        vm = VirtualMachine(heap_bytes=24 << 10)
+        interp = run_source(
+            """
+            class C { var v: int; }
+            def main(): void {
+              var keep: C = null;
+              for (var i: int = 0; i < 2000; i = i + 1) {
+                var c: C = new C();
+                c.v = i;
+                if (i % 100 == 0) { keep = c; }
+              }
+              print(keep.v);
+            }
+            """,
+            vm,
+        )
+        assert interp.output == ["1900"]
+        assert vm.stats.collections > 0

@@ -1,0 +1,146 @@
+"""MiniJ parser tests."""
+
+import pytest
+
+from repro.errors import MiniJSyntaxError
+from repro.interp import ast_nodes as ast
+from repro.interp.parser import parse
+
+
+class TestDeclarations:
+    def test_empty_program(self):
+        program = parse("")
+        assert program.classes == []
+        assert program.functions == []
+
+    def test_class_with_fields_and_methods(self):
+        program = parse(
+            """
+            class Node {
+              var value: int;
+              var next: Node;
+              def get(): int { return this.value; }
+            }
+            """
+        )
+        cls = program.classes[0]
+        assert cls.name == "Node"
+        assert [f.name for f in cls.fields] == ["value", "next"]
+        assert cls.fields[1].type == ast.TypeRef("Node")
+        assert cls.methods[0].owner == "Node"
+
+    def test_class_extends(self):
+        program = parse("class A {} class B extends A {}")
+        assert program.classes[1].superclass == "A"
+
+    def test_function_signature(self):
+        program = parse("def f(a: int, b: Node[]): bool { return true; }")
+        fn = program.functions[0]
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert fn.params[1].type == ast.TypeRef("Node", 1)
+        assert fn.return_type == ast.TypeRef("bool")
+
+    def test_top_level_garbage_rejected(self):
+        with pytest.raises(MiniJSyntaxError):
+            parse("var x: int;")
+
+    def test_array_type_depths(self):
+        program = parse("def f(): int[][] { return null; }")
+        assert program.functions[0].return_type.array_depth == 2
+
+
+class TestStatements:
+    def _body(self, text):
+        return parse(f"def f(): void {{ {text} }}").functions[0].body
+
+    def test_var_decl_with_init(self):
+        stmt = self._body("var x: int = 1;")[0]
+        assert isinstance(stmt, ast.VarDecl)
+        assert isinstance(stmt.init, ast.IntLit)
+
+    def test_assignment_targets(self):
+        body = self._body("x = 1; x.f = 2; x[0] = 3;")
+        assert isinstance(body[0].target, ast.Name)
+        assert isinstance(body[1].target, ast.FieldAccess)
+        assert isinstance(body[2].target, ast.Index)
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(MiniJSyntaxError):
+            self._body("1 = 2;")
+
+    def test_if_else_chain(self):
+        stmt = self._body("if (a) { } else if (b) { } else { }")[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+        assert stmt.else_body[0].else_body is not None
+
+    def test_while(self):
+        stmt = self._body("while (x < 3) { x = x + 1; }")[0]
+        assert isinstance(stmt, ast.While)
+
+    def test_return_forms(self):
+        body = self._body("return; return 1;")
+        assert body[0].value is None
+        assert isinstance(body[1].value, ast.IntLit)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniJSyntaxError):
+            self._body("var x: int = 1")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        stmt = parse(f"def f(): void {{ g({text}); }}").functions[0].body[0]
+        return stmt.expr.args[0]
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        expr = self._expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_chains(self):
+        expr = self._expr("!!x")
+        assert expr.op == "!"
+        assert expr.operand.op == "!"
+
+    def test_postfix_chain(self):
+        expr = self._expr("a.b[0].c(1)")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method == "c"
+        inner = expr.target
+        assert isinstance(inner, ast.Index)
+        assert isinstance(inner.target, ast.FieldAccess)
+        assert isinstance(inner.target.target, ast.Name)
+
+    def test_new_object_and_array(self):
+        obj = self._expr("new Node()")
+        assert isinstance(obj, ast.NewObject)
+        arr = self._expr("new Node[5]")
+        assert isinstance(arr, ast.NewArray)
+        assert arr.elem_type == ast.TypeRef("Node")
+
+    def test_new_nested_array(self):
+        arr = self._expr("new int[3][]")
+        assert arr.elem_type == ast.TypeRef("int", 1)
+
+    def test_this_literal_null(self):
+        assert isinstance(self._expr("this"), ast.ThisExpr)
+        assert isinstance(self._expr("null"), ast.NullLit)
+        assert isinstance(self._expr('"s"'), ast.StrLit)
+
+    def test_call_vs_name(self):
+        call = self._expr("f(1, 2)")
+        assert isinstance(call, ast.Call)
+        assert len(call.args) == 2
+        name = self._expr("f")
+        assert isinstance(name, ast.Name)

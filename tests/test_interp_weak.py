@@ -1,0 +1,109 @@
+"""MiniJ `weak` field modifier semantics."""
+
+import pytest
+
+from repro.errors import MiniJCompileError
+from repro.heap.object_model import FieldKind
+from repro.interp.compiler import compile_program
+from repro.interp.interpreter import run_source
+from repro.interp.parser import parse
+from repro.runtime.vm import VirtualMachine
+
+
+def output_of(source, collector="marksweep"):
+    vm = VirtualMachine(heap_bytes=4 << 20, collector=collector)
+    return run_source(source, vm).output
+
+
+class TestWeakFieldDeclaration:
+    def test_weak_field_gets_weak_kind(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        compile_program(
+            parse("class Cache { var entry: weak Cache; } def main(): void { }"), vm
+        )
+        cls = vm.classes.get("Cache")
+        assert cls.field("entry").kind is FieldKind.WEAK
+        assert cls.weak_slots == (0,)
+        assert cls.ref_slots == ()
+
+    def test_weak_scalar_rejected(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        with pytest.raises(MiniJCompileError):
+            compile_program(
+                parse("class C { var n: weak int; } def main(): void { }"), vm
+            )
+
+    def test_weak_class_named_weak_still_usable(self):
+        """A class literally named `weak` is unambiguous: the modifier only
+        applies when another type name follows."""
+        out = output_of(
+            """
+            class weak { var v: int; }
+            class C { var w: weak; }
+            def main(): void {
+              var c: C = new C();
+              c.w = new weak();
+              c.w.v = 3;
+              print(c.w.v);
+            }
+            """
+        )
+        assert out == ["3"]
+
+
+class TestWeakFieldSemantics:
+    PROGRAM = """
+        class Cache { var hot: weak Item; }
+        class Item { var v: int; }
+        def main(): void {
+          var cache: Cache = new Cache();
+          var item: Item = new Item();
+          item.v = 42;
+          cache.hot = item;
+          gc();
+          print(cache.hot != null);   // true: the local roots it
+          print(cache.hot.v);
+          item = null;                // drop the only strong reference
+          gc();
+          print(cache.hot == null);   // true: weak field was cleared
+        }
+    """
+
+    def test_weak_field_cleared_when_target_dies(self):
+        assert output_of(self.PROGRAM) == ["true", "42", "true"]
+
+    @pytest.mark.parametrize("collector", ["semispace", "generational"])
+    def test_same_on_moving_collectors(self, collector):
+        assert output_of(self.PROGRAM, collector) == ["true", "42", "true"]
+
+    def test_weak_store_does_not_retain(self):
+        out = output_of(
+            """
+            class Cache { var hot: weak Item; }
+            class Item { var v: int; }
+            def main(): void {
+              var cache: Cache = new Cache();
+              cache.hot = new Item();   // no strong reference anywhere
+              gc();
+              print(heapLive());        // only the Cache survives
+            }
+            """
+        )
+        assert out == ["1"]
+
+    def test_weak_array_field(self):
+        out = output_of(
+            """
+            class Cache { var slots: weak Item[]; }
+            class Item { var v: int; }
+            def main(): void {
+              var cache: Cache = new Cache();
+              var arr: Item[] = new Item[2];
+              cache.slots = arr;        // weak ref to the ARRAY itself
+              arr = null;               // drop the strong root
+              gc();
+              print(cache.slots == null);  // arr only weakly held: cleared
+            }
+            """
+        )
+        assert out == ["true"]

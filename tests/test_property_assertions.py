@@ -1,0 +1,150 @@
+"""Property-based assertion semantics.
+
+The defining contracts of GC assertions, randomized:
+
+* ``assert-dead(p)`` fires at the next GC **iff** ``p`` is then reachable
+  (no false positives, no false negatives at GC granularity).
+* ``assert-instances(T, I)`` fires **iff** the live count at GC exceeds I.
+* ``assert-ownedby`` fires for exactly the ownees whose owner path was cut
+  while another path keeps them alive.
+* Assertions never perturb reachability ("we retain the semantics of the
+  program") under the default LOG policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.reporting import AssertionKind
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+
+N = 16
+
+
+def build_population(keep_flags):
+    """N objects; keep_flags[i] decides whether object i stays rooted."""
+    vm = VirtualMachine(heap_bytes=4 << 20)
+    cls = vm.define_class("P", [("id", FieldKind.INT)])
+    objects = []
+    with vm.scope():
+        for i, keep in enumerate(keep_flags):
+            obj = vm.new(cls, id=i)
+            if keep:
+                vm.statics.set_ref(f"keep{i}", obj.address)
+            objects.append(obj)
+    return vm, cls, objects
+
+
+@given(
+    keep=st.lists(st.booleans(), min_size=N, max_size=N),
+    asserted=st.sets(st.integers(0, N - 1)),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_assert_dead_fires_iff_reachable(keep, asserted):
+    vm, cls, objects = build_population(keep)
+    for i in asserted:
+        vm.assertions.assert_dead(objects[i], site=f"obj{i}")
+    vm.gc()
+    expected = {i for i in asserted if keep[i]}
+    fired = {
+        v.address for v in vm.engine.log.of_kind(AssertionKind.DEAD)
+    }
+    assert fired == {objects[i].obj.address for i in expected}
+    # Satisfied assertions are purged; violated ones remain registered.
+    assert vm.assertions.pending_dead() == len(expected)
+
+
+@given(
+    live_count=st.integers(0, 10),
+    limit=st.integers(0, 10),
+)
+@settings(max_examples=40, deadline=None)
+def test_assert_instances_threshold_exact(live_count, limit):
+    vm = VirtualMachine(heap_bytes=4 << 20)
+    cls = vm.define_class("T", [("id", FieldKind.INT)])
+    with vm.scope():
+        for i in range(live_count):
+            vm.statics.set_ref(f"o{i}", vm.new(cls).address)
+    vm.assertions.assert_instances(cls, limit)
+    vm.gc()
+    fired = len(vm.engine.log.of_kind(AssertionKind.INSTANCES)) > 0
+    assert fired == (live_count > limit)
+    assert cls.instance_count == live_count
+
+
+@given(
+    removed=st.sets(st.integers(0, 9)),
+    cached=st.sets(st.integers(0, 9)),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_ownedby_fires_exactly_for_cut_but_cached(removed, cached):
+    """Ownees removed from the owner AND held by the cache violate; ownees
+    removed and unreferenced die quietly; retained ownees pass."""
+    vm = VirtualMachine(heap_bytes=4 << 20)
+    container_cls = vm.define_class("Cont", [("items", FieldKind.REF)])
+    elem_cls = vm.define_class("Elem", [("id", FieldKind.INT)])
+    with vm.scope():
+        cont = vm.new(container_cls)
+        arr = vm.new_array(elem_cls, 10)
+        cont["items"] = arr
+        vm.statics.set_ref("cont", cont.address)
+        cache = vm.new_array(elem_cls, 10)
+        vm.statics.set_ref("cache", cache.address)
+        elements = []
+        for i in range(10):
+            e = vm.new(elem_cls, id=i)
+            arr[i] = e
+            if i in cached:
+                cache[i] = e
+            vm.assertions.assert_ownedby(cont, e, site=f"e{i}")
+            elements.append(e)
+    for i in removed:
+        cont["items"][i] = None
+    vm.gc()
+    expected = {elements[i].obj.address for i in (removed & cached)}
+    fired = {v.address for v in vm.engine.log.of_kind(AssertionKind.OWNED_BY)}
+    assert fired == expected
+    # Ownees that died (removed, uncached) must be purged from the registry.
+    assert vm.assertions.live_ownees() == 10 - len(removed - cached)
+
+
+@given(
+    keep=st.lists(st.booleans(), min_size=N, max_size=N),
+    asserted=st.sets(st.integers(0, N - 1)),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_log_policy_never_perturbs_reachability(keep, asserted):
+    """With LOG, survivor sets are identical with and without assertions."""
+    outcomes = []
+    for with_assertions in (False, True):
+        vm, cls, objects = build_population(keep)
+        if with_assertions:
+            for i in asserted:
+                vm.assertions.assert_dead(objects[i])
+                vm.assertions.assert_unshared(objects[i])
+        vm.gc()
+        outcomes.append(frozenset(o["id"] for o in objects if o.is_live))
+    assert outcomes[0] == outcomes[1]
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_unshared_fires_iff_multiple_heap_parents(data):
+    n_parents = data.draw(st.integers(0, 4))
+    vm = VirtualMachine(heap_bytes=4 << 20)
+    cls = vm.define_class("U", [("ref", FieldKind.REF)])
+    with vm.scope():
+        target = vm.new(cls)
+        vm.statics.set_ref("anchor", target.address)  # one root, no heap edges
+        for i in range(n_parents):
+            parent = vm.new(cls)
+            parent["ref"] = target
+            vm.statics.set_ref(f"p{i}", parent.address)
+        vm.assertions.assert_unshared(target)
+    vm.gc()
+    fired = len(vm.engine.log.of_kind(AssertionKind.UNSHARED))
+    # The root marks the target first; each heap edge is a repeat encounter.
+    assert (fired > 0) == (n_parents >= 1)

@@ -1,0 +1,116 @@
+"""Property-based longBTree testing against a dict model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.jbb.btree import LongBTree
+from tests.conftest import make_node_class
+
+KEYS = st.integers(0, 200)
+
+#: Operation sequences: ("insert", k) / ("remove", k) / ("get", k).
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove", "get"]), KEYS),
+    max_size=120,
+)
+
+
+def fresh_tree(degree):
+    vm = VirtualMachine(heap_bytes=32 << 20)
+    cls = make_node_class(vm)
+    tree = LongBTree.new(vm, degree=degree)
+    vm.statics.set_ref("tree", tree.handle.address)
+    return vm, cls, tree
+
+
+@given(ops=ops_strategy, degree=st.integers(2, 5))
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_btree_matches_dict_model(ops, degree):
+    vm, cls, tree = fresh_tree(degree)
+    model: dict[int, int] = {}
+    for op, key in ops:
+        if op == "insert":
+            with vm.scope():
+                inserted = tree.insert(key, vm.new(cls, value=key))
+            assert inserted == (key not in model)
+            model[key] = key
+        elif op == "remove":
+            removed = tree.remove(key)
+            if key in model:
+                assert removed is not None and removed["value"] == key
+                del model[key]
+            else:
+                assert removed is None
+        else:
+            got = tree.get(key)
+            if key in model:
+                assert got is not None and got["value"] == key
+            else:
+                assert got is None
+        assert len(tree) == len(model)
+    assert list(tree.keys()) == sorted(model)
+    tree.check_invariants()
+
+
+@given(keys=st.lists(KEYS, unique=True, min_size=1, max_size=80), degree=st.integers(2, 4))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_insert_all_remove_all(keys, degree):
+    vm, cls, tree = fresh_tree(degree)
+    with vm.scope():
+        for k in keys:
+            tree.insert(k, vm.new(cls, value=k))
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(keys)
+    for k in keys:
+        assert tree.remove(k) is not None
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+@given(keys=st.lists(KEYS, unique=True, min_size=2, max_size=60))
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_removed_values_unreachable_kept_values_live(keys):
+    """GC-level property: removal makes values collectable, retention keeps
+    them live — the exact property the orderTable leak violates."""
+    vm, cls, tree = fresh_tree(3)
+    handles = {}
+    with vm.scope():
+        for k in keys:
+            handle = vm.new(cls, value=k)
+            tree.insert(k, handle)
+            handles[k] = handle
+    removed = keys[: len(keys) // 2]
+    kept = keys[len(keys) // 2 :]
+    for k in removed:
+        tree.remove(k)
+    vm.gc()
+    for k in removed:
+        assert not handles[k].is_live
+    for k in kept:
+        assert handles[k].is_live
+        assert tree.get(k)["value"] == k
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_btree_consistent_under_interleaved_gc(ops):
+    """Random GC interleavings never corrupt the structure."""
+    vm, cls, tree = fresh_tree(2)
+    model: dict[int, int] = {}
+    for i, (op, key) in enumerate(ops):
+        if op == "insert":
+            with vm.scope():
+                tree.insert(key, vm.new(cls, value=key))
+            model[key] = key
+        elif op == "remove":
+            tree.remove(key)
+            model.pop(key, None)
+        if i % 7 == 0:
+            vm.gc()
+    vm.gc()
+    assert list(tree.keys()) == sorted(model)
+    tree.check_invariants()

@@ -1,0 +1,107 @@
+"""Property-based testing of the space policies against a reference model.
+
+Random alloc/free sequences are run against FreeListSpace and BlockSpace
+simultaneously with a simple dict model; the invariants:
+
+* allocated addresses are word aligned, non-overlapping, and unique among
+  live allocations;
+* ``free`` returns at least the requested size and makes the address
+  reusable;
+* accounting never undercounts live data and returns to zero when
+  everything is freed (free lists) / releases blocks when emptied (blocks).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.heap.blocks import BLOCK_BYTES, BlockSpace
+from repro.heap.space import BumpSpace, FreeListSpace
+
+CAPACITY = 64 * BLOCK_BYTES
+
+#: op: (kind, size_or_index) — "alloc" uses the size, "free" picks a live
+#: allocation by index modulo the live count.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free"]),
+        st.integers(1, 3000),
+    ),
+    max_size=100,
+)
+
+space_factories = {
+    "freelist": lambda: FreeListSpace("p", CAPACITY),
+    "blocks": lambda: BlockSpace("p", CAPACITY),
+}
+
+
+@pytest.mark.parametrize("policy", list(space_factories))
+class TestSpaceProperties:
+    @given(ops=ops_strategy)
+    @settings(
+        max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_model_conformance(self, policy, ops):
+        space = space_factories[policy]()
+        live: dict[int, int] = {}  # address -> requested size
+        order: list[int] = []
+        for kind, arg in ops:
+            if kind == "alloc":
+                address = space.allocate(arg)
+                if address is None:
+                    continue  # full is a legal answer
+                assert address % 8 == 0
+                assert address not in live, "address handed out twice"
+                # No overlap with any live allocation.
+                for other, other_size in live.items():
+                    hi = other + space.cell_size(other)
+                    assert not (other <= address < hi), "overlapping cells"
+                assert space.cell_size(address) >= arg
+                assert space.contains(address)
+                live[address] = arg
+                order.append(address)
+            elif live:
+                victim = order[arg % len(order)]
+                order.remove(victim)
+                del live[victim]
+                returned = space.free(victim)
+                assert returned > 0
+                assert not space.contains(victim)
+        # Surviving allocations are still valid.
+        for address in live:
+            assert space.contains(address)
+        assert space.bytes_in_use <= space.capacity_bytes
+
+    @given(sizes=st.lists(st.integers(1, 3000), min_size=1, max_size=40))
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_free_everything_enables_full_reuse(self, policy, sizes):
+        space = space_factories[policy]()
+        addresses = []
+        for size in sizes:
+            address = space.allocate(size)
+            if address is not None:
+                addresses.append(address)
+        for address in addresses:
+            space.free(address)
+        # After freeing everything, the same sequence fits again.
+        again = [space.allocate(size) for size in sizes]
+        assert all(a is not None for a in again[: len(addresses)])
+
+
+class TestBumpSpaceProperties:
+    @given(sizes=st.lists(st.integers(1, 500), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_and_disjoint(self, sizes):
+        space = BumpSpace("b", 1 << 20)
+        last_end = None
+        for size in sizes:
+            address = space.allocate(size)
+            assert address is not None
+            if last_end is not None:
+                assert address >= last_end
+            last_end = address + size

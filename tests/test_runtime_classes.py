@@ -1,0 +1,109 @@
+"""Class registry: definitions, arrays, instance tracking."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.heap.object_model import FieldKind
+from repro.runtime.classes import OBJECT_CLASS_NAME, ClassRegistry
+
+
+@pytest.fixture
+def registry():
+    return ClassRegistry()
+
+
+class TestDefinition:
+    def test_object_class_predefined(self, registry):
+        assert OBJECT_CLASS_NAME in registry
+        assert registry.object_class.superclass is None
+
+    def test_default_superclass_is_object(self, registry):
+        cls = registry.define("C")
+        assert cls.superclass is registry.object_class
+
+    def test_superclass_by_name(self, registry):
+        registry.define("P", [("x", FieldKind.INT)])
+        child = registry.define("C", [("y", FieldKind.REF)], superclass="P")
+        assert child.field("x").slot == 0
+        assert child.field("y").slot == 1
+
+    def test_duplicate_name_rejected(self, registry):
+        registry.define("C")
+        with pytest.raises(LayoutError):
+            registry.define("C")
+
+    def test_dense_class_ids(self, registry):
+        a = registry.define("A")
+        b = registry.define("B")
+        assert b.class_id == a.class_id + 1
+        assert registry.by_id(a.class_id) is a
+
+    def test_unknown_lookup_raises(self, registry):
+        with pytest.raises(LayoutError):
+            registry.get("Missing")
+        assert registry.maybe("Missing") is None
+
+    def test_len_and_iter(self, registry):
+        registry.define("A")
+        names = [c.name for c in registry]
+        assert OBJECT_CLASS_NAME in names and "A" in names
+        assert len(registry) == len(names)
+
+
+class TestArrays:
+    def test_reference_array_named_after_element(self, registry):
+        cls = registry.define("Order")
+        arr = registry.array_of(cls)
+        assert arr.name == "Order[]"
+        assert arr.is_array
+        assert arr.element_kind is FieldKind.REF
+
+    def test_scalar_array(self, registry):
+        arr = registry.array_of(FieldKind.INT)
+        assert arr.name == "int[]"
+        assert arr.element_kind is FieldKind.INT
+
+    def test_array_classes_interned(self, registry):
+        cls = registry.define("Order")
+        assert registry.array_of(cls) is registry.array_of(cls)
+
+
+class TestInstanceTracking:
+    """The two per-class words of §2.4.1 plus the tracked-types array."""
+
+    def test_track_sets_limit(self, registry):
+        cls = registry.define("Singleton")
+        registry.track_instances(cls, 1)
+        assert cls.instance_limit == 1
+        assert cls in registry.tracked_types
+
+    def test_zero_limit_allowed(self, registry):
+        cls = registry.define("Banned")
+        registry.track_instances(cls, 0)
+        assert cls.instance_limit == 0
+
+    def test_negative_limit_rejected(self, registry):
+        cls = registry.define("C")
+        with pytest.raises(LayoutError):
+            registry.track_instances(cls, -1)
+
+    def test_retrack_updates_limit_without_duplicates(self, registry):
+        cls = registry.define("C")
+        registry.track_instances(cls, 1)
+        registry.track_instances(cls, 5)
+        assert cls.instance_limit == 5
+        assert registry.tracked_types.count(cls) == 1
+
+    def test_untrack(self, registry):
+        cls = registry.define("C")
+        registry.track_instances(cls, 1)
+        registry.untrack_instances(cls)
+        assert cls.instance_limit is None
+        assert cls not in registry.tracked_types
+
+    def test_reset_instance_counts(self, registry):
+        cls = registry.define("C")
+        registry.track_instances(cls, 1)
+        cls.instance_count = 42
+        registry.reset_instance_counts()
+        assert cls.instance_count == 0

@@ -1,0 +1,140 @@
+"""Threads, frames, statics: root enumeration, regions, forwarding."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.heap.layout import NULL
+from repro.runtime.threads import Frame, MutatorThread, StaticRoots
+
+
+@pytest.fixture
+def thread():
+    return MutatorThread(0, "t0")
+
+
+class TestFrames:
+    def test_push_pop(self, thread):
+        frame = thread.push_frame("m")
+        assert thread.current_frame is frame
+        assert thread.pop_frame() is frame
+
+    def test_pop_empty_raises(self, thread):
+        with pytest.raises(RegionError):
+            thread.pop_frame()
+
+    def test_current_frame_empty_raises(self, thread):
+        with pytest.raises(RegionError):
+            thread.current_frame
+
+    def test_ref_locals_are_roots(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_ref("x", 0x1000)
+        roots = dict(thread.root_entries())
+        assert 0x1000 in roots.values()
+        descriptions = list(roots.keys())
+        assert any("x" in d and "m" in d for d in descriptions)
+
+    def test_null_refs_not_enumerated(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_ref("x", NULL)
+        assert list(thread.root_entries()) == []
+
+    def test_clear_ref_keeps_slot_nulled(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_ref("x", 0x1000)
+        frame.clear_ref("x")
+        assert frame.get_ref("x") == NULL
+        assert "x" in frame.refs
+
+    def test_drop_ref_removes_slot(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_ref("x", 0x1000)
+        frame.drop_ref("x")
+        assert "x" not in frame.refs
+
+    def test_scalars_are_not_roots(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_scalar("n", 0x1000)  # an int that looks like an address
+        assert list(thread.root_entries()) == []
+
+    def test_forwarding_rewrites_locals(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_ref("x", 0x1000)
+        frame.apply_forwarding({0x1000: 0x2000})
+        assert frame.get_ref("x") == 0x2000
+
+    def test_null_out(self, thread):
+        frame = thread.push_frame("m")
+        frame.set_ref("x", 0x1000)
+        frame.set_ref("y", 0x2000)
+        thread.null_out({0x1000})
+        assert frame.get_ref("x") == NULL
+        assert frame.get_ref("y") == 0x2000
+
+
+class TestStatics:
+    def test_roots_and_description(self):
+        statics = StaticRoots()
+        statics.set_ref("cache", 0x3000)
+        roots = list(statics.root_entries())
+        assert roots == [("static 'cache'", 0x3000)]
+
+    def test_forwarding(self):
+        statics = StaticRoots()
+        statics.set_ref("a", 0x1000)
+        statics.apply_forwarding({0x1000: 0x2000, 0x9999: 0x1})
+        assert statics.get_ref("a") == 0x2000
+
+    def test_get_missing_is_null(self):
+        assert StaticRoots().get_ref("nope") == NULL
+
+
+class TestRegions:
+    """The per-thread §2.3.2 region flag and allocation queue."""
+
+    def test_begin_sets_flag(self, thread):
+        thread.begin_region("r")
+        assert thread.in_region
+        assert thread.region_label == "r"
+
+    def test_nested_region_rejected(self, thread):
+        thread.begin_region()
+        with pytest.raises(RegionError):
+            thread.begin_region()
+
+    def test_end_without_begin_rejected(self, thread):
+        with pytest.raises(RegionError):
+            thread.end_region()
+
+    def test_allocations_recorded_only_in_region(self, thread):
+        thread.note_allocation(0x1000)
+        thread.begin_region()
+        thread.note_allocation(0x2000)
+        thread.note_allocation(0x3000)
+        queue = thread.end_region()
+        assert queue == [0x2000, 0x3000]
+
+    def test_end_resets_state(self, thread):
+        thread.begin_region()
+        thread.note_allocation(0x2000)
+        thread.end_region()
+        assert not thread.in_region
+        assert thread.region_queue == []
+
+    def test_region_queue_is_not_a_root(self, thread):
+        thread.begin_region()
+        thread.note_allocation(0x2000)
+        assert list(thread.root_entries()) == []
+
+    def test_purge_freed_drops_queue_entries(self, thread):
+        thread.begin_region()
+        thread.note_allocation(0x2000)
+        thread.note_allocation(0x3000)
+        thread.purge_freed({0x2000})
+        assert thread.region_queue == [0x3000]
+
+    def test_forwarding_rewrites_queue(self, thread):
+        thread.begin_region()
+        thread.note_allocation(0x2000)
+        thread.apply_forwarding({0x2000: 0x4000})
+        assert thread.region_queue == [0x4000]

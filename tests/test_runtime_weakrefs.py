@@ -1,0 +1,175 @@
+"""Weak references: non-retaining slots cleared/forwarded by collectors."""
+
+import pytest
+
+from repro.gc.verify import verify_heap
+from repro.heap.layout import NULL
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from tests.conftest import make_node_class
+
+
+@pytest.fixture(params=["marksweep", "semispace", "generational"])
+def wvm(request):
+    return VirtualMachine(heap_bytes=1 << 20, collector=request.param)
+
+
+@pytest.fixture
+def classes(wvm):
+    holder = wvm.define_class(
+        "WeakHolder", [("weak", FieldKind.WEAK), ("strong", FieldKind.REF)]
+    )
+    node = make_node_class(wvm)
+    return holder, node
+
+
+class TestWeakSemantics:
+    def test_weak_ref_does_not_keep_target_alive(self, wvm, classes):
+        holder_cls, node_cls = classes
+        with wvm.scope():
+            holder = wvm.new(holder_cls)
+            wvm.statics.set_ref("h", holder.address)
+            target = wvm.new(node_cls, value=7)
+            holder["weak"] = target
+        wvm.gc()
+        assert not target.is_live
+        assert holder["weak"] is None
+        assert wvm.stats.weak_refs_cleared >= 1
+
+    def test_weak_ref_readable_while_target_lives(self, wvm, classes):
+        holder_cls, node_cls = classes
+        with wvm.scope():
+            holder = wvm.new(holder_cls)
+            wvm.statics.set_ref("h", holder.address)
+            target = wvm.new(node_cls, value=7)
+            holder["weak"] = target
+            wvm.statics.set_ref("t", target.address)
+        wvm.gc()
+        assert holder["weak"]["value"] == 7
+
+    def test_strong_slot_still_retains(self, wvm, classes):
+        holder_cls, node_cls = classes
+        with wvm.scope():
+            holder = wvm.new(holder_cls)
+            wvm.statics.set_ref("h", holder.address)
+            target = wvm.new(node_cls, value=3)
+            holder["strong"] = target
+            holder["weak"] = target
+        wvm.gc()
+        assert target.is_live
+        assert holder["weak"] == target
+
+    def test_weak_forwarded_when_target_moves(self, classes, wvm):
+        if not wvm.collector.moving:
+            pytest.skip("non-moving collector")
+        holder_cls, node_cls = classes
+        with wvm.scope():
+            holder = wvm.new(holder_cls)
+            wvm.statics.set_ref("h", holder.address)
+            target = wvm.new(node_cls, value=11)
+            wvm.statics.set_ref("t", target.address)
+            holder["weak"] = target
+        before = target.obj.address
+        wvm.gc()
+        assert target.obj.address != before  # it moved
+        assert holder.ref_address("weak") == target.obj.address
+        assert holder["weak"]["value"] == 11
+
+    def test_weak_cleared_then_reusable(self, wvm, classes):
+        holder_cls, node_cls = classes
+        with wvm.scope():
+            holder = wvm.new(holder_cls)
+            wvm.statics.set_ref("h", holder.address)
+            holder["weak"] = wvm.new(node_cls)
+        wvm.gc()
+        assert holder["weak"] is None
+        with wvm.scope():
+            replacement = wvm.new(node_cls, value=5)
+            wvm.statics.set_ref("r", replacement.address)
+            holder["weak"] = replacement
+        wvm.gc()
+        assert holder["weak"]["value"] == 5
+
+    def test_heap_verifies_with_weak_slots(self, wvm, classes):
+        holder_cls, node_cls = classes
+        with wvm.scope():
+            holder = wvm.new(holder_cls)
+            wvm.statics.set_ref("h", holder.address)
+            holder["weak"] = wvm.new(node_cls)
+        wvm.gc()
+        assert verify_heap(wvm) == []
+
+
+class TestWeakArrays:
+    def test_weak_array_elements_cleared_individually(self, wvm, classes):
+        _holder_cls, node_cls = classes
+        with wvm.scope():
+            arr = wvm.new_array(FieldKind.WEAK, 3)
+            wvm.statics.set_ref("arr", arr.address)
+            kept = wvm.new(node_cls, value=1)
+            wvm.statics.set_ref("kept", kept.address)
+            doomed = wvm.new(node_cls, value=2)
+            arr[0] = kept
+            arr[1] = doomed
+        wvm.gc()
+        assert arr[0] == kept
+        assert arr[1] is None
+        assert arr[2] is None
+
+    def test_weak_array_does_not_trace_elements(self, wvm, classes):
+        _holder_cls, node_cls = classes
+        with wvm.scope():
+            arr = wvm.new_array(FieldKind.WEAK, 2)
+            wvm.statics.set_ref("arr", arr.address)
+            arr[0] = wvm.new(node_cls)
+        before = wvm.heap.stats.objects_live
+        wvm.gc()
+        # Only the array itself survives.
+        assert wvm.heap.stats.objects_live == 1
+
+
+class TestWeakCache:
+    def test_weak_value_cache_pattern(self, wvm, classes):
+        """The canonical use: a cache that never delays reclamation."""
+        _holder_cls, node_cls = classes
+        with wvm.scope():
+            cache = wvm.new_array(FieldKind.WEAK, 8)
+            wvm.statics.set_ref("cache", cache.address)
+            registry = wvm.new_array(node_cls, 8)
+            wvm.statics.set_ref("registry", registry.address)
+            for i in range(8):
+                item = wvm.new(node_cls, value=i)
+                registry[i] = item
+                cache[i] = item
+        # Evict half the registry; the cache lets those die.
+        for i in range(0, 8, 2):
+            registry[i] = None
+        wvm.gc()
+        for i in range(8):
+            if i % 2 == 0:
+                assert cache[i] is None
+            else:
+                assert cache[i]["value"] == i
+
+    def test_generational_minor_gc_clears_nursery_weaks(self):
+        vm = VirtualMachine(heap_bytes=1 << 20, collector="generational")
+        node_cls = make_node_class(vm)
+        with vm.scope():
+            cache = vm.new_array(FieldKind.WEAK, 1)
+            vm.statics.set_ref("cache", cache.address)
+            cache[0] = vm.new(node_cls)  # dies young
+        vm.minor_gc()
+        assert cache[0] is None
+
+    def test_generational_minor_gc_forwards_promoted_weaks(self):
+        vm = VirtualMachine(heap_bytes=1 << 20, collector="generational")
+        node_cls = make_node_class(vm)
+        with vm.scope():
+            cache = vm.new_array(FieldKind.WEAK, 1)
+            vm.statics.set_ref("cache", cache.address)
+            target = vm.new(node_cls, value=9)
+            vm.statics.set_ref("t", target.address)
+            cache[0] = target
+        vm.minor_gc()  # target promoted to mature
+        assert vm.collector.mature.contains(target.obj.address)
+        assert cache[0]["value"] == 9

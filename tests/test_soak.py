@@ -1,0 +1,106 @@
+"""Soak test: a long mixed workload on a small heap, fully verified.
+
+Runs every workload family back to back on one VM per collector, with all
+assertion kinds registered, under enough allocation pressure to force many
+collections — then verifies heap integrity and assertion-registry hygiene.
+This is the closest thing to the paper's "deployed setting" claim: the
+machinery must survive sustained, heterogeneous use.
+"""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.gc.verify import verify_heap
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.containers import HashTable, Vector
+from repro.workloads.jbb.btree import LongBTree
+
+
+@pytest.mark.parametrize("collector", ["marksweep", "semispace", "generational"])
+def test_mixed_soak(collector):
+    vm = VirtualMachine(heap_bytes=192 << 10, collector=collector)
+    cls = vm.define_class(
+        "Item", [("id", FieldKind.INT), ("link", FieldKind.REF)]
+    )
+
+    # Long-lived structures, all monitored by assertions.
+    tree = LongBTree.new(vm, degree=3)
+    vm.statics.set_ref("soak.tree", tree.handle.address)
+    table = HashTable.new(vm, buckets=16)
+    vm.statics.set_ref("soak.table", table.handle.address)
+    registry = Vector.new(vm)
+    vm.statics.set_ref("soak.registry", registry.handle.address)
+    vm.assertions.assert_instances(HashTable.CLASS, 1)
+    vm.assertions.assert_unshared(table.handle, site="soak: table is private")
+
+    serial = 0
+    for round_index in range(60):
+        # Phase 1: build a batch into the tree, asserting ownership.
+        with vm.scope("soak-build"):
+            for _ in range(10):
+                item = vm.new(cls, id=serial)
+                tree.insert(serial, item)
+                vm.assertions.assert_ownedby(tree.handle, item, site="soak.insert")
+                serial += 1
+        # Phase 2: retire the oldest batch; retired items must die.
+        if serial > 30:
+            for key in tree.first_keys(10):
+                retired = tree.remove(key)
+                vm.assertions.retract_ownedby(retired)
+                vm.assertions.assert_dead(retired, site="soak.retire")
+        # Phase 3: regioned temporary churn.
+        vm.assertions.start_region(label=f"soak-{round_index}")
+        with vm.scope("soak-temp"):
+            for i in range(8):
+                vm.new(cls, id=-i)
+        vm.assertions.assert_alldead(site=f"soak-{round_index} end")
+        # Phase 4: table churn.
+        with vm.scope("soak-table"):
+            table.put(f"k{round_index % 12}", vm.new(cls, id=serial))
+        if round_index % 5 == 4:
+            table.remove(f"k{(round_index - 2) % 12}")
+
+    vm.gc(reason="soak final")
+    vm.gc(reason="soak settle")
+
+    # No violations: every lifetime expectation held.
+    violations = [
+        v for v in vm.engine.log if v.kind is not AssertionKind.INSTANCES
+    ]
+    assert violations == []
+    assert len(vm.engine.log.of_kind(AssertionKind.INSTANCES)) == 0
+
+    # The collector worked hard...
+    assert vm.stats.collections >= 2
+    # ...and left a perfectly consistent heap and registry.
+    assert verify_heap(vm) == []
+    tree.check_invariants()
+    assert vm.assertions.live_ownees() == len(tree)
+
+
+def test_soak_with_violations_keeps_integrity():
+    """Sustained *buggy* behavior (every retired item leaks) must produce a
+    steady violation stream without ever corrupting collector state."""
+    vm = VirtualMachine(heap_bytes=256 << 10)
+    cls = vm.define_class("Leak", [("id", FieldKind.INT)])
+    keep = Vector.new(vm)
+    vm.statics.set_ref("keep", keep.handle.address)
+    sink = Vector.new(vm)
+    vm.statics.set_ref("sink", sink.handle.address)
+
+    for round_index in range(25):
+        with vm.scope():
+            item = vm.new(cls, id=round_index)
+            keep.append(item)
+        victim = keep.remove_at(0)
+        sink.append(victim)  # the leak
+        vm.assertions.assert_dead(victim, site="retire")
+        vm.gc()
+
+    assert len(vm.engine.log) > 20
+    # Every violation carries a usable path into the sink.
+    for violation in vm.engine.log:
+        assert violation.path is not None
+        assert "sink" in violation.path.root_description
+    assert verify_heap(vm) == []

@@ -1,0 +1,144 @@
+"""longBTree unit tests (the SPEC JBB orderTable)."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.jbb.btree import NODE_CLASS, TREE_CLASS, LongBTree
+from tests.conftest import make_node_class
+
+
+@pytest.fixture
+def bvm():
+    return VirtualMachine(heap_bytes=16 << 20)
+
+
+@pytest.fixture
+def val_cls(bvm):
+    return make_node_class(bvm)
+
+
+@pytest.fixture
+def tree(bvm):
+    tree = LongBTree.new(bvm, degree=2)  # smallest legal degree: max splits
+    bvm.statics.set_ref("tree", tree.handle.address)
+    return tree
+
+
+def fill(bvm, val_cls, tree, keys):
+    with bvm.scope():
+        for k in keys:
+            tree.insert(k, bvm.new(val_cls, value=k))
+
+
+class TestBasics:
+    def test_empty_tree(self, tree):
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert not tree.contains(1)
+        assert tree.min_key() is None
+        assert list(tree.keys()) == []
+
+    def test_degree_validation(self, bvm):
+        with pytest.raises(RuntimeFault):
+            LongBTree.new(bvm, degree=1)
+
+    def test_insert_and_get(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, [5, 3, 8])
+        assert tree.get(3)["value"] == 3
+        assert tree.get(8)["value"] == 8
+        assert len(tree) == 3
+
+    def test_duplicate_insert_updates_value(self, bvm, val_cls, tree):
+        with bvm.scope():
+            assert tree.insert(1, bvm.new(val_cls, value=1))
+            assert not tree.insert(1, bvm.new(val_cls, value=99))
+        assert len(tree) == 1
+        assert tree.get(1)["value"] == 99
+
+    def test_inorder_iteration_sorted(self, bvm, val_cls, tree):
+        keys = [7, 1, 9, 4, 2, 8, 3, 6, 5, 0]
+        fill(bvm, val_cls, tree, keys)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_min_and_first_keys(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, [50, 10, 30, 20, 40])
+        assert tree.min_key() == 10
+        assert tree.first_keys(3) == [10, 20, 30]
+        assert tree.first_keys(99) == [10, 20, 30, 40, 50]
+
+    def test_splits_build_multilevel_tree(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, range(100))
+        root = tree.handle["root"]
+        assert not root["leaf"]  # the tree actually grew levels
+        tree.check_invariants()
+
+    def test_uses_paper_class_names(self, bvm, val_cls, tree):
+        assert tree.handle.type_name == TREE_CLASS
+        assert tree.handle["root"].type_name == NODE_CLASS
+        assert "spec.jbb.infra.Collections" in TREE_CLASS
+
+
+class TestRemoval:
+    def test_remove_from_leaf(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, [1, 2, 3])
+        removed = tree.remove(2)
+        assert removed["value"] == 2
+        assert list(tree.keys()) == [1, 3]
+        tree.check_invariants()
+
+    def test_remove_missing_returns_none(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, [1])
+        assert tree.remove(9) is None
+        assert len(tree) == 1
+
+    def test_remove_internal_keys(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, range(30))
+        for key in [15, 7, 22, 0, 29]:
+            assert tree.remove(key)["value"] == key
+            tree.check_invariants()
+        remaining = sorted(set(range(30)) - {15, 7, 22, 0, 29})
+        assert list(tree.keys()) == remaining
+
+    def test_remove_everything(self, bvm, val_cls, tree):
+        keys = list(range(40))
+        fill(bvm, val_cls, tree, keys)
+        for key in keys:
+            assert tree.remove(key) is not None
+        assert len(tree) == 0
+        assert list(tree.keys()) == []
+        tree.check_invariants()
+
+    def test_remove_descending(self, bvm, val_cls, tree):
+        fill(bvm, val_cls, tree, range(25))
+        for key in reversed(range(25)):
+            tree.remove(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_removed_values_become_collectable(self, bvm, val_cls, tree):
+        with bvm.scope():
+            victim = bvm.new(val_cls, value=1)
+            tree.insert(1, victim)
+            for k in range(2, 20):
+                tree.insert(k, bvm.new(val_cls, value=k))
+        tree.remove(1)
+        bvm.gc()
+        assert not victim.is_live
+        # Everything still in the tree survives.
+        assert tree.get(5)["value"] == 5
+        tree.check_invariants()
+
+    def test_tree_survives_gc_under_pressure(self):
+        vm = VirtualMachine(heap_bytes=32 << 10)
+        cls = make_node_class(vm)
+        tree = LongBTree.new(vm, degree=3)
+        vm.statics.set_ref("tree", tree.handle.address)
+        for i in range(1200):
+            with vm.scope():
+                tree.insert(i, vm.new(cls, value=i))
+            if i >= 50:
+                tree.remove(i - 50)
+        assert vm.stats.collections > 0
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1150, 1200))

@@ -1,0 +1,191 @@
+"""Heap-backed container tests (Vector, IntVector, HashTable)."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.containers import HashTable, IntVector, Vector
+from tests.conftest import make_node_class
+
+
+@pytest.fixture
+def cvm():
+    return VirtualMachine(heap_bytes=4 << 20)
+
+
+@pytest.fixture
+def item_cls(cvm):
+    return make_node_class(cvm)
+
+
+def rooted_vector(cvm, capacity=2):
+    vec = Vector.new(cvm, capacity=capacity)
+    cvm.statics.set_ref("vec", vec.handle.address)
+    return vec
+
+
+class TestVector:
+    def test_append_get(self, cvm, item_cls):
+        vec = rooted_vector(cvm)
+        with cvm.scope():
+            a = cvm.new(item_cls, value=1)
+            vec.append(a)
+        assert len(vec) == 1
+        assert vec.get(0)["value"] == 1
+
+    def test_growth_preserves_contents(self, cvm, item_cls):
+        vec = rooted_vector(cvm, capacity=2)
+        with cvm.scope():
+            for i in range(20):
+                vec.append(cvm.new(item_cls, value=i))
+        assert [vec.get(i)["value"] for i in range(20)] == list(range(20))
+
+    def test_remove_at_shifts(self, cvm, item_cls):
+        vec = rooted_vector(cvm)
+        with cvm.scope():
+            for i in range(5):
+                vec.append(cvm.new(item_cls, value=i))
+        removed = vec.remove_at(1)
+        assert removed["value"] == 1
+        assert [v["value"] for v in vec] == [0, 2, 3, 4]
+
+    def test_pop(self, cvm, item_cls):
+        vec = rooted_vector(cvm)
+        with cvm.scope():
+            vec.append(cvm.new(item_cls, value=9))
+        assert vec.pop()["value"] == 9
+        assert len(vec) == 0
+        with pytest.raises(RuntimeFault):
+            vec.pop()
+
+    def test_out_of_range(self, cvm):
+        vec = rooted_vector(cvm)
+        with pytest.raises(RuntimeFault):
+            vec.get(0)
+        with pytest.raises(RuntimeFault):
+            vec.set(0, None)
+        with pytest.raises(RuntimeFault):
+            vec.remove_at(0)
+
+    def test_clear_releases_references(self, cvm, item_cls):
+        vec = rooted_vector(cvm)
+        with cvm.scope():
+            handle = cvm.new(item_cls)
+            vec.append(handle)
+        vec.clear()
+        cvm.gc()
+        assert not handle.is_live
+
+    def test_removed_elements_are_collectable(self, cvm, item_cls):
+        vec = rooted_vector(cvm)
+        with cvm.scope():
+            for i in range(3):
+                vec.append(cvm.new(item_cls, value=i))
+        victim = vec.remove_at(0)
+        cvm.gc()
+        assert not victim.is_live
+        assert vec.get(0)["value"] == 1
+
+    def test_index_of(self, cvm, item_cls):
+        vec = rooted_vector(cvm)
+        with cvm.scope():
+            a = cvm.new(item_cls)
+            b = cvm.new(item_cls)
+            vec.append(a)
+            vec.append(b)
+        assert vec.index_of(b) == 1
+        with cvm.scope():
+            assert vec.index_of(cvm.new(item_cls)) == -1
+
+    def test_survives_gc_under_pressure(self, item_cls):
+        vm = VirtualMachine(heap_bytes=16 << 10)
+        cls = make_node_class(vm)
+        vec = Vector.new(vm, capacity=2)
+        vm.statics.set_ref("vec", vec.handle.address)
+        for i in range(2000):
+            with vm.scope():
+                vec.append(vm.new(cls, value=i))
+            if len(vec) > 20:
+                vec.remove_at(0)
+        assert vm.stats.collections > 0
+        values = [v["value"] for v in vec]
+        assert values == list(range(2000 - len(values), 2000))
+
+
+class TestIntVector:
+    def test_append_and_growth(self, cvm):
+        iv = IntVector.new(cvm, capacity=1)
+        cvm.statics.set_ref("iv", iv.handle.address)
+        for i in range(50):
+            iv.append(i * 2)
+        assert len(iv) == 50
+        assert list(iv) == [i * 2 for i in range(50)]
+        assert iv.get(10) == 20
+
+    def test_out_of_range(self, cvm):
+        iv = IntVector.new(cvm)
+        cvm.statics.set_ref("iv", iv.handle.address)
+        with pytest.raises(RuntimeFault):
+            iv.get(0)
+
+
+class TestHashTable:
+    def test_put_get(self, cvm, item_cls):
+        table = HashTable.new(cvm, buckets=4)
+        cvm.statics.set_ref("t", table.handle.address)
+        with cvm.scope():
+            a = cvm.new(item_cls, value=1)
+            assert table.put("a", a)
+        assert table.get("a")["value"] == 1
+        assert table.get("missing") is None
+
+    def test_update_existing(self, cvm, item_cls):
+        table = HashTable.new(cvm, buckets=4)
+        cvm.statics.set_ref("t", table.handle.address)
+        with cvm.scope():
+            table.put("k", cvm.new(item_cls, value=1))
+            assert not table.put("k", cvm.new(item_cls, value=2))
+        assert table.get("k")["value"] == 2
+        assert len(table) == 1
+
+    def test_collisions_chain(self, cvm, item_cls):
+        table = HashTable.new(cvm, buckets=1)  # everything collides
+        cvm.statics.set_ref("t", table.handle.address)
+        with cvm.scope():
+            for i in range(10):
+                table.put(f"k{i}", cvm.new(item_cls, value=i))
+        assert len(table) == 10
+        for i in range(10):
+            assert table.get(f"k{i}")["value"] == i
+
+    def test_remove(self, cvm, item_cls):
+        table = HashTable.new(cvm, buckets=2)
+        cvm.statics.set_ref("t", table.handle.address)
+        with cvm.scope():
+            for i in range(6):
+                table.put(f"k{i}", cvm.new(item_cls, value=i))
+        removed = table.remove("k3")
+        assert removed["value"] == 3
+        assert table.get("k3") is None
+        assert len(table) == 5
+        assert table.remove("k3") is None
+
+    def test_contains_keys_values(self, cvm, item_cls):
+        table = HashTable.new(cvm, buckets=4)
+        cvm.statics.set_ref("t", table.handle.address)
+        with cvm.scope():
+            table.put("x", cvm.new(item_cls, value=5))
+        assert table.contains("x")
+        assert not table.contains("y")
+        assert list(table.keys()) == ["x"]
+        assert next(iter(table.values()))["value"] == 5
+
+    def test_removed_values_collectable(self, cvm, item_cls):
+        table = HashTable.new(cvm, buckets=4)
+        cvm.statics.set_ref("t", table.handle.address)
+        with cvm.scope():
+            victim = cvm.new(item_cls)
+            table.put("v", victim)
+        table.remove("v")
+        cvm.gc()
+        assert not victim.is_live

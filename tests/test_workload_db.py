@@ -1,0 +1,123 @@
+"""_209_db workload: healthy runs and the external-cache leak."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.db import Database, DbConfig, run_db
+
+SMALL = dict(initial_entries=60, operations=300, gc_every=100)
+
+
+def db_vm():
+    return VirtualMachine(heap_bytes=8 << 20)
+
+
+class TestHealthy:
+    def test_paper_assertions_quiet(self):
+        vm = db_vm()
+        result = run_db(
+            vm,
+            DbConfig(**SMALL, assert_ownedby_entries=True, assert_dead_on_delete=True),
+        )
+        assert result.violations == 0
+        assert result.adds > 0 and result.deletes > 0 and result.finds > 0
+
+    def test_every_add_asserts_ownership(self):
+        vm = db_vm()
+        result = run_db(vm, DbConfig(**SMALL, assert_ownedby_entries=True))
+        counts = vm.assertions.call_counts()
+        assert counts["assert-ownedby"] == result.adds
+
+    def test_every_delete_asserts_dead(self):
+        vm = db_vm()
+        result = run_db(vm, DbConfig(**SMALL, assert_dead_on_delete=True))
+        counts = vm.assertions.call_counts()
+        assert counts["assert-dead"] == result.deletes
+
+    def test_final_size_consistent(self):
+        vm = db_vm()
+        result = run_db(vm, DbConfig(**SMALL))
+        assert result.final_size == result.adds - result.deletes
+
+    def test_deterministic(self):
+        runs = [run_db(db_vm(), DbConfig(**SMALL, seed=5)) for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_sort_orders_entries(self):
+        vm = db_vm()
+        config = DbConfig(initial_entries=30, operations=0)
+        database = Database(vm, config)
+        for _ in range(30):
+            database.add()
+        database.delete()  # perturb
+        database.sort()
+        ids = [e["id"] for e in database.entries if e is not None]
+        assert ids == sorted(ids)
+
+    def test_ownees_purged_as_entries_die(self):
+        vm = db_vm()
+        run_db(vm, DbConfig(**SMALL, assert_ownedby_entries=True))
+        vm.gc()
+        # Registered ownees equal the live entries exactly.
+        live_entries = sum(1 for o in vm.heap if o.cls.name == "spec.db.Entry")
+        assert vm.assertions.live_ownees() == live_entries
+
+
+class TestExternalCacheLeak:
+    """§2.5.2's motivating pattern: container + cache sharing."""
+
+    #: A small key space and find-heavy mix so cache hits (and therefore
+    #: leaked entries) occur reliably.
+    LEAKY = dict(
+        initial_entries=60,
+        operations=400,
+        key_space=100,
+        find_weight=8,
+        gc_every=100,
+    )
+
+    def test_leak_detected_by_both_assertions(self):
+        vm = db_vm()
+        result = run_db(
+            vm,
+            DbConfig(
+                **self.LEAKY,
+                leak_external_cache=True,
+                assert_ownedby_entries=True,
+                assert_dead_on_delete=True,
+            ),
+        )
+        assert result.violations > 0
+        kinds = {v.kind for v in vm.engine.log}
+        assert AssertionKind.DEAD in kinds
+        assert AssertionKind.OWNED_BY in kinds
+
+    def test_leak_path_points_at_cache(self):
+        vm = db_vm()
+        run_db(
+            vm,
+            DbConfig(
+                **self.LEAKY, leak_external_cache=True, assert_ownedby_entries=True
+            ),
+        )
+        owned = vm.engine.log.of_kind(AssertionKind.OWNED_BY)
+        assert owned, "cache leak must surface ownership violations"
+        assert "foundCache" in owned[0].path.root_description
+
+    def test_no_false_positives_without_deletes(self):
+        vm = db_vm()
+        run_db(
+            vm,
+            DbConfig(
+                initial_entries=50,
+                operations=100,
+                add_weight=1,
+                delete_weight=0,
+                find_weight=5,
+                gc_every=50,
+                leak_external_cache=True,  # cache exists but nothing deleted
+                assert_ownedby_entries=True,
+            ),
+        )
+        assert len(vm.engine.log) == 0

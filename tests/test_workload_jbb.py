@@ -1,0 +1,202 @@
+"""pseudojbb workload: healthy runs and the §3.2.1 bug reproductions."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.jbb import JbbConfig, run_pseudojbb
+from repro.workloads.jbb.entities import COMPANY, ORDER, build_company, districts_of
+
+
+def jbb_vm():
+    return VirtualMachine(heap_bytes=8 << 20)
+
+
+SMALL = dict(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=8,
+    iterations=2,
+    transactions_per_iteration=150,
+    gc_per_iteration=True,
+)
+
+
+class TestHealthyRuns:
+    def test_all_assertions_quiet_when_bugs_fixed(self):
+        vm = jbb_vm()
+        config = JbbConfig(
+            **SMALL,
+            assert_dead_orders=True,
+            assert_ownedby_orders=True,
+            assert_instances_company=True,
+            region_payments=True,
+        )
+        result = run_pseudojbb(vm, config)
+        assert result.transactions == 300
+        assert result.violations == 0
+        vm.gc()
+        vm.gc()
+        assert len(vm.engine.log) == 0
+
+    def test_transaction_counters_add_up(self):
+        vm = jbb_vm()
+        result = run_pseudojbb(vm, JbbConfig(**SMALL))
+        assert (
+            result.new_orders + result.payments + result.deliveries
+            == result.transactions
+        )
+        assert result.iterations == 2
+
+    def test_company_graph_shape(self):
+        vm = jbb_vm()
+        with vm.scope():
+            company = build_company(vm, 2, 3, 4)
+            vm.statics.set_ref("c", company.address)
+        districts = districts_of(company)
+        assert len(districts) == 6
+        for district in districts:
+            assert district["orderTable"] is not None
+            assert len(district["customers"]) == 4
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            vm = jbb_vm()
+            results.append(run_pseudojbb(vm, JbbConfig(**SMALL, seed=7)))
+        assert results[0] == results[1]
+
+    def test_memory_stable_without_bugs(self):
+        vm = jbb_vm()
+        run_pseudojbb(vm, JbbConfig(**SMALL))
+        vm.gc()
+        vm.gc()
+        # After the run every Company iteration graph is dead.
+        assert vm.heap.stats.objects_live == 0
+
+
+class TestLastOrderLeak:
+    """'When the Order is destroyed, the lastOrder field in the associated
+    Customer is not cleared, and this reference prevents the Order from
+    being reclaimed.'"""
+
+    def test_leak_detected_by_assert_dead(self):
+        vm = jbb_vm()
+        config = JbbConfig(**SMALL, leak_last_order=True, assert_dead_orders=True)
+        result = run_pseudojbb(vm, config)
+        dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+        assert len(dead) > 0
+        assert all(v.type_name == ORDER for v in dead)
+
+    def test_path_goes_through_customer(self):
+        vm = jbb_vm()
+        config = JbbConfig(**SMALL, leak_last_order=True, assert_dead_orders=True)
+        run_pseudojbb(vm, config)
+        violation = vm.engine.log.of_kind(AssertionKind.DEAD)[0]
+        names = violation.path.type_names()
+        assert "spec.jbb.Customer" in names
+        assert names[-1] == ORDER
+
+    def test_repair_matches_paper(self):
+        """The fix: clear Customer.lastOrder in destroy() — exactly what
+        clear_last_order=True (the default) does."""
+        vm = jbb_vm()
+        config = JbbConfig(**SMALL, leak_last_order=False, assert_dead_orders=True)
+        run_pseudojbb(vm, config)
+        assert len(vm.engine.log.of_kind(AssertionKind.DEAD)) == 0
+
+
+class TestOrderTableLeak:
+    """The Jump & McKinley leak: completed orders never leave the BTree."""
+
+    def test_detected_by_assert_dead(self):
+        vm = jbb_vm()
+        config = JbbConfig(**SMALL, leak_order_table=True, assert_dead_orders=True)
+        run_pseudojbb(vm, config)
+        dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+        assert len(dead) > 0
+        # Figure 1's path: the leak runs through the longBTree.
+        names = dead[0].path.type_names()
+        assert "spec.jbb.infra.Collections.longBTree" in names
+        assert "spec.jbb.infra.Collections.longBTreeNode" in names
+
+    def test_detected_by_ownership_without_knowing_death_point(self):
+        """'The ownership assertion is an easier way to detect such problems
+        since the user does not need to know when an object should be
+        dead.'  Destroyed-but-leaked orders stay in the table, and dead
+        customers' lastOrder references... the ownership variant flags
+        orders reachable outside their orderTable."""
+        vm = jbb_vm()
+        config = JbbConfig(
+            **SMALL,
+            leak_order_table=True,
+            leak_last_order=True,
+            assert_dead_orders=True,
+            assert_ownedby_orders=True,
+        )
+        result = run_pseudojbb(vm, config)
+        assert result.violations > 0
+
+    def test_heap_grows_with_leak(self):
+        grown, fixed = [], []
+        for leak, sink in ((True, grown), (False, fixed)):
+            vm = jbb_vm()
+            run_pseudojbb(
+                vm,
+                JbbConfig(
+                    warehouses=1,
+                    districts_per_warehouse=1,
+                    customers_per_district=8,
+                    iterations=1,
+                    transactions_per_iteration=400,
+                    leak_order_table=leak,
+                    gc_per_iteration=True,
+                ),
+            )
+            sink.append(vm.heap.stats.objects_live)
+        assert grown[0] > fixed[0]
+
+
+class TestOldCompanyDrag:
+    """'The previous Company object cannot be reclaimed... not a memory leak
+    but an example of memory drag.'"""
+
+    def test_drag_detected_by_assert_instances(self):
+        vm = jbb_vm()
+        config = JbbConfig(
+            **{**SMALL, "iterations": 3},
+            drag_old_company=True,
+            assert_instances_company=True,
+        )
+        run_pseudojbb(vm, config)
+        violations = vm.engine.log.of_kind(AssertionKind.INSTANCES)
+        assert len(violations) >= 1
+        assert violations[0].details["type"] == COMPANY
+        assert violations[0].details["count"] == 2
+
+    def test_no_drag_when_fixed(self):
+        vm = jbb_vm()
+        config = JbbConfig(
+            **{**SMALL, "iterations": 3},
+            drag_old_company=False,
+            assert_instances_company=True,
+        )
+        run_pseudojbb(vm, config)
+        assert len(vm.engine.log.of_kind(AssertionKind.INSTANCES)) == 0
+
+    def test_drag_detected_by_assert_dead_on_company(self):
+        vm = jbb_vm()
+        config = JbbConfig(
+            **{**SMALL, "iterations": 3}, drag_old_company=True, assert_dead_orders=True
+        )
+        run_pseudojbb(vm, config)
+        dead = vm.engine.log.of_kind(AssertionKind.DEAD)
+        assert any(v.type_name == COMPANY for v in dead)
+
+
+class TestRegionPayments:
+    def test_payment_regions_quiet(self):
+        vm = jbb_vm()
+        run_pseudojbb(vm, JbbConfig(**SMALL, region_payments=True))
+        vm.gc()
+        assert len(vm.engine.log.of_kind(AssertionKind.ALLDEAD)) == 0

@@ -1,0 +1,146 @@
+"""lusearch (§3.2.2) and SwapLeak (§3.2.3) case-study workloads."""
+
+import pytest
+
+from repro.core.reporting import AssertionKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.lusearch import (
+    SEARCHER,
+    LusearchConfig,
+    build_index,
+    new_searcher,
+    run_lusearch,
+    search,
+)
+from repro.workloads.swapleak import (
+    REP_INNER,
+    SwapLeakConfig,
+    run_swapleak,
+)
+
+FAST = dict(threads=8, queries_per_thread=5, ndocs=40, terms_per_doc=6)
+
+
+def lvm():
+    return VirtualMachine(heap_bytes=16 << 20)
+
+
+class TestSearchEngine:
+    def test_index_and_search(self):
+        vm = lvm()
+        with vm.scope():
+            index = build_index(vm, ndocs=30, terms_per_doc=8)
+            vm.statics.set_ref("idx", index.address)
+            searcher = new_searcher(vm, index)
+            vm.statics.set_ref("s", searcher.address)
+        # The most common term must have hits.
+        hits = search(vm, searcher, "term0000")
+        assert hits["count"] > 0
+        docs = hits["docs"]
+        assert docs[0]["score"] >= docs[hits["count"] - 1]["score"]
+
+    def test_missing_term_returns_empty(self):
+        vm = lvm()
+        with vm.scope():
+            index = build_index(vm, ndocs=10, terms_per_doc=4)
+            vm.statics.set_ref("idx", index.address)
+            searcher = new_searcher(vm, index)
+            vm.statics.set_ref("s", searcher.address)
+        hits = search(vm, searcher, "zzz-not-indexed")
+        assert hits["count"] == 0
+
+    def test_search_limit_respected(self):
+        vm = lvm()
+        with vm.scope():
+            index = build_index(vm, ndocs=100, terms_per_doc=10)
+            vm.statics.set_ref("idx", index.address)
+            searcher = new_searcher(vm, index)
+            vm.statics.set_ref("s", searcher.address)
+        hits = search(vm, searcher, "term0000", limit=3)
+        assert hits["count"] <= 3
+
+
+class TestLusearchCaseStudy:
+    def test_buggy_version_reports_per_thread_searchers(self):
+        vm = lvm()
+        config = LusearchConfig(**FAST, assert_single_searcher=True)
+        result = run_lusearch(vm, config)
+        assert result.searchers_created == config.threads
+        assert result.peak_live_searchers == config.threads
+        violations = vm.engine.log.of_kind(AssertionKind.INSTANCES)
+        assert violations
+        assert violations[0].details["type"] == SEARCHER
+        assert violations[0].details["count"] == config.threads
+
+    def test_thirty_two_threads_like_paper(self):
+        vm = lvm()
+        config = LusearchConfig(
+            threads=32, queries_per_thread=3, ndocs=40, terms_per_doc=6,
+            assert_single_searcher=True,
+        )
+        result = run_lusearch(vm, config)
+        violations = vm.engine.log.of_kind(AssertionKind.INSTANCES)
+        assert violations[0].details["count"] == 32
+
+    def test_repaired_version_is_quiet(self):
+        vm = lvm()
+        config = LusearchConfig(
+            **FAST, assert_single_searcher=True, share_searcher=True
+        )
+        result = run_lusearch(vm, config)
+        assert result.searchers_created == 1
+        assert result.violations == 0
+
+    def test_queries_complete_in_both_versions(self):
+        for share in (False, True):
+            vm = lvm()
+            result = run_lusearch(vm, LusearchConfig(**FAST, share_searcher=share))
+            assert result.queries == FAST["threads"] * FAST["queries_per_thread"]
+            assert result.hits > 0
+
+    def test_threads_interleave(self):
+        vm = lvm()
+        run_lusearch(vm, LusearchConfig(**FAST))
+        names = [t.name for t in vm.threads]
+        assert sum(1 for n in names if n.startswith("lusearch")) == FAST["threads"]
+
+
+class TestSwapLeak:
+    def test_leak_detected_per_swap(self):
+        vm = lvm()
+        result = run_swapleak(vm, SwapLeakConfig(array_size=8, swaps=12))
+        assert result.asserted == 12
+        assert result.violations == 12
+
+    def test_paper_path_shape(self):
+        vm = lvm()
+        run_swapleak(vm, SwapLeakConfig(array_size=4, swaps=1))
+        violation = vm.engine.log.violations[0]
+        assert violation.path.type_names() == [
+            "SArray",
+            "SObject[]",
+            "SObject",
+            "SObject$Rep",
+            "SObject",
+        ]
+
+    def test_hidden_reference_is_the_cause(self):
+        vm = lvm()
+        run_swapleak(vm, SwapLeakConfig(array_size=4, swaps=1))
+        names = vm.engine.log.violations[0].path.type_names()
+        assert REP_INNER in names  # the inner class carries the hidden edge
+
+    def test_static_inner_class_repair(self):
+        vm = lvm()
+        result = run_swapleak(
+            vm, SwapLeakConfig(array_size=8, swaps=12, static_rep=True)
+        )
+        assert result.violations == 0
+
+    def test_swap_exchanges_reps(self):
+        vm = lvm()
+        result = run_swapleak(
+            vm, SwapLeakConfig(array_size=2, swaps=2, assert_dead_swapped=False,
+                               gc_at_end=False)
+        )
+        assert result.swaps == 2

@@ -1,0 +1,64 @@
+"""Suite calibration helpers and paper-scale configurations."""
+
+import pytest
+
+from repro.workloads.db import DbConfig
+from repro.workloads.jbb import JbbConfig
+from repro.workloads.suite import HEAP_BUDGETS, build_suite, measure_live_peak
+
+
+class TestCalibration:
+    def test_measure_live_peak_reports_sane_numbers(self):
+        entry = build_suite()["mpegaudio"]
+        info = measure_live_peak(entry)
+        assert info["name"] == "mpegaudio"
+        assert 0 < info["live_bytes_after_gc"] <= info["peak_bytes_in_use"]
+        # Cells round object sizes up to size classes, so bytes-in-use can
+        # slightly exceed raw allocated bytes — but only by the class waste.
+        assert info["peak_bytes_in_use"] <= info["bytes_allocated"] * 1.3
+        assert info["objects_live"] > 0
+
+    def test_budgets_exceed_live_sets(self):
+        """Every 2x-min budget must comfortably exceed the benchmark's
+        post-GC live size (otherwise it could not have completed)."""
+        suite = build_suite()
+        for name in ("mpegaudio", "jess", "antlr"):
+            info = measure_live_peak(suite[name])
+            assert HEAP_BUDGETS[name] > info["live_bytes_after_gc"]
+
+
+class TestPaperScaleConfigs:
+    def test_db_paper_scale_larger_than_default(self):
+        default = DbConfig()
+        full = DbConfig.paper_scale()
+        assert full.initial_entries > 10 * default.initial_entries
+        # The paper-scale db is retention-heavy (the §3.1.2 profile).
+        assert full.find_weight > full.delete_weight
+
+    def test_jbb_paper_scale_larger_than_default(self):
+        default = JbbConfig()
+        full = JbbConfig.paper_scale()
+        assert full.transactions_per_iteration > default.transactions_per_iteration
+        assert (
+            full.warehouses * full.districts_per_warehouse
+            > default.warehouses * default.districts_per_warehouse
+        )
+
+    def test_paper_scale_configs_run(self):
+        """A scaled-down sanity pass: the constructors produce runnable
+        configurations (full scale is exercised via REPRO_BENCH_FULL)."""
+        from repro.runtime.vm import VirtualMachine
+        from repro.workloads.db import run_db
+        from repro.workloads.jbb import run_pseudojbb
+
+        db_config = DbConfig.paper_scale()
+        db_config.initial_entries = 200
+        db_config.operations = 200
+        result = run_db(VirtualMachine(heap_bytes=8 << 20), db_config)
+        assert result.adds >= 200
+
+        jbb_config = JbbConfig.paper_scale()
+        jbb_config.iterations = 1
+        jbb_config.transactions_per_iteration = 100
+        result = run_pseudojbb(VirtualMachine(heap_bytes=16 << 20), jbb_config)
+        assert result.transactions == 100

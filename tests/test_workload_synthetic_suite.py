@@ -1,0 +1,132 @@
+"""Synthetic profiles, the suite registry, and the scheduler."""
+
+import pytest
+
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.suite import HEAP_BUDGETS, build_suite
+from repro.workloads.synthetic import PROFILES, SyntheticProfile, run_synthetic
+
+
+class TestSyntheticKernel:
+    def test_runs_and_allocates(self):
+        vm = VirtualMachine(heap_bytes=1 << 20, assertions=False)
+        profile = SyntheticProfile(name="t", iterations=5, clusters_per_iteration=10)
+        result = run_synthetic(vm, profile)
+        assert result.iterations == 5
+        assert result.objects_allocated > 0
+        assert result.clusters_promoted > 0
+
+    def test_retained_cap_bounds_live_set(self):
+        vm = VirtualMachine(heap_bytes=4 << 20, assertions=False)
+        profile = SyntheticProfile(
+            name="t", iterations=20, clusters_per_iteration=40,
+            promote_every=1, retained_cap=10,
+        )
+        run_synthetic(vm, profile)
+        vm.gc()
+        live = vm.heap.stats.objects_live
+        # 10 clusters x (cluster_size + payload) + vector overhead.
+        assert live < 10 * (profile.cluster_size + 1) + 20
+
+    def test_deterministic(self):
+        results = []
+        for _ in range(2):
+            vm = VirtualMachine(heap_bytes=1 << 20, assertions=False)
+            results.append(run_synthetic(vm, PROFILES["antlr"]))
+        assert results[0] == results[1]
+
+    def test_gc_happens_at_budgeted_heap(self):
+        profile = PROFILES["antlr"]
+        vm = VirtualMachine(heap_bytes=HEAP_BUDGETS["antlr"], assertions=False)
+        run_synthetic(vm, profile)
+        assert vm.stats.collections > 0
+
+    def test_all_profiles_complete_at_budget(self):
+        for name, profile in PROFILES.items():
+            vm = VirtualMachine(heap_bytes=HEAP_BUDGETS[name], assertions=False)
+            result = run_synthetic(vm, profile)
+            assert result.iterations == profile.iterations, name
+
+
+class TestSuiteRegistry:
+    def test_contains_paper_benchmarks(self):
+        suite = build_suite()
+        for name in ("antlr", "bloat", "db", "lusearch", "pseudojbb", "compress"):
+            assert name in suite
+
+    def test_every_entry_has_budget(self):
+        suite = build_suite()
+        for name, entry in suite.items():
+            assert entry.heap_bytes == HEAP_BUDGETS[name]
+
+    def test_only_db_and_pseudojbb_have_asserted_variants(self):
+        suite = build_suite()
+        asserted = {n for n, e in suite.items() if e.run_with_assertions is not None}
+        assert asserted == {"db", "pseudojbb"}
+
+    def test_asserted_variant_registers_assertions(self):
+        suite = build_suite()
+        vm = VirtualMachine(heap_bytes=suite["db"].heap_bytes)
+        suite["db"].run_with_assertions(vm)
+        counts = vm.assertions.call_counts()
+        assert counts["assert-ownedby"] > 0
+        assert counts["assert-dead"] > 0
+
+
+class TestScheduler:
+    def test_round_robin_interleaving(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        scheduler = Scheduler(vm)
+        trace = []
+
+        def worker(tag):
+            def body(vm, thread):
+                for i in range(3):
+                    trace.append(f"{tag}{i}")
+                    yield
+            return body
+
+        scheduler.spawn(worker("a"), "a")
+        scheduler.spawn(worker("b"), "b")
+        scheduler.run()
+        assert trace == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_tasks_get_their_own_threads(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        scheduler = Scheduler(vm)
+        seen = []
+
+        def body(vm, thread):
+            seen.append(vm.current_thread is thread)
+            yield
+
+        scheduler.spawn(body, "w")
+        scheduler.run()
+        assert seen == [True]
+        assert vm.current_thread is vm.main_thread
+
+    def test_max_steps_bound(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        scheduler = Scheduler(vm)
+
+        def forever(vm, thread):
+            while True:
+                yield
+
+        scheduler.spawn(forever, "loop")
+        steps = scheduler.run(max_steps=10)
+        assert steps == 10
+        assert scheduler.pending == 1
+
+    def test_completed_tracked(self):
+        vm = VirtualMachine(heap_bytes=1 << 20)
+        scheduler = Scheduler(vm)
+
+        def once(vm, thread):
+            yield
+
+        tasks = scheduler.spawn_all([once, once], prefix="w")
+        scheduler.run()
+        assert all(t.finished for t in tasks)
+        assert len(scheduler.completed) == 2
