@@ -45,8 +45,8 @@ def test_path_tracking_overhead(once, figure_report):
     # extra pop is proportionally much more expensive than in Jikes.
     assert ratio < 2.0
 
-    on_stats = on[0][1]
-    off_stats = off[0][1]
+    on_stats = on[0][1]["counters"]
+    off_stats = off[0][1]["counters"]
     # Identical collection work...
     assert on_stats["objects_traced"] == off_stats["objects_traced"]
     assert on_stats["collections"] == off_stats["collections"]

@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.heap import ClassDescriptor, FieldKind, HeapObject
 from repro.runtime import Handle, MutatorThread, Scheduler, VirtualMachine
+from repro.telemetry import GcEvent, Telemetry
 
 __version__ = "1.0.0"
 
@@ -63,5 +64,7 @@ __all__ = [
     "MutatorThread",
     "Scheduler",
     "VirtualMachine",
+    "GcEvent",
+    "Telemetry",
     "__version__",
 ]

@@ -4,9 +4,13 @@ Commands:
 
 * ``info``      — package, collector, and suite overview.
 * ``demo``      — run the quickstart scenario and print the reports.
-* ``figures``   — regenerate Figures 2–5 (``--full`` for the whole suite).
+* ``figures``   — regenerate Figures 2–5 (``--full`` for the whole suite;
+  ``--json-out`` also writes the machine-readable perf record).
 * ``verify``    — run a workload on every collector and verify heap
   integrity afterwards (a smoke test for modified collectors).
+* ``stats``     — run a workload with telemetry on and report the GC event
+  stream, pause percentiles, and per-class census (``--json`` / ``--prom``
+  for machine-readable output, ``--jsonl FILE`` to stream events).
 * ``minij FILE``— run a MiniJ program (with gcAssert* builtins available).
 """
 
@@ -58,7 +62,7 @@ def cmd_demo(_args) -> int:
 
 
 def cmd_figures(args) -> int:
-    from repro.bench import infrastructure_figures, withassertions_figures
+    from repro.bench import dump_figures, infrastructure_figures, withassertions_figures
 
     benchmarks = None if args.full else ["antlr", "jess", "xalan", "db", "pseudojbb"]
     infra = infrastructure_figures(trials=args.trials, benchmarks=benchmarks)
@@ -70,6 +74,51 @@ def cmd_figures(args) -> int:
     print(asserted["fig4"].render())
     print()
     print(asserted["fig5"].render())
+    if args.json_out:
+        path = dump_figures({**infra, **asserted}, args.json_out, trials=args.trials)
+        print()
+        print(f"machine-readable results written to {path}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run one suite workload with telemetry enabled and report it."""
+    import json
+
+    from repro.runtime.vm import VirtualMachine
+    from repro.telemetry import JsonlSink, render_prometheus
+    from repro.workloads.suite import build_suite
+
+    suite = build_suite()
+    try:
+        entry = suite[args.workload]
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; pick from {sorted(suite)}")
+        return 2
+    vm = VirtualMachine(
+        heap_bytes=args.heap or entry.heap_bytes, collector=args.collector
+    )
+    if args.jsonl:
+        vm.telemetry.add_sink(JsonlSink(args.jsonl))
+    runner = entry.run
+    if args.assertions and entry.run_with_assertions is not None:
+        runner = entry.run_with_assertions
+    runner(vm)
+    if vm.stats.collections == 0:
+        # Nothing triggered a collection, so no event or census sample
+        # exists yet; force one.  (After a workload that *did* collect,
+        # a forced GC would only overwrite the census with the post-run
+        # empty heap.)
+        vm.gc("stats: final census")
+    vm.telemetry.close()
+    if args.json:
+        print(json.dumps(vm.telemetry.summary(), indent=2))
+    elif args.prom:
+        print(render_prometheus(vm.telemetry), end="")
+    else:
+        print(f"{entry.name} on {vm.collector.describe()}")
+        print()
+        print(vm.telemetry.render())
     return 0
 
 
@@ -130,8 +179,33 @@ def main(argv=None) -> int:
     figures = sub.add_parser("figures", help="regenerate Figures 2-5")
     figures.add_argument("--trials", type=int, default=3)
     figures.add_argument("--full", action="store_true")
+    figures.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="also write machine-readable results (e.g. BENCH_figures.json)",
+    )
 
     sub.add_parser("verify", help="heap-integrity smoke test on all collectors")
+
+    stats = sub.add_parser("stats", help="GC telemetry for one workload run")
+    stats.add_argument("--workload", default="pseudojbb")
+    stats.add_argument(
+        "--collector",
+        default="marksweep",
+        choices=["marksweep", "semispace", "generational"],
+    )
+    stats.add_argument("--heap", type=int, default=None, help="heap bytes override")
+    stats.add_argument(
+        "--assertions",
+        action="store_true",
+        help="use the benchmark's asserted variant when it has one",
+    )
+    stats.add_argument("--jsonl", metavar="PATH", help="stream events to a JSONL file")
+    output = stats.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true", help="full summary as JSON")
+    output.add_argument(
+        "--prom", action="store_true", help="Prometheus text exposition format"
+    )
 
     minij = sub.add_parser("minij", help="run a MiniJ program")
     minij.add_argument("file")
@@ -144,6 +218,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "figures": cmd_figures,
         "verify": cmd_verify,
+        "stats": cmd_stats,
         "minij": cmd_minij,
     }
     return handlers[args.command](args)

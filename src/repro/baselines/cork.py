@@ -6,18 +6,23 @@ reports types whose volume grows persistently.  The paper's contrast
 (§2.7): "Our information is similar to that provided by Cork, but much more
 precise: our path consists of object instances, not just types."
 
-:class:`TypeGrowthProfiler` installs as a VM gc-observer.  After each
-collection it takes a per-class census of live bytes; :meth:`report` flags
-classes whose volume rose in at least ``min_growth_fraction`` of the
-observed windows and grew overall by ``min_total_ratio``.  The output is a
-ranked list of *types* — no instances, no paths, and a programmer still has
-to find the actual leak site.
+:class:`TypeGrowthProfiler` installs as a VM gc-observer.  Its books are
+the telemetry layer's census primitives
+(:class:`~repro.telemetry.census.ClassCensus` fed by
+:func:`~repro.telemetry.census.take_census`) rather than a private history
+dict; :meth:`report` flags classes whose live volume rose in at least
+``min_growth_fraction`` of the observed windows and grew overall by
+``min_total_ratio``.  The output is a ranked list of *types* — no
+instances, no paths, and a programmer still has to find the actual leak
+site.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+from repro.telemetry.census import ClassCensus, take_census
 
 if TYPE_CHECKING:
     from repro.runtime.vm import VirtualMachine
@@ -50,10 +55,22 @@ class TypeGrowthProfiler:
 
     def __init__(self, vm: "VirtualMachine"):
         self.vm = vm
-        #: class name -> list of live-byte censuses, one per observed GC.
-        self.history: dict[str, list[int]] = {}
-        self.collections_observed = 0
+        #: Aligned per-class (count, bytes) time series, one sample per
+        #: observed GC — the telemetry census, not private bookkeeping.
+        self.census = ClassCensus()
         vm.gc_observers.append(self._observe)
+
+    @property
+    def collections_observed(self) -> int:
+        return self.census.samples
+
+    @property
+    def history(self) -> dict[str, list[int]]:
+        """Back-compat view: class name -> live-byte series per observed GC."""
+        return {
+            name: self.census.bytes_series(name)
+            for name in self.census.class_names()
+        }
 
     def detach(self) -> None:
         self.vm.gc_observers.remove(self._observe)
@@ -61,13 +78,7 @@ class TypeGrowthProfiler:
     # -- census ---------------------------------------------------------------------
 
     def _observe(self, vm: "VirtualMachine", freed: set[int]) -> None:
-        census: dict[str, int] = {}
-        for obj in vm.heap:
-            name = obj.cls.name
-            census[name] = census.get(name, 0) + obj.size_bytes
-        self.collections_observed += 1
-        for name in set(self.history) | set(census):
-            self.history.setdefault(name, []).append(census.get(name, 0))
+        self.census.observe(take_census(vm.heap), gc_number=vm.stats.collections)
 
     # -- reporting -------------------------------------------------------------------
 

@@ -8,6 +8,9 @@ can print paper-vs-measured side by side.
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -256,6 +259,38 @@ def withassertions_figures(trials: int = 5) -> dict[str, FigureResult]:
         "fig4-infra": fig4_infra,
         "fig5-infra": fig5_infra,
     }
+
+
+def figures_payload(
+    results: dict[str, FigureResult], trials: Optional[int] = None
+) -> dict:
+    """Machine-readable form of a set of figure results, with enough
+    provenance (timestamp, interpreter, trial count) to compare runs across
+    PRs."""
+    return {
+        "schema": "repro-bench-figures/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "trials": trials,
+        "figures": {name: result.as_dict() for name, result in sorted(results.items())},
+    }
+
+
+def dump_figures(
+    results: dict[str, FigureResult],
+    path: str = "BENCH_figures.json",
+    trials: Optional[int] = None,
+) -> str:
+    """Write :func:`figures_payload` as JSON; returns the path written.
+
+    This is the perf-trajectory record: ``python -m repro figures
+    --json-out BENCH_figures.json`` refreshes it so successive PRs can
+    diff measured overheads, not just eyeball ASCII charts.
+    """
+    with open(path, "w") as handle:
+        json.dump(figures_payload(results, trials), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def figure5_vs_infrastructure(trials: int = 5) -> FigureResult:

@@ -287,9 +287,14 @@ class AssertionEngine:
     def _dispatch(self) -> None:
         self._resolve_reactions()
         pending, self._pending = self._pending, []
+        telemetry = self.vm.telemetry if self.vm is not None else None
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None
         halt: Optional[Violation] = None
         for violation in pending:
             self.log.record(violation)
+            if telemetry is not None:
+                telemetry.record_violation(violation)
             if violation.reaction == Reaction.HALT.value and halt is None:
                 halt = violation
         if halt is not None:

@@ -24,6 +24,7 @@ from repro.heap.object_model import ClassDescriptor, HeapObject
 
 if TYPE_CHECKING:
     from repro.runtime.vm import VirtualMachine
+    from repro.telemetry import Telemetry, _PendingCollection
 
 
 class AssertionEngineProtocol(Protocol):
@@ -83,6 +84,9 @@ class Collector:
         self.stats = GcStats()
         self.vm: Optional["VirtualMachine"] = None
         self.gc_log: list[str] = []
+        #: Telemetry hub, attached by the VM; None means the emit path is a
+        #: single attribute load + ``is None`` test (the Base configuration).
+        self.telemetry: Optional["Telemetry"] = None
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -104,6 +108,27 @@ class Collector:
 
     def collect(self, reason: str = "explicit") -> None:
         raise NotImplementedError
+
+    # -- telemetry emit path ----------------------------------------------------------
+
+    def _telemetry_begin(self, kind: str, trigger: str) -> Optional["_PendingCollection"]:
+        """Open a per-collection telemetry record; None when disabled."""
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return None
+        return telemetry.begin_collection(self, kind, trigger)
+
+    def _telemetry_end(self, pending: Optional["_PendingCollection"]) -> None:
+        """Close the record opened by :meth:`_telemetry_begin` (emits the
+        GcEvent, samples the census, feeds the histograms and sinks)."""
+        if pending is not None:
+            self.telemetry.finish_collection(pending, self)
+
+    def _telemetry_allocation(self, nbytes: int) -> None:
+        """Record one allocation request size (hot path: keep it tiny)."""
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_allocation(nbytes)
 
     # -- shared helpers ---------------------------------------------------------------
 

@@ -56,6 +56,7 @@ class GenerationalCollector(Collector):
 
     def allocate(self, cls: ClassDescriptor, length: int = 0) -> HeapObject:
         nbytes = cls.size_of(length)
+        self._telemetry_allocation(nbytes)
         if nbytes > self._large_threshold:
             return self._allocate_mature(cls, length, nbytes)
         address = self.nursery.allocate(nbytes)
@@ -94,6 +95,7 @@ class GenerationalCollector(Collector):
         if self.mature.bytes_free < int(self.nursery.bytes_in_use * 1.5):
             self.collect(reason=f"{reason}; mature too full for promotion")
             return
+        pending = self._telemetry_begin("minor", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
             self.stats.minor_collections += 1
@@ -109,6 +111,7 @@ class GenerationalCollector(Collector):
             self.engine.purge(freed)
         if self.vm is not None:
             self.vm.on_gc_complete(freed)
+        self._telemetry_end(pending)
 
     def _minor_trace_and_promote(self) -> tuple[set[int], dict[int, int]]:
         heap = self.heap
@@ -199,6 +202,7 @@ class GenerationalCollector(Collector):
         address-keyed metadata (assertion registry, region queues) is
         purged *between* sweeping and promotion.
         """
+        pending = self._telemetry_begin("full", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
             self.stats.full_collections += 1
@@ -224,6 +228,7 @@ class GenerationalCollector(Collector):
         if self.vm is not None:
             # Metadata was purged pre-promotion; observers fire here.
             self.vm.on_gc_complete(set())
+        self._telemetry_end(pending)
 
     def _sweep_dead(self) -> set[int]:
         """Reclaim every unmarked object (no address is reused yet)."""

@@ -53,6 +53,7 @@ class MarkSweepCollector(Collector):
 
     def allocate(self, cls: ClassDescriptor, length: int = 0) -> HeapObject:
         nbytes = cls.size_of(length)
+        self._telemetry_allocation(nbytes)
         address = self.space.allocate(nbytes)
         if address is None:
             self.collect(reason=f"allocation of {nbytes} bytes failed")
@@ -67,6 +68,7 @@ class MarkSweepCollector(Collector):
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
+        pending = self._telemetry_begin("full", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
             self.stats.full_collections += 1
@@ -76,6 +78,7 @@ class MarkSweepCollector(Collector):
             self._run_mark_phase(tracer)
             freed = self._sweep()
         self._finish_collection(freed)
+        self._telemetry_end(pending)
 
     def _sweep(self) -> set[int]:
         """Free every unmarked object; reset GC bits on survivors."""

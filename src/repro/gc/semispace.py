@@ -49,6 +49,7 @@ class SemiSpaceCollector(Collector):
 
     def allocate(self, cls: ClassDescriptor, length: int = 0) -> HeapObject:
         nbytes = cls.size_of(length)
+        self._telemetry_allocation(nbytes)
         address = self.from_space.allocate(nbytes)
         if address is None:
             self.collect(reason=f"allocation of {nbytes} bytes failed")
@@ -63,6 +64,7 @@ class SemiSpaceCollector(Collector):
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
+        pending = self._telemetry_begin("full", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
             self.stats.full_collections += 1
@@ -72,6 +74,7 @@ class SemiSpaceCollector(Collector):
             self._run_mark_phase(tracer)
             freed, fwd = self._evacuate()
         self._finish_collection(freed, fwd)
+        self._telemetry_end(pending)
 
     def _evacuate(self) -> tuple[set[int], dict[int, int]]:
         """Copy marked objects to the to-space; reclaim everything else."""

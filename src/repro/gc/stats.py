@@ -13,7 +13,12 @@ import time
 
 
 class GcStats:
-    """Counters and timers accumulated across a VM's lifetime."""
+    """Counters and timers accumulated across a VM's lifetime.
+
+    ``TIMER_FIELDS`` are float seconds, everything else is an integer work
+    counter; :meth:`snapshot` keeps the two groups apart so consumers never
+    have to guess a field's unit from its name.
+    """
 
     __slots__ = (
         "collections",
@@ -41,21 +46,56 @@ class GcStats:
         "weak_refs_cleared",
     )
 
+    #: Float wall-clock accumulators (seconds).
+    TIMER_FIELDS = (
+        "gc_seconds",
+        "ownership_phase_seconds",
+        "mark_seconds",
+        "sweep_seconds",
+    )
+
+    #: Deterministic integer work counters (everything that isn't a timer).
+    # (TIMER_FIELDS can't be referenced inside a class-body genexp, so the
+    # timer names are repeated literally; the consistency test pins them.)
+    COUNTER_FIELDS = tuple(
+        f
+        for f in __slots__
+        if f
+        not in ("gc_seconds", "ownership_phase_seconds", "mark_seconds", "sweep_seconds")
+    )
+
     def __init__(self) -> None:
-        for field in self.__slots__:
+        for field in self.COUNTER_FIELDS:
             setattr(self, field, 0)
-        self.gc_seconds = 0.0
-        self.ownership_phase_seconds = 0.0
-        self.mark_seconds = 0.0
-        self.sweep_seconds = 0.0
+        for field in self.TIMER_FIELDS:
+            setattr(self, field, 0.0)
 
     def snapshot(self) -> dict:
-        return {field: getattr(self, field) for field in self.__slots__}
+        """Typed snapshot: ``{"counters": {name: int}, "timers": {name: float}}``."""
+        return {
+            "counters": {f: getattr(self, f) for f in self.COUNTER_FIELDS},
+            "timers": {f: getattr(self, f) for f in self.TIMER_FIELDS},
+        }
+
+    def copy(self) -> "GcStats":
+        out = GcStats()
+        for field in self.__slots__:
+            setattr(out, field, getattr(self, field))
+        return out
 
     def merged_with(self, other: "GcStats") -> "GcStats":
         out = GcStats()
         for field in self.__slots__:
             setattr(out, field, getattr(self, field) + getattr(other, field))
+        return out
+
+    def diff(self, other: "GcStats") -> "GcStats":
+        """Per-window delta ``self - other`` (``other`` is the earlier
+        snapshot); the telemetry layer uses this to attribute work and time
+        to a single collection."""
+        out = GcStats()
+        for field in self.__slots__:
+            setattr(out, field, getattr(self, field) - getattr(other, field))
         return out
 
     def __repr__(self) -> str:

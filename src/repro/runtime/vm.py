@@ -43,6 +43,7 @@ from repro.heap.object_model import ClassDescriptor, FieldKind, HeapObject
 from repro.runtime.classes import ClassRegistry
 from repro.runtime.handles import Handle, HandleScope
 from repro.runtime.threads import MutatorThread, StaticRoots
+from repro.telemetry import Telemetry
 
 #: Default heap budget: generous for unit tests, overridden by benchmarks
 #: (which size heaps at 2x the workload minimum, like the paper).
@@ -69,6 +70,7 @@ class VirtualMachine:
         policy: Optional[ReactionPolicy] = None,
         ownership_mode: str = "two-phase",
         nursery_fraction: Optional[float] = None,
+        telemetry: Union[bool, Telemetry] = True,
     ):
         self.classes = ClassRegistry()
         self.engine: Optional[AssertionEngine] = (
@@ -96,6 +98,15 @@ class VirtualMachine:
         self.collector.attach(self)
         if self.engine is not None:
             self.engine.vm = self
+
+        #: Telemetry hub (``None`` when built with ``telemetry=False`` — the
+        #: zero-overhead disabled mode; the collector emit path then reduces
+        #: to one ``is None`` test).
+        if isinstance(telemetry, Telemetry):
+            self.telemetry: Optional[Telemetry] = telemetry
+        else:
+            self.telemetry = Telemetry() if telemetry else None
+        self.collector.telemetry = self.telemetry
 
         self.statics = StaticRoots()
         self.threads: list[MutatorThread] = []

@@ -1,0 +1,94 @@
+"""Per-class live-instance census: one heap walk, many consumers.
+
+This is the Cork idea (Jump & McKinley — summarize the live heap per type
+at each collection) promoted to a first-class telemetry primitive.
+:func:`take_census` is the single heap-walk that produces a per-class
+``(count, bytes)`` summary; :class:`ClassCensus` accumulates those
+summaries into aligned time series.  The telemetry hub samples one at every
+collection, and the Cork baseline (:mod:`repro.baselines.cork`) consumes
+the same machinery instead of keeping its own books.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.heap.heap import ObjectHeap
+
+#: One class's live summary at a single sample: (instance count, live bytes).
+CensusRow = tuple[int, int]
+
+
+def take_census(heap: "ObjectHeap") -> dict[str, CensusRow]:
+    """Walk the live heap once and summarize it per class."""
+    census: dict[str, CensusRow] = {}
+    for obj in heap:
+        name = obj.cls.name
+        count, nbytes = census.get(name, (0, 0))
+        census[name] = (count + 1, nbytes + obj.size_bytes)
+    return census
+
+
+class ClassCensus:
+    """Aligned per-class time series of live instance counts and bytes.
+
+    Every class ever observed has a series exactly ``samples`` long —
+    zero-filled before it first appeared and after it died out — so
+    consumers can difference adjacent samples without alignment bookkeeping.
+    """
+
+    __slots__ = ("samples", "gc_numbers", "_series")
+
+    def __init__(self) -> None:
+        self.samples = 0
+        #: Collection ordinal at which each sample was taken.
+        self.gc_numbers: list[int] = []
+        self._series: dict[str, list[CensusRow]] = {}
+
+    # -- accumulation -----------------------------------------------------------------
+
+    def observe(self, census: dict[str, CensusRow], gc_number: int = -1) -> None:
+        """Append one sample (typically from :func:`take_census`)."""
+        for name in set(self._series) | set(census):
+            series = self._series.setdefault(name, [(0, 0)] * self.samples)
+            series.append(census.get(name, (0, 0)))
+        self.samples += 1
+        self.gc_numbers.append(gc_number)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def class_names(self) -> Iterable[str]:
+        return self._series.keys()
+
+    def count_series(self, name: str) -> list[int]:
+        return [count for count, _nbytes in self._series.get(name, [])]
+
+    def bytes_series(self, name: str) -> list[int]:
+        return [nbytes for _count, nbytes in self._series.get(name, [])]
+
+    def latest(self) -> dict[str, CensusRow]:
+        """The most recent sample, omitting classes with no live instances."""
+        if not self.samples:
+            return {}
+        return {
+            name: series[-1]
+            for name, series in self._series.items()
+            if series[-1] != (0, 0)
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "gc_numbers": list(self.gc_numbers),
+            "classes": {
+                name: {
+                    "counts": self.count_series(name),
+                    "bytes": self.bytes_series(name),
+                }
+                for name in sorted(self._series)
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"<ClassCensus {len(self._series)} classes x {self.samples} samples>"

@@ -1,0 +1,110 @@
+"""Structured per-collection GC events and the bounded ring that holds them.
+
+A :class:`GcEvent` is the telemetry layer's unit of record: one immutable
+row per collection, decomposed the way the paper's evaluation decomposes
+time (§3.1 — mutator vs GC vs ownership phase) and work (objects traced,
+ownees checked).  Events live in a fixed-capacity :class:`EventRing` on the
+VM so a long-running process keeps a recent window without unbounded
+growth; sinks (see :mod:`repro.telemetry.sinks`) stream every event out as
+it is produced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class GcEvent:
+    """One collection, fully decomposed."""
+
+    seq: int                 #: collection ordinal (1-based, VM lifetime)
+    collector: str           #: "marksweep" | "semispace" | "generational"
+    kind: str                #: "full" | "minor"
+    trigger: str             #: the reason string passed to collect()
+    pause_s: float           #: wall-clock stop-the-world pause
+    ownership_s: float       #: §2.5.2 ownership pre-phase time
+    mark_s: float            #: mark/trace phase time
+    sweep_s: float           #: sweep/evacuate/promote time
+    objects_traced: int
+    edges_traced: int
+    objects_swept: int
+    objects_freed: int
+    bytes_freed: int
+    objects_promoted: int
+    bytes_before: int        #: heap occupancy entering the collection
+    bytes_after: int         #: heap occupancy after reclamation
+    live_before: int         #: live object count entering the collection
+    live_after: int
+    heap_bytes: int          #: configured heap budget (for occupancy %)
+    assertion_checks: int    #: header-bit + ownee checks this cycle
+    ownees_checked: int
+    violations: int          #: assertion violations detected this cycle
+
+    @property
+    def occupancy_before(self) -> float:
+        return self.bytes_before / self.heap_bytes if self.heap_bytes else 0.0
+
+    @property
+    def occupancy_after(self) -> float:
+        return self.bytes_after / self.heap_bytes if self.heap_bytes else 0.0
+
+    def as_dict(self) -> dict:
+        row = asdict(self)
+        row["occupancy_before"] = self.occupancy_before
+        row["occupancy_after"] = self.occupancy_after
+        return row
+
+    def render(self) -> str:
+        return (
+            f"GC#{self.seq} {self.collector}/{self.kind} "
+            f"pause={self.pause_s * 1e3:.2f}ms "
+            f"freed={self.objects_freed}obj/{self.bytes_freed}B "
+            f"occupancy={self.occupancy_before:.0%}->{self.occupancy_after:.0%} "
+            f"violations={self.violations} ({self.trigger})"
+        )
+
+
+class EventRing:
+    """Bounded FIFO of the most recent :class:`GcEvent` records.
+
+    Appending beyond ``capacity`` silently drops the oldest event but counts
+    the drop, so exporters can report how much history was shed.
+    """
+
+    __slots__ = ("capacity", "_events", "dropped", "appended")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[GcEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.appended = 0
+
+    def append(self, event: GcEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self.appended += 1
+
+    @property
+    def latest(self) -> Optional[GcEvent]:
+        return self._events[-1] if self._events else None
+
+    def snapshot(self) -> list[GcEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[GcEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventRing {len(self._events)}/{self.capacity} "
+            f"(+{self.dropped} dropped)>"
+        )

@@ -1,0 +1,165 @@
+"""Pluggable telemetry exporters.
+
+A sink receives every :class:`~repro.telemetry.events.GcEvent` as it is
+produced (push model); the Prometheus renderer is the complementary pull
+model — it serializes the hub's *current* state into the text exposition
+format a scraper would fetch.  Sinks must never throw into the collector's
+pause: exporter failures are recorded on the sink and the GC proceeds.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import TYPE_CHECKING, Optional, Protocol
+
+from repro.telemetry.events import GcEvent
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
+
+
+class TelemetrySink(Protocol):
+    """What the hub requires of an exporter."""
+
+    def emit(self, event: GcEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemorySink:
+    """Default sink: keeps every event in a plain list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: list[GcEvent] = []
+        self.closed = False
+
+    def emit(self, event: GcEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Streams one JSON object per event to a file (JSON-lines).
+
+    The file opens lazily on the first event, so constructing a VM with a
+    configured-but-unused sink touches no filesystem state.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.lines_written = 0
+        self.errors = 0
+        self._file: Optional[io.TextIOBase] = None
+
+    def emit(self, event: GcEvent) -> None:
+        try:
+            if self._file is None:
+                self._file = open(self.path, "w")
+            self._file.write(json.dumps(event.as_dict()) + "\n")
+            self._file.flush()
+            self.lines_written += 1
+        except OSError:
+            self.errors += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @staticmethod
+    def load(path: str) -> list[dict]:
+        """Read a JSONL event file back as dicts (the round-trip helper)."""
+        with open(path) as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample formatting: integers bare, floats repr'd."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
+    """Serialize the hub's current state in Prometheus text exposition format."""
+    lines: list[str] = []
+
+    def metric(name: str, mtype: str, help_text: str) -> str:
+        full = f"{namespace}_{name}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} {mtype}")
+        return full
+
+    def sample(full: str, value, labels: Optional[dict] = None) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
+            )
+            lines.append(f"{full}{{{rendered}}} {_fmt(value)}")
+        else:
+            lines.append(f"{full} {_fmt(value)}")
+
+    latest = telemetry.events.latest
+    collector = latest.collector if latest is not None else "none"
+
+    full = metric("gc_collections_total", "counter", "Collections observed, by kind.")
+    for kind, count in sorted(telemetry.collections_by_kind.items()):
+        sample(full, count, {"collector": collector, "kind": kind})
+
+    full = metric("gc_events_dropped_total", "counter",
+                  "GC events shed by the bounded ring buffer.")
+    sample(full, telemetry.events.dropped)
+
+    for name, hist, unit in (
+        ("gc_pause_seconds", telemetry.pause_hist, "GC stop-the-world pause"),
+        ("allocation_bytes", telemetry.alloc_hist, "Mutator allocation request size"),
+        ("gc_ownees_checked", telemetry.ownees_hist, "Ownees checked per collection"),
+    ):
+        full = metric(name, "histogram", f"{unit} (log-scale buckets).")
+        cumulative = 0
+        for upper, count in hist.nonzero_buckets():
+            cumulative += count
+            sample(f"{full}_bucket", cumulative, {"le": _fmt(upper)})
+        sample(f"{full}_bucket", hist.count, {"le": "+Inf"})
+        sample(f"{full}_sum", hist.total)
+        sample(f"{full}_count", hist.count)
+
+    if latest is not None:
+        full = metric("heap_live_bytes", "gauge", "Live heap bytes after the last GC.")
+        sample(full, latest.bytes_after)
+        full = metric("heap_occupancy_ratio", "gauge",
+                      "Live bytes / heap budget after the last GC.")
+        sample(full, latest.occupancy_after)
+
+    census = telemetry.census.latest()
+    if census:
+        count_metric = metric("heap_live_objects", "gauge",
+                              "Live instances per class at the last census.")
+        for name, (count, _nbytes) in sorted(census.items()):
+            sample(count_metric, count, {"class": name})
+        bytes_metric = metric("heap_class_bytes", "gauge",
+                              "Live bytes per class at the last census.")
+        for name, (_count, nbytes) in sorted(census.items()):
+            sample(bytes_metric, nbytes, {"class": name})
+
+    if telemetry.violations_by_kind:
+        full = metric("gc_assertion_violations_total", "counter",
+                      "Assertion violations detected, by assertion kind.")
+        for kind, count in sorted(telemetry.violations_by_kind.items()):
+            sample(full, count, {"kind": kind})
+
+    return "\n".join(lines) + "\n"

@@ -1,5 +1,6 @@
 """CLI (`python -m repro`) tests, driven through main(argv)."""
 
+import json
 import pathlib
 
 import pytest
@@ -53,3 +54,48 @@ class TestCli:
         assert "fig2" in out
         assert "fig5" in out
         assert "geomean" in out
+
+    def test_stats_human(self, capsys):
+        assert main(["stats", "--workload", "db"]) == 0
+        out = capsys.readouterr().out
+        assert "collections:" in out
+        assert "pause times:" in out
+        assert "live census" in out
+
+    def test_stats_json_has_events_percentiles_census(self, capsys):
+        assert main(["stats", "--workload", "pseudojbb", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"], "expected per-collection events"
+        event = summary["events"][0]
+        assert {"seq", "kind", "pause_s", "mark_s", "objects_freed"} <= set(event)
+        for key in ("p50", "p90", "p99"):
+            assert key in summary["pause_seconds"]
+        assert summary["census"]["classes"], "expected a per-class census"
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "--workload", "db", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_gc_pause_seconds histogram" in out
+        assert "repro_gc_collections_total" in out
+
+    def test_stats_jsonl_sink(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(["stats", "--workload", "db", "--jsonl", str(path)]) == 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows and rows[0]["seq"] == 1
+
+    def test_stats_unknown_workload(self, capsys):
+        assert main(["stats", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().out
+
+    def test_figures_json_out(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_figures.json"
+        assert main(["figures", "--trials", "1", "--json-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-bench-figures/1"
+        assert payload["trials"] == 1
+        assert "fig2" in payload["figures"]
+        assert "fig5" in payload["figures"]
+        fig2 = payload["figures"]["fig2"]
+        assert "geomean_overhead_pct" in fig2
+        assert "pseudojbb" in fig2["rows"]

@@ -20,10 +20,43 @@ class TestGcStats:
         for field in GcStats.__slots__:
             assert getattr(stats, field) == 0
 
-    def test_snapshot_covers_every_slot(self):
+    def test_field_partition_is_total(self):
+        assert set(GcStats.TIMER_FIELDS) | set(GcStats.COUNTER_FIELDS) == set(
+            GcStats.__slots__
+        )
+        assert not set(GcStats.TIMER_FIELDS) & set(GcStats.COUNTER_FIELDS)
+
+    def test_snapshot_separates_timers_from_counters(self):
         stats = GcStats()
+        stats.collections = 3
+        stats.gc_seconds = 0.25
         snap = stats.snapshot()
-        assert set(snap) == set(GcStats.__slots__)
+        assert set(snap) == {"counters", "timers"}
+        assert set(snap["counters"]) == set(GcStats.COUNTER_FIELDS)
+        assert set(snap["timers"]) == set(GcStats.TIMER_FIELDS)
+        assert snap["counters"]["collections"] == 3
+        assert snap["timers"]["gc_seconds"] == pytest.approx(0.25)
+        assert all(isinstance(v, int) for v in snap["counters"].values())
+        assert all(isinstance(v, float) for v in snap["timers"].values())
+
+    def test_diff_gives_per_window_delta(self):
+        before = GcStats()
+        before.objects_traced = 10
+        before.gc_seconds = 1.0
+        after = before.copy()
+        after.objects_traced = 25
+        after.gc_seconds = 1.5
+        delta = after.diff(before)
+        assert delta.objects_traced == 15
+        assert delta.gc_seconds == pytest.approx(0.5)
+        assert before.objects_traced == 10  # inputs untouched
+
+    def test_copy_is_independent(self):
+        stats = GcStats()
+        stats.collections = 2
+        clone = stats.copy()
+        clone.collections = 9
+        assert stats.collections == 2
 
     def test_merged_with_sums(self):
         a, b = GcStats(), GcStats()
