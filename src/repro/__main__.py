@@ -6,6 +6,9 @@ Commands:
 * ``demo``      — run the quickstart scenario and print the reports.
 * ``figures``   — regenerate Figures 2–5 (``--full`` for the whole suite;
   ``--json-out`` also writes the machine-readable perf record).
+* ``bench``     — hot-path perf record: trace/alloc microbenchmarks and the
+  eager-vs-lazy sweep pause comparison; writes ``BENCH_perf.json`` and
+  exits non-zero if the deterministic work counters drift between modes.
 * ``verify``    — run a workload on every collector and verify heap
   integrity afterwards (a smoke test for modified collectors).
 * ``stats``     — run a workload with telemetry on and report the GC event
@@ -79,6 +82,19 @@ def cmd_figures(args) -> int:
         print()
         print(f"machine-readable results written to {path}")
     return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import dump_perf, perf_payload, render_perf
+
+    payload = perf_payload(quick=args.quick)
+    print(render_perf(payload))
+    if args.json_out:
+        path = dump_perf(payload, args.json_out)
+        print()
+        print(f"machine-readable results written to {path}")
+    # Timing is advisory; counter identity is the gate (CI relies on this).
+    return 0 if payload["counters_match"] else 1
 
 
 def cmd_stats(args) -> int:
@@ -185,6 +201,19 @@ def main(argv=None) -> int:
         help="also write machine-readable results (e.g. BENCH_figures.json)",
     )
 
+    bench = sub.add_parser("bench", help="hot-path perf record (BENCH_perf.json)")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes/trials for CI smoke runs",
+    )
+    bench.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default="BENCH_perf.json",
+        help="machine-readable results path (default: %(default)s)",
+    )
+
     sub.add_parser("verify", help="heap-integrity smoke test on all collectors")
 
     stats = sub.add_parser("stats", help="GC telemetry for one workload run")
@@ -217,6 +246,7 @@ def main(argv=None) -> int:
         "info": cmd_info,
         "demo": cmd_demo,
         "figures": cmd_figures,
+        "bench": cmd_bench,
         "verify": cmd_verify,
         "stats": cmd_stats,
         "minij": cmd_minij,

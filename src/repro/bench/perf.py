@@ -1,0 +1,356 @@
+"""Hot-path microbenchmarks and the eager-vs-lazy pause comparison.
+
+``python -m repro bench`` drives three measurements and writes the
+machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
+
+* **trace** — the same prepared heap traced by the generic per-edge drain
+  (``Tracer(specialized=False)``, the pre-overhaul loop kept for exactly
+  this purpose) and by the fused specialized drain; reported as
+  edges-traced/second and their ratio.
+* **alloc** — allocation throughput with the run cache disabled (the
+  pre-overhaul ``space.allocate`` path) and enabled; reported as
+  allocations/second and the fast-path hit rate.
+* **pauses** — full workloads (lusearch, pseudojbb) run twice, under
+  ``sweep_mode="eager"`` and ``"lazy"``; reported as pause percentiles plus
+  the deterministic work counters, which must be identical between modes
+  (the lazy sweep changes *when* reclamation happens, never *what* is
+  reclaimed).
+
+Wall-clock numbers from a Python simulator are noisy; the counters are the
+ground truth (``counters_match`` gates CI), the rates are the trend.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from typing import Optional
+
+from repro.gc.stats import GcStats
+from repro.gc.tracer import Tracer
+from repro.heap import header as hdr
+from repro.heap.object_model import FieldKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.suite import build_suite
+
+#: Workloads used for the eager-vs-lazy pause comparison.
+PAUSE_WORKLOADS = ("lusearch", "pseudojbb")
+
+
+# -- trace microbenchmark --------------------------------------------------------------
+
+
+def _build_trace_heap(n_nodes: int) -> VirtualMachine:
+    """A deterministic object graph: list spines, a tree, and ref arrays."""
+    vm = VirtualMachine(
+        heap_bytes=64 << 20, assertions=False, telemetry=False
+    )
+    node = vm.define_class(
+        "BenchNode",
+        [("next", FieldKind.REF), ("other", FieldKind.REF), ("value", FieldKind.INT)],
+    )
+    rng = random.Random(0xBEEF)
+    addresses: list[int] = []
+    prev = None
+    for i in range(n_nodes):
+        obj = vm.collector.allocate(node)
+        obj.slots[2] = i
+        addresses.append(obj.address)
+        if prev is not None:
+            prev.slots[0] = obj.address
+        # Cross links make the repeat-encounter path non-trivial.
+        obj.slots[1] = addresses[rng.randrange(len(addresses))]
+        prev = obj
+    array_cls = vm.array_class(node)
+    for start in range(0, n_nodes, 64):
+        chunk = addresses[start : start + 64]
+        arr = vm.collector.allocate(array_cls, len(chunk))
+        arr.slots[:] = chunk
+        vm.statics.set_ref(f"bench-arr-{start}", arr.address)
+    vm.statics.set_ref("bench-head", addresses[0])
+    return vm
+
+
+def _clear_marks(vm: VirtualMachine) -> None:
+    clear_mask = ~(hdr.MARK_BIT | hdr.OWNED_BIT)
+    for obj in vm.heap:
+        obj.status &= clear_mask
+
+
+class _PathDepthProbe:
+    """A minimal engine exercising the cheap path API during a drain.
+
+    Uses :meth:`Tracer.path_depth` and :meth:`Tracer.current_path_addresses`
+    — the no-object-materialization variants — the way a sampling profiler
+    would: every object visit reads the depth, an occasional visit takes the
+    whole address chain.
+    """
+
+    def __init__(self, sample_every: int = 1024):
+        self.max_depth = 0
+        self.sampled_paths = 0
+        self._visits = 0
+        self._sample_every = sample_every
+
+    def gc_begin(self, collector) -> None: ...
+    def pre_mark(self, collector, tracer) -> None: ...
+    def post_mark(self, collector, tracer) -> None: ...
+    def gc_end(self, collector, freed) -> None: ...
+    def purge(self, freed) -> None: ...
+    def finalize(self, collector) -> None: ...
+    def apply_forwarding(self, fwd) -> None: ...
+    def on_repeat_encounter(self, obj, tracer, parent) -> None: ...
+
+    def on_first_encounter(self, obj, tracer, parent) -> None:
+        depth = tracer.path_depth()
+        if depth > self.max_depth:
+            self.max_depth = depth
+        self._visits += 1
+        if self._visits % self._sample_every == 0:
+            chain = tracer.current_path_addresses(obj.address)
+            self.sampled_paths += 1
+            assert chain and chain[-1] == obj.address
+
+
+def bench_trace(n_nodes: int = 20_000, trials: int = 5) -> dict:
+    """Generic vs specialized drain over one prepared heap."""
+    vm = _build_trace_heap(n_nodes)
+    heap = vm.heap
+    roots = list(vm.root_entries())
+    results: dict[str, dict] = {}
+    for variant, specialized in (("generic", False), ("specialized", True)):
+        best = float("inf")
+        stats = GcStats()
+        for _ in range(trials):
+            _clear_marks(vm)
+            stats = GcStats()
+            tracer = Tracer(heap, stats, None, track_paths=True, specialized=specialized)
+            start = time.perf_counter()
+            tracer.trace(roots)
+            best = min(best, time.perf_counter() - start)
+        results[variant] = {
+            "objects_traced": stats.objects_traced,
+            "edges_traced": stats.edges_traced,
+            "path_entries_tagged": stats.path_entries_tagged,
+            "best_seconds": best,
+            "edges_per_second": stats.edges_traced / best if best else 0.0,
+        }
+    # One instrumented pass with the cheap path API (engine specialization).
+    _clear_marks(vm)
+    probe = _PathDepthProbe()
+    tracer = Tracer(heap, GcStats(), probe, track_paths=True)
+    tracer.trace(roots)
+    _clear_marks(vm)
+    generic, specialized = results["generic"], results["specialized"]
+    return {
+        "nodes": n_nodes,
+        "trials": trials,
+        "generic": generic,
+        "specialized": specialized,
+        "speedup": (
+            specialized["edges_per_second"] / generic["edges_per_second"]
+            if generic["edges_per_second"]
+            else 0.0
+        ),
+        "counters_match": (
+            generic["objects_traced"] == specialized["objects_traced"]
+            and generic["edges_traced"] == specialized["edges_traced"]
+            and generic["path_entries_tagged"] == specialized["path_entries_tagged"]
+        ),
+        "path_probe": {
+            "max_depth": probe.max_depth,
+            "sampled_paths": probe.sampled_paths,
+        },
+    }
+
+
+# -- allocation microbenchmark ----------------------------------------------------------
+
+
+def bench_alloc(n_allocs: int = 50_000, trials: int = 5) -> dict:
+    """Allocation throughput with the run cache disabled vs enabled.
+
+    Measured in the regime the cache targets: allocation out of recycled
+    free-list cells (prefill, collect, then time allocations that pop the
+    freed cells).  On a fresh bump frontier the cache is near-neutral — one
+    refill per ``RUN_CACHE_CELLS`` bump carves instead of one carve per
+    allocation.
+    """
+    results: dict[str, dict] = {}
+    for variant in ("uncached", "cached"):
+        best = float("inf")
+        fast_hits = 0
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=64 << 20, assertions=False, telemetry=False
+            )
+            cls = vm.define_class(
+                "AllocBench", [("a", FieldKind.INT), ("b", FieldKind.REF)]
+            )
+            collector = vm.collector
+            if variant == "uncached":
+                collector._alloc_cache = None  # pre-overhaul space.allocate path
+            allocate = collector.allocate
+            for _ in range(n_allocs):
+                allocate(cls)  # unrooted prefill ...
+            vm.gc("populate the free lists")  # ... freed: cells now recycled
+            hits_before = collector.stats.alloc_fast_hits
+            start = time.perf_counter()
+            for _ in range(n_allocs):
+                allocate(cls)
+            best = min(best, time.perf_counter() - start)
+            fast_hits = collector.stats.alloc_fast_hits - hits_before
+        results[variant] = {
+            "best_seconds": best,
+            "allocs_per_second": n_allocs / best if best else 0.0,
+            "alloc_fast_hits": fast_hits,
+        }
+    uncached, cached = results["uncached"], results["cached"]
+    return {
+        "allocations": n_allocs,
+        "trials": trials,
+        "uncached": uncached,
+        "cached": cached,
+        "speedup": (
+            cached["allocs_per_second"] / uncached["allocs_per_second"]
+            if uncached["allocs_per_second"]
+            else 0.0
+        ),
+        "fast_hit_rate": cached["alloc_fast_hits"] / n_allocs if n_allocs else 0.0,
+    }
+
+
+# -- eager vs lazy pause comparison -----------------------------------------------------
+
+
+def _run_pause_leg(entry, sweep_mode: str) -> dict:
+    vm = VirtualMachine(
+        heap_bytes=entry.heap_bytes,
+        assertions=False,
+        sweep_mode=sweep_mode,
+    )
+    entry.run(vm)
+    # Lazy mode may still owe sweep work; finish it so the work counters
+    # compare like-for-like (same reclaimed set, different timing).
+    vm.collector.sweep_all()
+    stats = vm.stats
+    hist = vm.telemetry.pause_hist
+    full_events = [e for e in vm.telemetry.events if e.kind == "full"]
+    return {
+        "sweep_mode": sweep_mode,
+        "collections": stats.collections,
+        "full_collections": stats.full_collections,
+        "pause_p50_ms": hist.percentile(50) * 1e3 if hist.count else 0.0,
+        "pause_p99_ms": hist.percentile(99) * 1e3 if hist.count else 0.0,
+        "pause_max_ms": hist.max_value * 1e3 if hist.count else 0.0,
+        "mean_sweep_debt_chunks": (
+            sum(e.sweep_debt_chunks for e in full_events) / len(full_events)
+            if full_events
+            else 0.0
+        ),
+        "gc_seconds": stats.gc_seconds,
+        "lazy_sweep_seconds": stats.lazy_sweep_seconds,
+        "counters": {
+            "objects_traced": stats.objects_traced,
+            "edges_traced": stats.edges_traced,
+            "objects_freed": stats.objects_freed,
+            "objects_swept": stats.objects_swept,
+            "bytes_freed": stats.bytes_freed,
+        },
+    }
+
+
+def bench_pauses(workloads=PAUSE_WORKLOADS) -> dict:
+    """Run each workload under both sweep modes; compare pauses and work."""
+    suite = build_suite()
+    out: dict[str, dict] = {}
+    for name in workloads:
+        entry = suite[name]
+        eager = _run_pause_leg(entry, "eager")
+        lazy = _run_pause_leg(entry, "lazy")
+        drift_keys = ("objects_traced", "edges_traced", "objects_freed")
+        out[name] = {
+            "eager": eager,
+            "lazy": lazy,
+            "pause_p99_ratio": (
+                lazy["pause_p99_ms"] / eager["pause_p99_ms"]
+                if eager["pause_p99_ms"]
+                else 0.0
+            ),
+            "counters_match": all(
+                eager["counters"][k] == lazy["counters"][k] for k in drift_keys
+            ),
+        }
+    return out
+
+
+# -- payload / CLI ---------------------------------------------------------------------
+
+
+def perf_payload(quick: bool = False) -> dict:
+    """Run all three benchmarks; machine-readable with provenance."""
+    if quick:
+        trace = bench_trace(n_nodes=4_000, trials=3)
+        alloc = bench_alloc(n_allocs=10_000, trials=2)
+        pauses = bench_pauses(("pseudojbb",))
+    else:
+        trace = bench_trace()
+        alloc = bench_alloc()
+        pauses = bench_pauses()
+    counters_match = trace["counters_match"] and all(
+        row["counters_match"] for row in pauses.values()
+    )
+    return {
+        "schema": "repro-bench-perf/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "quick": quick,
+        "trace": trace,
+        "alloc": alloc,
+        "pauses": pauses,
+        "counters_match": counters_match,
+    }
+
+
+def dump_perf(payload: dict, path: str = "BENCH_perf.json") -> str:
+    """Write :func:`perf_payload` as JSON; returns the path written."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def render_perf(payload: dict) -> str:
+    """Human-readable summary of a perf payload."""
+    trace, alloc = payload["trace"], payload["alloc"]
+    lines = [
+        "trace microbench (generic -> specialized drain):",
+        f"  edges/s: {trace['generic']['edges_per_second']:,.0f} -> "
+        f"{trace['specialized']['edges_per_second']:,.0f} "
+        f"({trace['speedup']:.2f}x, {trace['generic']['edges_traced']} edges, "
+        f"counters {'match' if trace['counters_match'] else 'DRIFT'})",
+        f"  path probe: max depth {trace['path_probe']['max_depth']}, "
+        f"{trace['path_probe']['sampled_paths']} cheap paths sampled",
+        "alloc microbench (uncached -> run cache):",
+        f"  allocs/s: {alloc['uncached']['allocs_per_second']:,.0f} -> "
+        f"{alloc['cached']['allocs_per_second']:,.0f} "
+        f"({alloc['speedup']:.2f}x, fast-hit rate {alloc['fast_hit_rate']:.1%})",
+        "pause comparison (eager vs lazy sweep):",
+    ]
+    for name, row in sorted(payload["pauses"].items()):
+        eager, lazy = row["eager"], row["lazy"]
+        lines.append(
+            f"  {name:10} p99 {eager['pause_p99_ms']:.3f}ms -> "
+            f"{lazy['pause_p99_ms']:.3f}ms "
+            f"({row['pause_p99_ratio']:.2f}x), "
+            f"{eager['full_collections']} full GCs, "
+            f"mean debt {lazy['mean_sweep_debt_chunks']:.1f} chunks, "
+            f"counters {'match' if row['counters_match'] else 'DRIFT'}"
+        )
+    lines.append(
+        "work counters identical across modes: "
+        + ("yes" if payload["counters_match"] else "NO — investigate")
+    )
+    return "\n".join(lines)

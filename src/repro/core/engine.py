@@ -79,6 +79,26 @@ class AssertionEngine:
         else:
             run_naive_ownership_check(self, collector)
 
+    #: Specialized drains may inline this engine's per-object bookkeeping
+    #: (header-bit check counters, instance counting) into the mark loop and
+    #: call the ``*_slow`` hooks only when a header bit shows actual
+    #: assertion work — the checks then truly piggyback on marking.
+    INLINE_HEADER_CHECKS = True
+
+    def on_first_encounter_slow(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
+        """Violation checks for a first encounter whose header word matched
+        ``DEAD_BIT | OWNEE_BIT``.  The inlining caller owns the check
+        counters and the instance-count bookkeeping."""
+        status = obj.status
+        if status & hdr.DEAD_BIT:
+            self._dead_violation(obj, tracer)
+        if (status & hdr.OWNEE_BIT) and not (status & hdr.OWNED_BIT):
+            self._unowned_violation(obj, tracer)
+
+    def on_repeat_encounter_slow(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
+        """Unshared violation for a repeat encounter with ``UNSHARED_BIT`` set."""
+        self._unshared_violation(obj, tracer, parent)
+
     def on_first_encounter(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
         """First GC encounter: the object was just marked."""
         stats = tracer.stats if tracer is not None else None

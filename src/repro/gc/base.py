@@ -146,6 +146,66 @@ class Collector:
         if engine is not None:
             engine.post_mark(self, tracer)
 
+    def _purge_before_reuse(self, freed: set[int]) -> None:
+        """Drop address-keyed metadata for ``freed`` before any reuse.
+
+        Lazy chunk sweeps call this per chunk, so a freed cell's address can
+        be recycled by the very next allocation without aliasing a stale
+        registry entry or region-queue slot.
+        """
+        if self.engine is not None:
+            self.engine.purge(freed)
+        if self.vm is not None:
+            self.vm.purge_dead_metadata(freed)
+
+    def _finish_mark_only(self, cutoff: int, fwd: Optional[dict[int, int]] = None) -> None:
+        """Pause-end duties when the sweep is deferred (lazy mode).
+
+        Dead objects are still in the heap table, so liveness is decided by
+        mark bits (plus the ``alloc_seq`` epoch for objects installed after
+        the trace) instead of table membership.  Metadata purging happens
+        per chunk as debt is repaid; violation dispatch can run now because
+        the engine detected everything during marking.
+        """
+        self._process_weak_references_marked(cutoff, fwd)
+        if self.engine is not None:
+            self.engine.finalize(self)
+        if self.vm is not None:
+            self.vm.on_gc_complete(set())
+
+    def _process_weak_references_marked(
+        self, cutoff: int, fwd: Optional[dict[int, int]] = None
+    ) -> None:
+        """Mark-bit variant of :meth:`process_weak_references`.
+
+        Used at a lazy pause end: a dead target is still *in* the table, so
+        ``heap.contains`` would wrongly report it live.  Dead holders are
+        skipped (the eager path never sees them either — they are evicted
+        before weak processing), keeping ``weak_refs_cleared`` identical
+        between modes.
+        """
+        heap = self.heap
+        stats = self.stats
+        mark_bit = hdr.MARK_BIT
+        for obj in list(heap.weak_holders):
+            if not (obj.status & mark_bit or obj.alloc_seq > cutoff):
+                continue  # holder itself is pending garbage
+            slots = obj.slots
+            for idx in obj.weak_slot_indices():
+                address = slots[idx]
+                if address == NULL:
+                    continue
+                if fwd:
+                    address = fwd.get(address, address)
+                target = heap.maybe(address)
+                if target is not None and (
+                    target.status & mark_bit or target.alloc_seq > cutoff
+                ):
+                    slots[idx] = address
+                    continue
+                slots[idx] = NULL
+                stats.weak_refs_cleared += 1
+
     def _finish_collection(self, freed: set[int], fwd: Optional[dict[int, int]] = None) -> None:
         if fwd:
             if self.engine is not None:
@@ -181,6 +241,26 @@ class Collector:
             f"heap budget {self.heap_bytes} bytes, "
             f"{self.heap.stats.objects_live} objects live"
         )
+
+    # -- lazy-sweep surface (no-ops for eager-only collectors) ---------------------------
+
+    def sweep_all(self) -> None:
+        """Finish any deferred sweep work so reclamation is exact *now*.
+
+        The escape hatch lazy mode needs for consumers whose semantics
+        require an up-to-date heap table — ``verify_heap``, the class
+        census, assert-dead probing after an explicit GC.  Eager collectors
+        have nothing deferred, so the base implementation is a no-op.
+        """
+
+    def sweep_debt(self) -> int:
+        """Unswept chunks outstanding from the last collection (0 = exact)."""
+        return 0
+
+    def pending_garbage_predicate(self):
+        """``None``, or a predicate marking objects that are dead but not
+        yet swept — table walkers (census) use it to skip pending garbage."""
+        return None
 
     # -- introspection -----------------------------------------------------------------
 

@@ -12,11 +12,24 @@ collected by infrequent *full-heap* mark-sweep collections that run the
 complete assertion machinery.  Minor collections are kept sound by a
 reference-store write barrier that records mature objects pointing into the
 nursery (the remembered set).
+
+The mature space sweeps through the shared :class:`ChunkSweeper`.  Under
+``sweep_mode="eager"`` (default) the full-heap pause keeps its classic
+shape; under ``"lazy"`` the pause ends after marking and promotion, and
+mature chunks are reclaimed on demand — promotion and mutator mature
+allocation repay debt through :meth:`_mature_allocate`, whose per-chunk
+purge upholds the purge-before-reuse invariant the eager path gets from its
+single bulk purge.  One lazy-mode imprecision: a dead-but-unswept mature
+object can still sit in the remembered set, so the nursery objects it
+references float for one extra minor cycle — the same one-GC slack the
+paper accepts for its ownership phase (§2.5.2).
 """
 
 from __future__ import annotations
 
+from repro.errors import HeapError
 from repro.gc.base import Collector
+from repro.gc.lazysweep import LAZY_SWEEP_BATCH, ChunkSweeper
 from repro.gc.stats import PhaseTimer
 from repro.heap import header as hdr
 from repro.heap.heap import SPACE_STRIDE
@@ -43,12 +56,17 @@ class GenerationalCollector(Collector):
         engine=None,
         track_paths=None,
         nursery_fraction: float = DEFAULT_NURSERY_FRACTION,
+        sweep_mode: str = "eager",
     ):
         super().__init__(heap_bytes, engine, track_paths)
         nursery_bytes = max(4096, int(heap_bytes * nursery_fraction))
         self.nursery = BumpSpace("nursery", nursery_bytes, HEAP_BASE_ADDRESS + SPACE_STRIDE)
         self.mature = FreeListSpace("mature", heap_bytes - nursery_bytes, HEAP_BASE_ADDRESS)
         self._large_threshold = int(nursery_bytes * LARGE_OBJECT_FRACTION)
+        if sweep_mode not in ("eager", "lazy"):
+            raise HeapError(f"unknown sweep mode {sweep_mode!r}")
+        self.sweep_mode = sweep_mode
+        self._mature_sweeper = ChunkSweeper(self, self.mature)
         #: Addresses of mature objects that may hold nursery references.
         self.remembered: set[int] = set()
 
@@ -67,11 +85,19 @@ class GenerationalCollector(Collector):
                 return self._allocate_mature(cls, length, nbytes)
         return self.heap.install(address, cls, length)
 
-    def _allocate_mature(self, cls: ClassDescriptor, length: int, nbytes: int) -> HeapObject:
+    def _mature_allocate(self, nbytes: int) -> int | None:
+        """Mature-space allocation that repays sweep debt on demand."""
         address = self.mature.allocate(nbytes)
+        while address is None and self._mature_sweeper.debt:
+            self._mature_sweeper.sweep_chunks(LAZY_SWEEP_BATCH)
+            address = self.mature.allocate(nbytes)
+        return address
+
+    def _allocate_mature(self, cls: ClassDescriptor, length: int, nbytes: int) -> HeapObject:
+        address = self._mature_allocate(nbytes)
         if address is None:
             self.collect(reason=f"mature allocation of {nbytes} bytes failed")
-            address = self.mature.allocate(nbytes)
+            address = self._mature_allocate(nbytes)
             if address is None:
                 raise self._oom(cls, nbytes, "mature space full after full-heap GC")
         return self.heap.install(address, cls, length)
@@ -91,10 +117,15 @@ class GenerationalCollector(Collector):
     def collect_minor(self, reason: str = "explicit-minor") -> None:
         """Nursery-only collection.  Checks **no** assertions (§2.2)."""
         # If the mature space cannot absorb the worst-case survivor volume,
-        # do a full-heap collection instead (which also empties the nursery).
-        if self.mature.bytes_free < int(self.nursery.bytes_in_use * 1.5):
-            self.collect(reason=f"{reason}; mature too full for promotion")
-            return
+        # try repaying sweep debt first, then fall back to a full-heap
+        # collection (which also empties the nursery).
+        headroom = int(self.nursery.bytes_in_use * 1.5)
+        if self.mature.bytes_free < headroom:
+            if self._mature_sweeper.debt:
+                self.sweep_all()
+            if self.mature.bytes_free < headroom:
+                self.collect(reason=f"{reason}; mature too full for promotion")
+                return
         pending = self._telemetry_begin("minor", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
@@ -155,7 +186,7 @@ class GenerationalCollector(Collector):
                     continue
                 stats.objects_swept += 1
                 if address in visited:
-                    new_address = self.mature.allocate(obj.size_bytes)
+                    new_address = self._mature_allocate(obj.size_bytes)
                     if new_address is None:
                         raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
                     heap.relocate(obj, new_address)
@@ -198,10 +229,16 @@ class GenerationalCollector(Collector):
 
         Also evacuates the nursery (all surviving nursery objects are
         promoted), so the nursery is empty afterwards.  Promotion may
-        recycle mature cells freed by this very sweep, so all
-        address-keyed metadata (assertion registry, region queues) is
-        purged *between* sweeping and promotion.
+        recycle mature cells freed by this very sweep, so all address-keyed
+        metadata (assertion registry, region queues) is purged before any
+        such cell can be handed out: eagerly in one bulk purge between
+        sweeping and promotion, lazily per chunk inside
+        :meth:`_mature_allocate`.
         """
+        # Repay the previous cycle's debt before a new trace: the ownership
+        # phase must not walk registry entries for dead owners, and header
+        # bits of pending garbage belong to the old cycle.
+        self.sweep_all()
         pending = self._telemetry_begin("full", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
@@ -210,69 +247,105 @@ class GenerationalCollector(Collector):
 
             tracer = self._make_tracer()
             self._run_mark_phase(tracer)
-            freed = self._sweep_dead()
-            # Purge before promotion can recycle any freed mature cell.
-            if self.engine is not None:
-                self.engine.purge(freed)
-            if self.vm is not None:
-                self.vm.purge_dead_metadata(freed)
+            self._mature_sweeper.schedule()
+            nursery_freed = self._sweep_nursery_dead()
+            if self.sweep_mode == "eager":
+                freed = nursery_freed | self._mature_sweeper.drain_eager()
+                # Purge before promotion can recycle any freed mature cell.
+                self._purge_before_reuse(freed)
+            else:
+                # Mature chunks stay pending; only the chunk sweeper (which
+                # purges per chunk) can recycle their cells during promotion.
+                self._purge_before_reuse(nursery_freed)
             fwd = self._promote_survivors()
         if fwd:
             if self.engine is not None:
                 self.engine.apply_forwarding(fwd)
             if self.vm is not None:
                 self.vm.apply_forwarding(fwd)
-        self.process_weak_references(fwd)
-        if self.engine is not None:
-            self.engine.finalize(self)
-        if self.vm is not None:
-            # Metadata was purged pre-promotion; observers fire here.
-            self.vm.on_gc_complete(set())
+        if self.sweep_mode == "eager":
+            self.process_weak_references(fwd)
+            if self.engine is not None:
+                self.engine.finalize(self)
+            if self.vm is not None:
+                # Metadata was purged pre-promotion; observers fire here.
+                self.vm.on_gc_complete(set())
+        else:
+            self._finish_mark_only(self._mature_sweeper.cutoff, fwd)
         self._telemetry_end(pending)
 
-    def _sweep_dead(self) -> set[int]:
-        """Reclaim every unmarked object (no address is reused yet)."""
+    def _sweep_nursery_dead(self) -> set[int]:
+        """Evict dead nursery objects (the nursery never sweeps lazily —
+        promotion empties it inside the pause regardless of mode)."""
         heap = self.heap
         stats = self.stats
         nursery = self.nursery
         freed: set[int] = set()
         with PhaseTimer(stats, "sweep_seconds"):
-            for obj in heap.objects():
+            for address in nursery.addresses():
+                obj = heap.maybe(address)
+                if obj is None:
+                    continue
                 stats.objects_swept += 1
                 if obj.status & hdr.MARK_BIT:
                     continue
-                address = obj.address
                 freed.add(address)
                 stats.objects_freed += 1
                 stats.bytes_freed += obj.size_bytes
-                if nursery.contains(address):
-                    nursery.release(address)
-                else:
-                    self.mature.free(address)
+                nursery.release(address)
                 heap.evict(obj)
         return freed
 
     def _promote_survivors(self) -> dict[int, int]:
-        """Move surviving nursery objects into the mature space."""
+        """Move surviving nursery objects into the mature space.
+
+        Iterates the nursery only: in lazy mode the heap table still holds
+        dead-but-unswept mature objects whose header bits the chunk sweep
+        will read, so they must not be touched here.  Mature survivors'
+        bits are cleared by the chunk sweep itself; promoted objects are
+        cleared here and re-stamped past the sweep cutoff by ``relocate``,
+        so a pending chunk sweep never mistakes them for old occupants.
+        """
         heap = self.heap
         stats = self.stats
         nursery = self.nursery
         fwd: dict[int, int] = {}
         with PhaseTimer(stats, "sweep_seconds"):
-            for obj in heap.objects():
+            for address in nursery.addresses():
+                obj = heap.maybe(address)
+                if obj is None:
+                    continue
                 self.clear_gc_bits(obj)
-                address = obj.address
-                if nursery.contains(address):
-                    new_address = self.mature.allocate(obj.size_bytes)
-                    if new_address is None:
-                        raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
-                    heap.relocate(obj, new_address)
-                    fwd[address] = new_address
-                    stats.objects_promoted += 1
+                new_address = self._mature_allocate(obj.size_bytes)
+                if new_address is None:
+                    raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
+                heap.relocate(obj, new_address)
+                fwd[address] = new_address
+                stats.objects_promoted += 1
             if fwd:
                 # Promotion moved objects: any live object may reference them.
-                for obj in heap.objects():
+                for obj in heap:
                     self._forward_slots(obj, fwd)
             nursery.reset()
             self.remembered.clear()
         return fwd
+
+    # -- lazy-sweep surface ------------------------------------------------------------
+
+    def sweep_all(self) -> None:
+        self._mature_sweeper.sweep_all()
+
+    def sweep_debt(self) -> int:
+        return self._mature_sweeper.debt
+
+    def pending_garbage_predicate(self):
+        sweeper = self._mature_sweeper
+        if not sweeper.debt:
+            return None
+        cutoff = sweeper.cutoff
+        mark_bit = hdr.MARK_BIT
+
+        def _is_pending_garbage(obj: HeapObject) -> bool:
+            return obj.alloc_seq <= cutoff and not (obj.status & mark_bit)
+
+        return _is_pending_garbage

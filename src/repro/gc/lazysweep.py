@@ -1,0 +1,159 @@
+"""Chunked sweeping: one engine behind both eager and lazy sweep modes.
+
+The seed collector swept by snapshotting ``heap.objects()`` — a full-table
+list copy per GC — and returning dead cells one ``space.free()`` call at a
+time.  The :class:`ChunkSweeper` replaces that with a walk over the space's
+own chunk metadata (64 KB chunks for :class:`~repro.heap.space.FreeListSpace`,
+blocks and large spans for :class:`~repro.heap.blocks.BlockSpace`), freeing
+each chunk's dead cells with one batched splice per size class.
+
+Two drain disciplines share the per-chunk core:
+
+* ``drain_eager()`` — sweep every pending chunk inside the pause and return
+  the freed-address set, for the classic
+  mark → sweep → ``_finish_collection(freed)`` sequence.
+* ``sweep_chunks(n)`` — lazy mode: the pause ends after marking, and pending
+  chunks are reclaimed incrementally on the allocation slow path.  Because
+  the mutator runs (and allocates) between mark end and a chunk's sweep,
+  each chunk sweep must itself uphold the metadata invariants the eager
+  sequence got for free:
+
+  - **epoch filter** — ``cutoff`` is ``heap.install_seq`` captured when the
+    chunks were scheduled (mark end).  Objects installed or relocated after
+    that (mutator allocations into a pending chunk; generational promotion
+    into recycled mature cells) have ``alloc_seq > cutoff`` and are skipped:
+    their unmarked headers mean "allocated after the trace", not "dead".
+  - **purge before reuse** — address-keyed assertion/VM metadata for a
+    chunk's dead cells is purged *before* those cells reach the free list,
+    so a recycled address can never alias a stale registry entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.gc.stats import PhaseTimer
+from repro.heap import header as hdr
+
+if TYPE_CHECKING:
+    from repro.gc.base import Collector
+
+#: Chunks reclaimed per allocation-slow-path visit in lazy mode.  Small
+#: enough to keep mutator-time sweep increments short, large enough that an
+#: allocation burst does not take one trip per chunk.
+LAZY_SWEEP_BATCH = 8
+
+
+class ChunkSweeper:
+    """Pending-chunk queue plus the per-chunk sweep loop for one space."""
+
+    __slots__ = ("collector", "space", "pending", "cutoff")
+
+    def __init__(self, collector: "Collector", space):
+        self.collector = collector
+        self.space = space
+        #: Chunk ids scheduled at mark end and not yet swept.
+        self.pending: deque[int] = deque()
+        #: ``heap.install_seq`` at schedule time; objects stamped later are
+        #: post-mark installs and must not be treated as dead.
+        self.cutoff = 0
+
+    @property
+    def debt(self) -> int:
+        """Number of unswept chunks (0 = reclamation is exact)."""
+        return len(self.pending)
+
+    def schedule(self) -> None:
+        """Capture the space's chunks for sweeping; call at mark end."""
+        self.cutoff = self.collector.heap.install_seq
+        self.pending = deque(self.space.chunk_ids())
+
+    # -- per-chunk core ----------------------------------------------------------
+
+    def _sweep_chunk(self, chunk_id: int) -> tuple[set[int], dict[int, list[int]]]:
+        """Examine one chunk: clear survivor bits, evict the dead.
+
+        Returns ``(freed addresses, {cell size: [addresses]})``; the caller
+        decides when the cells go back to the space (eager: immediately;
+        lazy: after the purge).
+        """
+        collector = self.collector
+        heap = collector.heap
+        stats = collector.stats
+        table = heap.address_table()
+        mark_bit = hdr.MARK_BIT
+        clear_mask = ~(hdr.MARK_BIT | hdr.OWNED_BIT)
+        cutoff = self.cutoff
+        freed: set[int] = set()
+        by_class: dict[int, list[int]] = {}
+        swept = 0
+        for address, cell in self.space.chunk_cells(chunk_id):
+            obj = table.get(address)
+            if obj is None or obj.alloc_seq > cutoff:
+                continue  # installed after the trace; not this cycle's business
+            swept += 1
+            status = obj.status
+            if status & mark_bit:
+                obj.status = status & clear_mask
+            else:
+                freed.add(address)
+                bucket = by_class.get(cell)
+                if bucket is None:
+                    by_class[cell] = [address]
+                else:
+                    bucket.append(address)
+                heap.evict(obj)
+        stats.objects_swept += swept
+        stats.objects_freed += len(freed)
+        stats.chunks_swept += 1
+        return freed, by_class
+
+    # -- drain disciplines --------------------------------------------------------
+
+    def drain_eager(self) -> set[int]:
+        """Sweep every pending chunk now; returns the freed-address set.
+
+        Cells return to the space immediately and *without* purging — the
+        eager collect sequence purges once, via
+        ``_finish_collection(freed)``, before the mutator can allocate.
+        """
+        stats = self.collector.stats
+        freed_all: set[int] = set()
+        pending = self.pending
+        with PhaseTimer(stats, "sweep_seconds"):
+            while pending:
+                chunk_id = pending.popleft()
+                freed, by_class = self._sweep_chunk(chunk_id)
+                if by_class:
+                    stats.bytes_freed += self.space.free_chunk_cells(chunk_id, by_class)
+                if freed:
+                    freed_all |= freed
+        return freed_all
+
+    def sweep_chunks(self, max_chunks: int | None = None) -> int:
+        """Lazy increment: sweep up to ``max_chunks`` pending chunks.
+
+        Each chunk's freed addresses are purged from assertion/VM metadata
+        *before* its cells are spliced back — the purge-precedes-reuse
+        invariant, per chunk.  Returns the number of cells released.
+        """
+        collector = self.collector
+        stats = collector.stats
+        pending = self.pending
+        budget = len(pending) if max_chunks is None else max_chunks
+        released = 0
+        with PhaseTimer(stats, "sweep_seconds"), PhaseTimer(stats, "lazy_sweep_seconds"):
+            while pending and budget > 0:
+                budget -= 1
+                chunk_id = pending.popleft()
+                freed, by_class = self._sweep_chunk(chunk_id)
+                if freed:
+                    collector._purge_before_reuse(freed)
+                    stats.bytes_freed += self.space.free_chunk_cells(chunk_id, by_class)
+                    released += len(freed)
+        return released
+
+    def sweep_all(self) -> None:
+        """Drain all outstanding debt (lazy discipline, incremental purge)."""
+        self.sweep_chunks(None)

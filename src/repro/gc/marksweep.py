@@ -4,21 +4,38 @@
 collector.  We chose MarkSweep because it is a full-heap collector, which
 will check all assertions at every garbage collection." (§2.2)
 
-Allocation is segregated-fit free-list allocation; collection is a full-heap
-mark phase (with the assertion engine's pre-mark ownership phase and
-per-object encounter hooks) followed by an eager sweep that returns dead
-cells to the free lists.
+Allocation is segregated-fit free-list allocation with a per-size-class run
+cache in front of it (the common case is one capacity check and a
+``list.pop``); collection is a full-heap mark phase (with the assertion
+engine's pre-mark ownership phase and per-object encounter hooks) followed
+by a chunked sweep in one of two disciplines:
+
+* ``sweep_mode="eager"`` (default) — every chunk is swept inside the pause;
+  semantics are identical to the classic mark-sweep sequence.
+* ``sweep_mode="lazy"`` — the pause ends at mark end; unswept chunks are
+  reclaimed incrementally on the allocation slow path (or all at once via
+  :meth:`sweep_all`, the exactness escape hatch used by ``verify_heap``,
+  the census, and the next collection's prologue).
 """
 
 from __future__ import annotations
 
 from repro.errors import HeapError
 from repro.gc.base import Collector
+from repro.gc.lazysweep import LAZY_SWEEP_BATCH, ChunkSweeper
 from repro.gc.stats import PhaseTimer
 from repro.heap import header as hdr
 from repro.heap.blocks import BlockSpace
+from repro.heap.freelist import SIZE_CLASS_LOOKUP, SIZE_CLASSES
 from repro.heap.object_model import ClassDescriptor, HeapObject
 from repro.heap.space import FreeListSpace
+
+#: Cells fetched per run-cache refill.  One refill amortizes the free-list
+#: bucket lookup (or bump carve) over this many allocations.
+RUN_CACHE_CELLS = 16
+
+#: Largest request served by the run cache (the last tabled size class).
+_CACHE_LIMIT = SIZE_CLASSES[-1]
 
 
 class MarkSweepCollector(Collector):
@@ -27,7 +44,8 @@ class MarkSweepCollector(Collector):
     Two space policies are available: ``"freelist"`` (simple per-size-class
     free lists; the default, and what the heap budgets are calibrated for)
     and ``"blocks"`` (Jikes-style block-structured layout with observable
-    fragmentation; see :mod:`repro.heap.blocks`).
+    fragmentation; see :mod:`repro.heap.blocks`).  The run-cache fast path
+    applies to the freelist policy; both policies support both sweep modes.
     """
 
     name = "marksweep"
@@ -39,6 +57,7 @@ class MarkSweepCollector(Collector):
         engine=None,
         track_paths=None,
         space_policy: str = "freelist",
+        sweep_mode: str = "eager",
     ):
         super().__init__(heap_bytes, engine, track_paths)
         if space_policy == "freelist":
@@ -47,20 +66,92 @@ class MarkSweepCollector(Collector):
             self.space = BlockSpace("ms", heap_bytes)
         else:
             raise HeapError(f"unknown space policy {space_policy!r}")
+        if sweep_mode not in ("eager", "lazy"):
+            raise HeapError(f"unknown sweep mode {sweep_mode!r}")
         self.space_policy = space_policy
+        self.sweep_mode = sweep_mode
+        self._sweeper = ChunkSweeper(self, self.space)
+        #: size class -> reserved (uncommitted) cells, popped by the fast
+        #: path.  None for the blocks policy, which has no reserve API.
+        self._alloc_cache: dict[int, list[int]] | None = (
+            {} if space_policy == "freelist" else None
+        )
 
     # -- allocation -----------------------------------------------------------------
 
     def allocate(self, cls: ClassDescriptor, length: int = 0) -> HeapObject:
         nbytes = cls.size_of(length)
         self._telemetry_allocation(nbytes)
-        address = self.space.allocate(nbytes)
-        if address is None:
-            self.collect(reason=f"allocation of {nbytes} bytes failed")
-            address = self.space.allocate(nbytes)
-            if address is None:
-                raise self._oom(cls, nbytes, "space full after full-heap GC")
+        cache = self._alloc_cache
+        if cache is not None and nbytes <= _CACHE_LIMIT:
+            cell = SIZE_CLASS_LOOKUP[nbytes]
+            run = cache.get(cell)
+            if run and self.space.commit(run[-1], cell):
+                # Fast path: table lookup + capacity check + list.pop.
+                self.stats.alloc_fast_hits += 1
+                return self.heap.install(run.pop(), cls, length)
+            address = self._allocate_slow_cached(cell, cls, nbytes)
+        else:
+            address = self._allocate_slow(cls, nbytes)
         return self.heap.install(address, cls, length)
+
+    def _try_cached(self, cell: int) -> int | None:
+        """Pop a cell from the run cache, refilling it from the space."""
+        cache = self._alloc_cache
+        run = cache.get(cell)
+        if not run:
+            run = self.space.reserve_run(cell, RUN_CACHE_CELLS)
+            if not run:
+                return None
+            cache[cell] = run
+        if self.space.commit(run[-1], cell):
+            return run.pop()
+        return None  # reserved cells exist but the byte budget is gone
+
+    def _allocate_slow_cached(self, cell: int, cls: ClassDescriptor, nbytes: int) -> int:
+        for attempt in (0, 1):
+            address = self._try_cached(cell)
+            if address is not None:
+                return address
+            while self._sweeper.debt:
+                self._sweeper.sweep_chunks(LAZY_SWEEP_BATCH)
+                address = self._try_cached(cell)
+                if address is not None:
+                    return address
+            if attempt == 0:
+                self.collect(reason=f"allocation of {nbytes} bytes failed")
+        raise self._oom(cls, nbytes, "space full after full-heap GC")
+
+    def _allocate_slow(self, cls: ClassDescriptor, nbytes: int) -> int:
+        """Uncached slow path: blocks policy and over-cache-limit requests."""
+        for attempt in (0, 1):
+            address = self.space.allocate(nbytes)
+            if address is not None:
+                return address
+            while self._sweeper.debt:
+                self._sweeper.sweep_chunks(LAZY_SWEEP_BATCH)
+                address = self.space.allocate(nbytes)
+                if address is not None:
+                    return address
+            if attempt == 0:
+                self.collect(reason=f"allocation of {nbytes} bytes failed")
+        raise self._oom(cls, nbytes, "space full after full-heap GC")
+
+    def _flush_alloc_cache(self) -> None:
+        """Return every reserved cell to the free list (collect prologue).
+
+        Flushing *before* this collection's sweep pushes any freed cells
+        keeps the free-list LIFO discipline: the most recently freed cell is
+        still the next one allocated, exactly as without the cache.
+        """
+        cache = self._alloc_cache
+        if not cache:
+            return
+        space = self.space
+        for cell, run in cache.items():
+            if run:
+                space.release_run(cell, run)
+        cache.clear()
 
     def bytes_in_use(self) -> int:
         return self.space.bytes_in_use
@@ -68,6 +159,13 @@ class MarkSweepCollector(Collector):
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
+        # Repay outstanding sweep debt before a new trace: the assertion
+        # registry must not hold dead entries when the ownership phase runs
+        # (a dead owner would resurrect its region), and dead-but-unswept
+        # objects must not survive into a second cycle's accounting.  Both
+        # happen outside the measured pause.
+        self.sweep_all()
+        self._flush_alloc_cache()
         pending = self._telemetry_begin("full", reason)
         with PhaseTimer(self.stats, "gc_seconds"):
             self.stats.collections += 1
@@ -76,24 +174,33 @@ class MarkSweepCollector(Collector):
 
             tracer = self._make_tracer()
             self._run_mark_phase(tracer)
-            freed = self._sweep()
-        self._finish_collection(freed)
+            self._sweeper.schedule()
+            if self.sweep_mode == "eager":
+                freed = self._sweeper.drain_eager()
+            else:
+                freed = None  # chunks stay pending; the pause ends here
+        if freed is not None:
+            self._finish_collection(freed)
+        else:
+            self._finish_mark_only(self._sweeper.cutoff)
         self._telemetry_end(pending)
 
-    def _sweep(self) -> set[int]:
-        """Free every unmarked object; reset GC bits on survivors."""
-        freed: set[int] = set()
-        stats = self.stats
-        heap = self.heap
-        space = self.space
-        with PhaseTimer(stats, "sweep_seconds"):
-            for obj in heap.objects():
-                stats.objects_swept += 1
-                if obj.status & hdr.MARK_BIT:
-                    self.clear_gc_bits(obj)
-                else:
-                    freed.add(obj.address)
-                    stats.objects_freed += 1
-                    stats.bytes_freed += space.free(obj.address)
-                    heap.evict(obj)
-        return freed
+    # -- lazy-sweep surface ------------------------------------------------------------
+
+    def sweep_all(self) -> None:
+        self._sweeper.sweep_all()
+
+    def sweep_debt(self) -> int:
+        return self._sweeper.debt
+
+    def pending_garbage_predicate(self):
+        sweeper = self._sweeper
+        if not sweeper.debt:
+            return None
+        cutoff = sweeper.cutoff
+        mark_bit = hdr.MARK_BIT
+
+        def _is_pending_garbage(obj: HeapObject) -> bool:
+            return obj.alloc_seq <= cutoff and not (obj.status & mark_bit)
+
+        return _is_pending_garbage

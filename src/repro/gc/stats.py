@@ -28,11 +28,14 @@ class GcStats:
         "ownership_phase_seconds",
         "mark_seconds",
         "sweep_seconds",
+        "lazy_sweep_seconds",
         "objects_traced",
         "edges_traced",
         "objects_swept",
         "objects_freed",
         "bytes_freed",
+        "chunks_swept",
+        "alloc_fast_hits",
         "objects_promoted",
         "header_bit_checks",
         "instance_count_increments",
@@ -46,12 +49,16 @@ class GcStats:
         "weak_refs_cleared",
     )
 
-    #: Float wall-clock accumulators (seconds).
+    #: Float wall-clock accumulators (seconds).  ``lazy_sweep_seconds`` is
+    #: the subset of sweep work done outside a GC pause, on the allocation
+    #: slow path; it is *also* included in ``sweep_seconds`` so eager and
+    #: lazy runs stay comparable on total sweep time.
     TIMER_FIELDS = (
         "gc_seconds",
         "ownership_phase_seconds",
         "mark_seconds",
         "sweep_seconds",
+        "lazy_sweep_seconds",
     )
 
     #: Deterministic integer work counters (everything that isn't a timer).
@@ -61,7 +68,13 @@ class GcStats:
         f
         for f in __slots__
         if f
-        not in ("gc_seconds", "ownership_phase_seconds", "mark_seconds", "sweep_seconds")
+        not in (
+            "gc_seconds",
+            "ownership_phase_seconds",
+            "mark_seconds",
+            "sweep_seconds",
+            "lazy_sweep_seconds",
+        )
     )
 
     def __init__(self) -> None:

@@ -13,6 +13,9 @@ object *on* the worklist while its children are being traced:
 
 :meth:`Tracer.current_path` reconstructs that path on demand, which is what
 gives violation reports their Figure-1 root-to-object paths for free.
+:meth:`Tracer.current_path_addresses` is the cheap variant (raw addresses,
+no object materialization) and :meth:`Tracer.path_depth` cheaper still, for
+consumers that only need the length.
 
 The tracer calls two assertion hooks on an attached engine:
 
@@ -24,12 +27,28 @@ The tracer calls two assertion hooks on an attached engine:
 With ``engine=None`` and ``track_paths=False`` the tracer degenerates to the
 plain mark loop of an unmodified collector — that is the paper's *Base*
 configuration, against which the *Infrastructure* overhead is measured.
+
+The drain is specialized into fused worklist loops — ``plain`` (Base),
+``paths`` (Infrastructure without an engine), and ``paths+engine`` — so
+the per-edge work never pays for branches it cannot take: children are
+resolved through the heap's address table directly (no ``ObjectHeap.get``
+triple check; the collector owns the heap during the pause), the
+``reference_slots`` generator is inlined, and the hot counters accumulate
+in locals and flush once per drain.  When the engine declares
+``INLINE_HEADER_CHECKS`` (the assertion engine does), its per-object
+duties are inlined too and the ``*_slow`` hooks run only when a header
+bit shows actual assertion work; other engines get every encounter via
+the full hooks.  The original method-per-edge implementation survives as
+``specialized=False`` — it still serves the engine-without-paths
+combination and is the "before" leg of the trace microbenchmark
+(``python -m repro bench``).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.errors import InvalidAddressError
 from repro.heap import header as hdr
 from repro.heap.heap import ObjectHeap
 from repro.heap.layout import ADDRESS_TAG_BIT, NULL
@@ -40,7 +59,16 @@ from repro.gc.stats import GcStats
 class Tracer:
     """One tracing episode (reused across the collection's mark phase)."""
 
-    __slots__ = ("heap", "stats", "engine", "track_paths", "_stack", "_root_descs")
+    __slots__ = (
+        "heap",
+        "stats",
+        "engine",
+        "track_paths",
+        "specialized",
+        "_stack",
+        "_root_descs",
+        "_table",
+    )
 
     def __init__(
         self,
@@ -48,13 +76,16 @@ class Tracer:
         stats: GcStats,
         engine=None,
         track_paths: bool = True,
+        specialized: bool = True,
     ):
         self.heap = heap
         self.stats = stats
         self.engine = engine
         self.track_paths = track_paths
+        self.specialized = specialized
         self._stack: list[int] = []
         self._root_descs: dict[int, str] = {}
+        self._table = heap.address_table()
 
     # -- driving the trace -------------------------------------------------------
 
@@ -64,16 +95,256 @@ class Tracer:
         for description, address in roots:
             if address == NULL:
                 continue
+            # Roots come from the mutator (statics, frames, handles), so they
+            # go through the checked dereference path.
             self._reach(self.heap.get(address), parent=None, via_root=description)
         self.drain()
         return self.stats.objects_traced - before
 
     def drain(self) -> None:
         """Process the worklist to empty."""
-        if self.track_paths:
-            self._drain_with_paths()
+        if not self.specialized:
+            if self.track_paths:
+                self._drain_with_paths()
+            else:
+                self._drain_generic_plain()
+            return
+        if self.engine is None:
+            if self.track_paths:
+                self._drain_paths()
+            else:
+                self._drain_plain()
+        elif self.track_paths:
+            if getattr(self.engine, "INLINE_HEADER_CHECKS", False):
+                self._drain_paths_engine()
+            else:
+                self._drain_paths_engine_hooks()
         else:
-            self._drain_plain()
+            # Engine without path tracking: an unusual ablation config;
+            # the generic loop handles it without a fourth specialization.
+            self._drain_generic_plain()
+
+    # -- specialized fused drains -------------------------------------------------
+    #
+    # Each loop below is the same algorithm with a different fixed feature
+    # set; the loop bodies are intentionally duplicated so the per-edge path
+    # carries no engine/paths conditionals and no method calls.
+
+    def _drain_plain(self) -> None:
+        """Base configuration: mark loop with nothing else in it."""
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        objects = edges = 0
+        try:
+            while stack:
+                obj = table[stack.pop()]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        continue
+                    children = obj.slots
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            self.stats.objects_traced += objects
+            self.stats.edges_traced += edges
+
+    def _drain_paths(self) -> None:
+        """Infrastructure configuration: low-bit path tagging, no engine."""
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        tag_bit = ADDRESS_TAG_BIT
+        objects = edges = tagged = 0
+        try:
+            while stack:
+                entry = stack.pop()
+                if entry & tag_bit:
+                    # Low bit set: all objects reachable from it are done.
+                    continue
+                push(entry | tag_bit)
+                tagged += 1
+                obj = table[entry]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        continue
+                    children = obj.slots
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            stats = self.stats
+            stats.objects_traced += objects
+            stats.edges_traced += edges
+            stats.path_entries_tagged += tagged
+
+    def _drain_paths_engine(self) -> None:
+        """Infrastructure/WithAssertions: tagging plus inlined header checks.
+
+        The assertion engine's per-object duties (header-bit check counting,
+        instance counting) live directly in the loop; the engine is called
+        only when a header bit shows actual assertion work — ``DEAD_BIT`` or
+        ``OWNEE_BIT`` on a first encounter, ``UNSHARED_BIT`` on a repeat.
+        With no assertions registered this is the plain paths loop plus two
+        counter increments per object, which is what makes the measured
+        Infrastructure GC-time overhead track the paper's "piggyback on the
+        collector's existing work" claim.
+        """
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        tag_bit = ADDRESS_TAG_BIT
+        first_slow_bits = hdr.DEAD_BIT | hdr.OWNEE_BIT
+        unshared_bit = hdr.UNSHARED_BIT
+        engine = self.engine
+        slow_first = engine.on_first_encounter_slow
+        slow_repeat = engine.on_repeat_encounter_slow
+        objects = edges = tagged = header_checks = instance_incrs = 0
+        try:
+            while stack:
+                entry = stack.pop()
+                if entry & tag_bit:
+                    continue
+                push(entry | tag_bit)
+                tagged += 1
+                obj = table[entry]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        continue
+                    children = obj.slots
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        header_checks += 1
+                        if status & unshared_bit:
+                            slow_repeat(cobj, self, obj)
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    header_checks += 1
+                    # Hooks may reconstruct the current path, so counters are
+                    # flushed lazily but the worklist is always consistent
+                    # (parent tagged and on-stack) at this point.
+                    if status & first_slow_bits:
+                        slow_first(cobj, self, obj)
+                    ccls = cobj.cls
+                    if ccls.instance_limit is not None:
+                        ccls.instance_count += 1
+                        instance_incrs += 1
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            stats = self.stats
+            stats.objects_traced += objects
+            stats.edges_traced += edges
+            stats.path_entries_tagged += tagged
+            stats.header_bit_checks += header_checks
+            stats.instance_count_increments += instance_incrs
+
+    def _drain_paths_engine_hooks(self) -> None:
+        """Tagging plus the full encounter hooks, for engines that do not
+        declare ``INLINE_HEADER_CHECKS`` (custom probes and instrumented
+        engines get every encounter, not just the assertion-relevant ones)."""
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        tag_bit = ADDRESS_TAG_BIT
+        engine = self.engine
+        on_first = engine.on_first_encounter
+        on_repeat = engine.on_repeat_encounter
+        objects = edges = tagged = 0
+        try:
+            while stack:
+                entry = stack.pop()
+                if entry & tag_bit:
+                    continue
+                push(entry | tag_bit)
+                tagged += 1
+                obj = table[entry]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        continue
+                    children = obj.slots
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        on_repeat(cobj, self, obj)
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    on_first(cobj, self, obj)
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            stats = self.stats
+            stats.objects_traced += objects
+            stats.edges_traced += edges
+            stats.path_entries_tagged += tagged
+
+    # -- generic (pre-specialization) drain ----------------------------------------
 
     def _drain_with_paths(self) -> None:
         stack = self._stack
@@ -88,7 +359,7 @@ class Tracer:
             stats.path_entries_tagged += 1
             self._scan(heap.get(entry))
 
-    def _drain_plain(self) -> None:
+    def _drain_generic_plain(self) -> None:
         stack = self._stack
         heap = self.heap
         while stack:
@@ -125,6 +396,26 @@ class Tracer:
 
     # -- path reconstruction -------------------------------------------------------
 
+    def current_path_addresses(self, tip: Optional[int] = None) -> list[int]:
+        """Addresses of the current root-to-object path, root first.
+
+        The cheap variant of :meth:`current_path`: one worklist scan, no
+        heap lookups and no ``HeapObject`` list.  ``tip`` (an address) is
+        appended when it is not already the last tagged entry.
+        """
+        if not self.track_paths:
+            return [tip] if tip is not None else []
+        tag_bit = ADDRESS_TAG_BIT
+        chain = [entry ^ tag_bit for entry in self._stack if entry & tag_bit]
+        if tip is not None and (not chain or chain[-1] != tip):
+            chain.append(tip)
+        return chain
+
+    def path_depth(self) -> int:
+        """Length of the current path (tagged worklist entries only)."""
+        tag_bit = ADDRESS_TAG_BIT
+        return sum(1 for entry in self._stack if entry & tag_bit)
+
     def current_path(self, tip: Optional[HeapObject] = None):
         """Reconstruct the root-to-current-object path from the worklist.
 
@@ -134,13 +425,11 @@ class Tracer:
         """
         if not self.track_paths:
             return None, ([tip] if tip is not None else [])
-        chain: list[HeapObject] = []
         heap = self.heap
-        for entry in self._stack:
-            if entry & ADDRESS_TAG_BIT:
-                chain.append(heap.get(entry & ~ADDRESS_TAG_BIT))
-        if tip is not None and (not chain or chain[-1] is not tip):
-            chain.append(tip)
+        addresses = self.current_path_addresses(tip.address if tip is not None else None)
+        chain = [heap.get(address) for address in addresses]
+        if tip is not None and chain and chain[-1].address == tip.address:
+            chain[-1] = tip
         root_desc = self._root_descs.get(chain[0].address) if chain else None
         return root_desc, chain
 

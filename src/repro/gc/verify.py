@@ -43,6 +43,11 @@ def verify_heap(vm: "VirtualMachine", raise_on_error: bool = True) -> list[str]:
     problems: list[str] = []
     heap = vm.heap
 
+    # Lazy sweep modes defer reclamation; finish it so the invariants below
+    # (no MARK bits between collections, registry liveness, accounting) are
+    # judged against an exact heap.
+    vm.collector.sweep_all()
+
     # -- object table and headers ------------------------------------------------
     for obj in heap:
         if not is_aligned(obj.address):

@@ -173,6 +173,61 @@ class BlockSpace(Space):
             self._partial.setdefault(block.cell_bytes, []).append(base)
         return block.cell_bytes
 
+    # -- chunked sweep interface --------------------------------------------------------
+
+    def chunk_ids(self) -> list[int]:
+        """One chunk per held block, plus one per live large-object span."""
+        return list(self._blocks) + list(self._large)
+
+    def chunk_cells(self, chunk_id: int) -> list[tuple[int, int]]:
+        """Snapshot of one chunk's allocated ``(address, cell size)`` pairs."""
+        span = self._large.get(chunk_id)
+        if span is not None:
+            return [(chunk_id, span)]
+        block = self._blocks.get(chunk_id)
+        if block is None:
+            return []
+        free = set(block.free_cells)
+        cell = block.cell_bytes
+        return [
+            (block.base + index * cell, cell)
+            for index in range(block.n_cells)
+            if index not in free
+        ]
+
+    def free_chunk_cells(self, chunk_id: int, by_class: dict[int, list[int]]) -> int:
+        """Batch-free swept cells of one chunk; returns bytes released.
+
+        For an ordinary block this is a single ``free_cells`` splice plus
+        one full/empty transition check, instead of per-cell bookkeeping.
+        """
+        span = self._large.get(chunk_id)
+        if span is not None:
+            self._large.pop(chunk_id)
+            self.bytes_in_use -= span
+            return span
+        block = self._blocks[chunk_id]
+        released = 0
+        was_full = block.is_full
+        for cell, addresses in by_class.items():
+            if cell != block.cell_bytes:
+                raise HeapError(
+                    f"chunk {chunk_id:#x} is formatted for {block.cell_bytes}-byte "
+                    f"cells, not {cell}"
+                )
+            block.free_cells.extend(
+                (address - block.base) // cell for address in addresses
+            )
+            block.live_cells -= len(addresses)
+            released += cell * len(addresses)
+        if block.live_cells < 0:
+            raise HeapError(f"double free in block {block.base:#x}")
+        if block.is_empty:
+            self._release_block(block)
+        elif was_full and not block.is_full:
+            self._partial.setdefault(block.cell_bytes, []).append(block.base)
+        return released
+
     def contains(self, address: int) -> bool:
         if address in self._large:
             return True

@@ -32,6 +32,23 @@ def _build_size_classes() -> tuple[int, ...]:
 SIZE_CLASSES: tuple[int, ...] = _build_size_classes()
 
 
+def _build_class_lookup() -> tuple[int, ...]:
+    """``lookup[nbytes] -> cell`` for every request up to the largest class."""
+    lookup = [0] * (SIZE_CLASSES[-1] + 1)
+    cls_iter = iter(SIZE_CLASSES)
+    cell = next(cls_iter)
+    for nbytes in range(1, SIZE_CLASSES[-1] + 1):
+        if nbytes > cell:
+            cell = next(cls_iter)
+        lookup[nbytes] = cell
+    return tuple(lookup)
+
+
+#: Direct-indexed size-class table: the allocation fast path replaces the
+#: old per-request binary search with one list index.
+SIZE_CLASS_LOOKUP: tuple[int, ...] = _build_class_lookup()
+
+
 def size_class_for(nbytes: int) -> int:
     """Return the cell size used for an allocation of ``nbytes``.
 
@@ -42,15 +59,7 @@ def size_class_for(nbytes: int) -> int:
         raise HeapError(f"cannot size a {nbytes}-byte allocation")
     if nbytes > SIZE_CLASSES[-1]:
         return align_up(nbytes)
-    # Binary search for the smallest class >= nbytes.
-    lo, hi = 0, len(SIZE_CLASSES) - 1
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if SIZE_CLASSES[mid] < nbytes:
-            lo = mid + 1
-        else:
-            hi = mid
-    return SIZE_CLASSES[lo]
+    return SIZE_CLASS_LOOKUP[nbytes]
 
 
 class FreeList:
@@ -72,6 +81,21 @@ class FreeList:
         self._cells.setdefault(cell_bytes, []).append(address)
         self.free_bytes += cell_bytes
 
+    def push_many(self, addresses: list[int], cell_bytes: int) -> None:
+        """Return a batch of same-class cells with one list splice.
+
+        The sweep frees chunk-at-a-time; extending the bucket once per
+        chunk replaces the per-object ``push`` churn of the eager sweep.
+        """
+        if not addresses:
+            return
+        bucket = self._cells.get(cell_bytes)
+        if bucket is None:
+            self._cells[cell_bytes] = list(addresses)
+        else:
+            bucket.extend(addresses)
+        self.free_bytes += cell_bytes * len(addresses)
+
     def pop(self, cell_bytes: int) -> int | None:
         """Take a free cell of exactly ``cell_bytes``, or None."""
         bucket = self._cells.get(cell_bytes)
@@ -79,6 +103,17 @@ class FreeList:
             return None
         self.free_bytes -= cell_bytes
         return bucket.pop()
+
+    def pop_run(self, cell_bytes: int, limit: int) -> list[int]:
+        """Take up to ``limit`` free cells of one class in pop (LIFO) order."""
+        bucket = self._cells.get(cell_bytes)
+        if not bucket:
+            return []
+        take = min(limit, len(bucket))
+        run = bucket[-take:][::-1]
+        del bucket[-take:]
+        self.free_bytes -= cell_bytes * take
+        return run
 
     def cell_count(self) -> int:
         return sum(len(b) for b in self._cells.values())

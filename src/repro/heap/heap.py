@@ -61,6 +61,11 @@ class ObjectHeap:
         self._objects: dict[int, HeapObject] = {}
         self.stats = HeapStats()
         self._hash_counter = 1
+        #: Monotone install/relocate stamp (see HeapObject.alloc_seq).
+        self.install_seq = 0
+        #: Sum of live object sizes, maintained on install/evict so
+        #: ``live_bytes()`` is O(1) instead of a full-table walk.
+        self._live_bytes = 0
         #: Live objects that carry weak slots (the collector's weak-ref
         #: processing list; maintained on install/evict).
         self.weak_holders: set[HeapObject] = set()
@@ -76,12 +81,16 @@ class ObjectHeap:
         obj = HeapObject(address, cls, length)
         obj.status |= (self._hash_counter << hdr.HASH_SHIFT)
         self._hash_counter += 1
+        self.install_seq += 1
+        obj.alloc_seq = self.install_seq
         self._objects[address] = obj
         if obj.has_weak_slots:
             self.weak_holders.add(obj)
         cls.allocation_count += 1
         self.stats.objects_allocated += 1
-        self.stats.bytes_allocated += obj.size_bytes
+        size = obj.size_bytes
+        self.stats.bytes_allocated += size
+        self._live_bytes += size
         return obj
 
     def evict(self, obj: HeapObject) -> None:
@@ -94,7 +103,9 @@ class ObjectHeap:
         del self._objects[obj.address]
         self.weak_holders.discard(obj)
         self.stats.objects_freed += 1
-        self.stats.bytes_freed += obj.size_bytes
+        size = obj.size_bytes
+        self.stats.bytes_freed += size
+        self._live_bytes -= size
         obj.set(hdr.FREED_BIT)
 
     def relocate(self, obj: HeapObject, new_address: int) -> None:
@@ -105,6 +116,8 @@ class ObjectHeap:
             raise InvalidAddressError(f"relocation target {new_address:#x} occupied")
         del self._objects[obj.address]
         obj.address = new_address
+        self.install_seq += 1
+        obj.alloc_seq = self.install_seq
         self._objects[new_address] = obj
 
     # -- lookup ----------------------------------------------------------------
@@ -139,5 +152,21 @@ class ObjectHeap:
         """Snapshot list of all objects (safe to mutate the heap while iterating)."""
         return list(self._objects.values())
 
+    def address_table(self) -> dict[int, HeapObject]:
+        """The live address -> object table itself, for GC-internal hot loops.
+
+        The tracer and the chunked sweep resolve addresses through this
+        table directly, skipping :meth:`get`'s null/dangling/freed checks —
+        the collector owns the heap during a pause, so a miss there is a
+        collector bug, not a mutator error.  Mutator dereferences must keep
+        using :meth:`get`.  Callers must not mutate the dict.
+        """
+        return self._objects
+
     def live_bytes(self) -> int:
+        """Total bytes occupied by live objects (O(1); counter-maintained)."""
+        return self._live_bytes
+
+    def live_bytes_slow(self) -> int:
+        """Recompute live bytes by walking the table (debug cross-check)."""
         return sum(obj.size_bytes for obj in self._objects.values())

@@ -213,12 +213,16 @@ class HeapObject:
     updates it in place so Python-side handles keep working across moves.
     """
 
-    __slots__ = ("address", "status", "cls", "slots")
+    __slots__ = ("address", "status", "cls", "slots", "alloc_seq")
 
     def __init__(self, address: int, cls: ClassDescriptor, length: int = 0):
         self.address = address
         self.status = hdr.new_status()
         self.cls = cls
+        #: Monotone install stamp assigned by the heap; bumped again on
+        #: relocation.  Lazy sweeping uses it to tell objects that occupied
+        #: a cell at mark time from ones installed into the cell afterwards.
+        self.alloc_seq = 0
         if cls.is_array:
             elem_default = cls.element_kind.default()  # type: ignore[union-attr]
             self.slots: list = [elem_default] * length

@@ -19,6 +19,13 @@ from repro.errors import HeapError
 from repro.heap.freelist import FreeList, size_class_for
 from repro.heap.layout import HEAP_BASE_ADDRESS, align_up
 
+#: Chunk granularity for the free-list space: allocated-cell metadata is
+#: kept per 64 KB chunk of address space so the sweep can walk (and the
+#: lazy sweeper can defer) one chunk at a time instead of snapshotting the
+#: whole object table.
+CHUNK_SHIFT = 16
+CHUNK_BYTES = 1 << CHUNK_SHIFT
+
 
 class Space:
     """Common accounting shared by all space policies."""
@@ -57,10 +64,20 @@ class FreeListSpace(Space):
     def __init__(self, name: str, capacity_bytes: int, base_address: int = HEAP_BASE_ADDRESS):
         super().__init__(name, capacity_bytes, base_address)
         self.free_list = FreeList()
-        #: Addresses handed out, mapped to their cell size (needed to return
-        #: the right cell on free).  This models the side metadata a real
-        #: block-structured space derives from block headers.
-        self._cell_sizes: dict[int, int] = {}
+        #: chunk id (address >> CHUNK_SHIFT) -> {address: cell size} for
+        #: every allocated cell.  This models the side metadata a real
+        #: block-structured space derives from block headers, organized so
+        #: the sweep can visit one chunk's cells without touching the rest.
+        self._chunks: dict[int, dict[int, int]] = {}
+
+    def _record(self, address: int, cell: int) -> None:
+        chunk_id = address >> CHUNK_SHIFT
+        chunk = self._chunks.get(chunk_id)
+        if chunk is None:
+            self._chunks[chunk_id] = {address: cell}
+        else:
+            chunk[address] = cell
+        self.bytes_in_use += cell
 
     def allocate(self, nbytes: int) -> int | None:
         """Allocate a cell for ``nbytes``; None when the space is full."""
@@ -70,25 +87,85 @@ class FreeListSpace(Space):
         address = self.free_list.pop(cell)
         if address is None:
             address = self._bump(cell)
-        self._cell_sizes[address] = cell
-        self.bytes_in_use += cell
+        self._record(address, cell)
         return address
 
     def free(self, address: int) -> int:
         """Release the cell at ``address``; returns the cell size in bytes."""
-        try:
-            cell = self._cell_sizes.pop(address)
-        except KeyError:
-            raise HeapError(f"free of unallocated address {address:#x}") from None
+        chunk = self._chunks.get(address >> CHUNK_SHIFT)
+        cell = chunk.pop(address, None) if chunk is not None else None
+        if cell is None:
+            raise HeapError(f"free of unallocated address {address:#x}")
         self.bytes_in_use -= cell
         self.free_list.push(address, cell)
         return cell
 
     def cell_size(self, address: int) -> int:
-        return self._cell_sizes[address]
+        return self._chunks[address >> CHUNK_SHIFT][address]
 
     def contains(self, address: int) -> bool:
-        return address in self._cell_sizes
+        chunk = self._chunks.get(address >> CHUNK_SHIFT)
+        return chunk is not None and address in chunk
+
+    # -- allocation fast path (collector run cache) -----------------------------
+
+    def reserve_run(self, cell: int, limit: int) -> list[int]:
+        """Hand out up to ``limit`` uncommitted cells of one size class.
+
+        Reserved cells are *not* charged against capacity and carry no
+        metadata until :meth:`commit` — they are free-list inventory (or
+        fresh bump addresses) parked in the collector's allocation cache.
+        The returned list is ordered for ``list.pop()`` so the cache yields
+        cells in the same order ``allocate`` would have (free-list LIFO
+        first, then ascending bump addresses).
+        """
+        run = self.free_list.pop_run(cell, limit)
+        if not run:
+            if not self.can_fit(cell):
+                return []
+            run = [self._bump(cell) for _ in range(limit)]
+        run.reverse()
+        return run
+
+    def commit(self, address: int, cell: int) -> bool:
+        """Charge and record a reserved cell; False when capacity is gone."""
+        if self.bytes_in_use + cell > self.capacity_bytes:
+            return False
+        self._record(address, cell)
+        return True
+
+    def release_run(self, cell: int, addresses: list[int]) -> None:
+        """Return unused reserved cells to the free list (cache flush)."""
+        self.free_list.push_many(addresses, cell)
+
+    # -- chunked sweep interface -------------------------------------------------
+
+    def chunk_ids(self) -> list[int]:
+        """Ids of every chunk that currently holds allocated cells."""
+        return list(self._chunks)
+
+    def chunk_cells(self, chunk_id: int) -> list[tuple[int, int]]:
+        """Snapshot of one chunk's allocated ``(address, cell size)`` pairs."""
+        chunk = self._chunks.get(chunk_id)
+        return list(chunk.items()) if chunk else []
+
+    def free_chunk_cells(self, chunk_id: int, by_class: dict[int, list[int]]) -> int:
+        """Batch-free swept cells of one chunk; returns bytes released.
+
+        One bucket splice per size class replaces the per-object
+        ``free()`` path the eager sweep used to take.
+        """
+        chunk = self._chunks[chunk_id]
+        released = 0
+        for cell, addresses in by_class.items():
+            for address in addresses:
+                del chunk[address]
+            self.free_list.push_many(addresses, cell)
+            released += cell * len(addresses)
+        if not chunk:
+            del self._chunks[chunk_id]
+        self.bytes_in_use -= released
+        return released
 
 
 class BumpSpace(Space):

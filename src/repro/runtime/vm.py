@@ -70,6 +70,7 @@ class VirtualMachine:
         policy: Optional[ReactionPolicy] = None,
         ownership_mode: str = "two-phase",
         nursery_fraction: Optional[float] = None,
+        sweep_mode: Optional[str] = None,
         telemetry: Union[bool, Telemetry] = True,
     ):
         self.classes = ClassRegistry()
@@ -92,6 +93,12 @@ class VirtualMachine:
             kwargs = {}
             if collector == "generational" and nursery_fraction is not None:
                 kwargs["nursery_fraction"] = nursery_fraction
+            if sweep_mode is not None:
+                if collector not in ("marksweep", "generational"):
+                    raise RuntimeFault(
+                        f"sweep_mode is a mark-sweep option; {collector!r} does not sweep"
+                    )
+                kwargs["sweep_mode"] = sweep_mode
             self.collector = factory(
                 heap_bytes, engine=self.engine, track_paths=track_paths, **kwargs
             )

@@ -174,6 +174,7 @@ class Telemetry:
             assertion_checks=delta.header_bit_checks + delta.ownees_checked,
             ownees_checked=delta.ownees_checked,
             violations=delta.violations_detected,
+            sweep_debt_chunks=collector.sweep_debt(),
         )
         self.events.append(event)
         self.collections_by_kind[event.kind] = (
@@ -182,7 +183,12 @@ class Telemetry:
         self.pause_hist.record(pause)
         if event.kind == "full":
             self.ownees_hist.record(event.ownees_checked)
-        self.census.observe(take_census(collector.heap), gc_number=event.seq)
+        # Lazy sweep modes end the pause with dead objects still tabled;
+        # the pending-garbage predicate keeps the census exact regardless.
+        self.census.observe(
+            take_census(collector.heap, skip=collector.pending_garbage_predicate()),
+            gc_number=event.seq,
+        )
         for sink in self.sinks:
             try:
                 sink.emit(event)

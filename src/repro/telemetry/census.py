@@ -11,19 +11,30 @@ the same machinery instead of keeping its own books.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:
     from repro.heap.heap import ObjectHeap
+    from repro.heap.object_model import HeapObject
 
 #: One class's live summary at a single sample: (instance count, live bytes).
 CensusRow = tuple[int, int]
 
 
-def take_census(heap: "ObjectHeap") -> dict[str, CensusRow]:
-    """Walk the live heap once and summarize it per class."""
+def take_census(
+    heap: "ObjectHeap",
+    skip: Optional[Callable[["HeapObject"], bool]] = None,
+) -> dict[str, CensusRow]:
+    """Walk the live heap once and summarize it per class.
+
+    ``skip`` filters out objects that are in the table but not logically
+    live — lazy sweep modes pass their pending-garbage predicate so the
+    census stays exact while sweep debt is outstanding.
+    """
     census: dict[str, CensusRow] = {}
     for obj in heap:
+        if skip is not None and skip(obj):
+            continue
         name = obj.cls.name
         count, nbytes = census.get(name, (0, 0))
         census[name] = (count + 1, nbytes + obj.size_bytes)

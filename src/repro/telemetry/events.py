@@ -42,6 +42,10 @@ class GcEvent:
     assertion_checks: int    #: header-bit + ownee checks this cycle
     ownees_checked: int
     violations: int          #: assertion violations detected this cycle
+    #: Unswept chunks left behind at pause end (lazy sweep modes; 0 means
+    #: reclamation was exact when the event was emitted).  Defaulted so
+    #: pre-existing constructors stay valid.
+    sweep_debt_chunks: int = 0
 
     @property
     def occupancy_before(self) -> float:

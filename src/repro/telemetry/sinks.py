@@ -144,6 +144,10 @@ def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
         full = metric("heap_occupancy_ratio", "gauge",
                       "Live bytes / heap budget after the last GC.")
         sample(full, latest.occupancy_after)
+        full = metric("gc_sweep_debt_chunks", "gauge",
+                      "Unswept chunks outstanding after the last GC "
+                      "(lazy sweep; 0 when reclamation is exact).")
+        sample(full, latest.sweep_debt_chunks)
 
     census = telemetry.census.latest()
     if census:

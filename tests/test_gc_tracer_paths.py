@@ -111,6 +111,70 @@ class TestPathTrackingToggle:
         assert results[0] == results[1]
 
 
+class _PathProbe:
+    """Engine stub recording the cheap path API at every first encounter."""
+
+    def __init__(self):
+        self.rows = []
+
+    def on_first_encounter(self, obj, tracer, parent):
+        cheap = tracer.current_path_addresses(obj.address)
+        root_desc, full = tracer.current_path(obj)
+        self.rows.append((obj.address, tracer.path_depth(), cheap, full, root_desc))
+
+    def on_repeat_encounter(self, obj, tracer, parent):
+        pass
+
+
+class TestCheapPathApi:
+    """current_path_addresses/path_depth: the no-materialization variants."""
+
+    def _trace_with_probe(self, vm):
+        from repro.gc.stats import GcStats
+        from repro.gc.tracer import Tracer
+
+        probe = _PathProbe()
+        tracer = Tracer(vm.heap, GcStats(), probe, track_paths=True)
+        tracer.trace(vm.root_entries())
+        return probe, tracer
+
+    def test_cheap_addresses_agree_with_full_path(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 6)
+        probe, _tracer = self._trace_with_probe(vm)
+        assert probe.rows, "probe saw no encounters"
+        for _address, _depth, cheap, full, _root in probe.rows:
+            assert cheap == [obj.address for obj in full]
+
+    def test_deepest_node_path_is_the_chain(self, vm, node_class):
+        nodes = build_chain(vm, node_class, 6)
+        probe, _tracer = self._trace_with_probe(vm)
+        tail = nodes[-1].obj.address
+        rows = [row for row in probe.rows if row[0] == tail]
+        assert rows[0][2] == [n.obj.address for n in nodes]
+
+    def test_depth_counts_parents_only(self, vm, node_class):
+        build_chain(vm, node_class, 4)
+        probe, _tracer = self._trace_with_probe(vm)
+        for _address, depth, cheap, _full, _root in probe.rows:
+            # The tip is appended by current_path_addresses; the worklist
+            # holds its (possibly empty) parent chain.
+            assert depth in (len(cheap), len(cheap) - 1)
+
+    def test_empty_outside_a_drain(self, vm, node_class):
+        build_chain(vm, node_class, 3)
+        _probe, tracer = self._trace_with_probe(vm)
+        assert tracer.current_path_addresses() == []
+        assert tracer.path_depth() == 0
+
+    def test_tracking_disabled_returns_just_the_tip(self, vm, node_class):
+        from repro.gc.stats import GcStats
+        from repro.gc.tracer import Tracer
+
+        tracer = Tracer(vm.heap, GcStats(), None, track_paths=False)
+        assert tracer.current_path_addresses(0x1000) == [0x1000]
+        assert tracer.current_path_addresses() == []
+
+
 class TestBaseConfigurationHasNoInfrastructure:
     def test_base_vm_has_no_engine(self, base_vm):
         assert base_vm.engine is None

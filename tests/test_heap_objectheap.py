@@ -125,3 +125,16 @@ class TestIteration:
         heap.install(0x1000, cls)
         heap.install(0x1008, cls)
         assert heap.live_bytes() == 2 * cls.instance_size
+
+    def test_live_bytes_counter_matches_slow_walk(self, heap, cls):
+        # The O(1) counter must track install/evict/relocate exactly.
+        objs = [heap.install(0x1000 + i * 16, cls) for i in range(32)]
+        assert heap.live_bytes() == heap.live_bytes_slow()
+        for obj in objs[::3]:
+            heap.evict(obj)
+        assert heap.live_bytes() == heap.live_bytes_slow()
+        heap.relocate(objs[1], 0x9000)
+        assert heap.live_bytes() == heap.live_bytes_slow()
+        for obj in heap.objects():
+            heap.evict(obj)
+        assert heap.live_bytes() == heap.live_bytes_slow() == 0
