@@ -1,0 +1,92 @@
+"""Ablation abl-snapshot: the cost of piggybacked heap-snapshot capture.
+
+The snapshot subsystem's acceptance bar: capturing on *every* full
+collection (``SnapshotPolicy(every_n_gcs=1)``, the worst case) must add no
+more than ~15% to GC time, because the capture drain records one bare
+address per live object (non-moving collectors) or one frozen row (copying
+collectors) as a by-product of marking, and serialization happens after
+the pause timer closes.  With no policy installed the capture machinery
+must be entirely inert — identical work counters, no sink anywhere a hot
+path could reach.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from benchmarks.conftest import trials
+from repro.bench.methodology import confidence_interval_90, mean
+from repro.runtime.vm import VirtualMachine
+from repro.snapshot import SnapshotPolicy
+from repro.workloads.suite import HEAP_BUDGETS
+from repro.workloads.synthetic import PROFILES, run_synthetic
+
+PROFILE = "bloat"  # the GC-heaviest suite member, as in abl-path
+
+#: Wall-clock bound for the capture drain, with headroom over the ~15%
+#: acceptance target for interpreter jitter on loaded CI machines.  The
+#: counter-identity assertion is the hard gate.
+MAX_GC_TIME_RATIO = 1.5
+
+
+def _run(capture: bool):
+    vm = VirtualMachine(
+        heap_bytes=HEAP_BUDGETS[PROFILE], assertions=False, telemetry=False
+    )
+    tmpdir = None
+    policy = None
+    if capture:
+        tmpdir = tempfile.mkdtemp(prefix="repro-abl-snapshot-")
+        policy = SnapshotPolicy(tmpdir, every_n_gcs=1).attach(vm)
+    try:
+        run_synthetic(vm, PROFILES[PROFILE])
+        vm.collector.sweep_all()
+        snapshots = len(policy.captured) if policy is not None else 0
+        return vm.stats.gc_seconds, vm.stats.snapshot(), snapshots
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def test_snapshot_capture_overhead(once, figure_report):
+    def run():
+        captured = [_run(True) for _ in range(trials())]
+        plain = [_run(False) for _ in range(trials())]
+        return captured, plain
+
+    captured, plain = once(run)
+    on_times = [t for t, _s, _n in captured]
+    off_times = [t for t, _s, _n in plain]
+    ratio = mean(on_times) / mean(off_times)
+    figure_report.append(
+        "Ablation abl-snapshot (every-GC capture on/off, GC time on 'bloat'):\n"
+        f"  off: {mean(off_times) * 1e3:.1f} ms ±{confidence_interval_90(off_times) * 1e3:.1f}\n"
+        f"  on:  {mean(on_times) * 1e3:.1f} ms ±{confidence_interval_90(on_times) * 1e3:.1f}\n"
+        f"  ratio: {ratio:.3f} ({captured[0][2]} snapshots per run; "
+        "target <=1.15, asserted <=1.5 for CI noise)"
+    )
+    assert ratio < MAX_GC_TIME_RATIO
+
+    # Capture observes marking without changing it: every deterministic
+    # work counter is identical whether the policy is installed or not.
+    assert captured[0][1]["counters"] == plain[0][1]["counters"]
+
+    # And the capture leg actually piggybacked on every full collection.
+    assert captured[0][2] == captured[0][1]["counters"]["full_collections"]
+
+
+def test_no_policy_is_inert(once):
+    """Without a policy the capture machinery is unreachable from hot paths."""
+
+    def run():
+        vm = VirtualMachine(
+            heap_bytes=HEAP_BUDGETS[PROFILE], assertions=False, telemetry=False
+        )
+        run_synthetic(vm, PROFILES[PROFILE])
+        return vm
+
+    vm = once(run)
+    assert vm.snapshot_policy is None
+    assert vm.collector.snapshot_policy is None
+    assert vm.collector._snapshot_pending is None

@@ -6,21 +6,38 @@ Commands:
 * ``demo``      — run the quickstart scenario and print the reports.
 * ``figures``   — regenerate Figures 2–5 (``--full`` for the whole suite;
   ``--json-out`` also writes the machine-readable perf record).
-* ``bench``     — hot-path perf record: trace/alloc microbenchmarks and the
-  eager-vs-lazy sweep pause comparison; writes ``BENCH_perf.json`` and
-  exits non-zero if the deterministic work counters drift between modes.
+* ``bench``     — hot-path perf record: trace/alloc microbenchmarks, the
+  eager-vs-lazy sweep pause comparison, and snapshot-capture overhead;
+  writes ``BENCH_perf.json`` and exits non-zero if the deterministic work
+  counters drift between modes.
 * ``verify``    — run a workload on every collector and verify heap
   integrity afterwards (a smoke test for modified collectors).
 * ``stats``     — run a workload with telemetry on and report the GC event
   stream, pause percentiles, and per-class census (``--json`` / ``--prom``
   for machine-readable output, ``--jsonl FILE`` to stream events).
+* ``snapshot``  — heap snapshots and leak triage: ``capture`` a workload's
+  heap, ``analyze`` retained sizes, ``diff`` two snapshots for leak
+  candidates, ask ``why`` an object is alive.
 * ``minij FILE``— run a MiniJ program (with gcAssert* builtins available).
+
+Exit codes (every command): 0 = success, 1 = assertion violations were
+detected or a check failed, 2 = usage error (bad arguments or inputs).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+#: Shared --help epilog line; every subcommand states the contract.
+_EXIT_CODES = "exit codes: 0 = success, 1 = violations/check failure, 2 = usage error"
+
+
+def _violations_exit(vm) -> int:
+    """The 0-vs-1 half of the exit-code contract."""
+    if vm.engine is not None and len(vm.engine.log):
+        return 1
+    return 0
 
 
 def cmd_info(_args) -> int:
@@ -135,7 +152,7 @@ def cmd_stats(args) -> int:
         print(f"{entry.name} on {vm.collector.describe()}")
         print()
         print(vm.telemetry.render())
-    return 0
+    return _violations_exit(vm)
 
 
 def cmd_verify(_args) -> int:
@@ -182,17 +199,181 @@ def cmd_minij(args) -> int:
         for line in vm.engine.log.lines:
             print(line)
             print()
+    return _violations_exit(vm)
+
+
+# -- snapshot subcommands ---------------------------------------------------------------
+
+
+def _load_snapshot_or_complain(path: str):
+    """Returns (snapshot, 0) or (None, 2); schema drift is a usage error."""
+    from repro.snapshot import SnapshotFormatError, load_snapshot
+
+    try:
+        return load_snapshot(path), 0
+    except (OSError, SnapshotFormatError) as exc:
+        print(f"cannot load snapshot {path}: {exc}")
+        return None, 2
+
+
+def cmd_snapshot_capture(args) -> int:
+    import os
+
+    from repro.runtime.vm import VirtualMachine
+    from repro.snapshot import SnapshotPolicy
+
+    vm = VirtualMachine(heap_bytes=args.heap, collector=args.collector)
+    policy = SnapshotPolicy(
+        args.out_dir,
+        every_n_gcs=args.every_n_gcs,
+        on_violation=args.on_violation,
+    ).attach(vm)
+
+    if args.workload == "swapleak":
+        from repro.workloads.swapleak import SwapLeakConfig, run_swapleak
+
+        run_swapleak(
+            vm,
+            SwapLeakConfig(
+                array_size=args.array_size,
+                swaps=args.swaps,
+                static_rep=args.static_rep,
+                assert_dead_swapped=args.assertions,
+                gc_every_swaps=args.gc_every_swaps,
+            ),
+        )
+    else:
+        from repro.workloads.suite import build_suite
+
+        suite = build_suite()
+        try:
+            entry = suite[args.workload]
+        except KeyError:
+            choices = sorted(suite) + ["swapleak"]
+            print(f"unknown workload {args.workload!r}; pick from {choices}")
+            return 2
+        runner = entry.run
+        if args.assertions and entry.run_with_assertions is not None:
+            runner = entry.run_with_assertions
+        runner(vm)
+
+    written = list(policy.captured)
+    if not written:
+        # No piggybacked capture happened (the workload never collected, or
+        # no --every-n-gcs): guarantee at least one snapshot via a
+        # standalone walk of whatever is still rooted.
+        final = os.path.join(args.out_dir, "final.jsonl")
+        summary = vm.capture_snapshot(final, trigger="manual")
+        written.append(final)
+        print(
+            f"final heap: {summary['objects']} objects, "
+            f"{summary['total_bytes']} bytes, {summary['roots']} roots"
+        )
+    print(f"workload {args.workload!r} on {vm.collector.describe()}")
+    print(f"{len(written)} snapshot(s) written to {args.out_dir}:")
+    for path in written:
+        print(f"  {path}")
+    if vm.engine is not None and vm.engine.log.lines:
+        print()
+        print("GC assertion reports:")
+        for line in vm.engine.log.lines:
+            print(line)
+            print()
+    return _violations_exit(vm)
+
+
+def cmd_snapshot_analyze(args) -> int:
+    from repro.snapshot import build_dominator_tree, retained_sizes, top_retained
+
+    snapshot, rc = _load_snapshot_or_complain(args.snapshot)
+    if snapshot is None:
+        return rc
+    tree = build_dominator_tree(snapshot)
+    retained = retained_sizes(snapshot, tree)
+    meta = snapshot.meta
+    print(
+        f"snapshot {args.snapshot}: gc#{meta.get('gc_number')} "
+        f"({meta.get('collector')}, trigger={meta.get('trigger')})"
+    )
+    print(
+        f"{len(snapshot)} objects, {snapshot.total_bytes} live bytes, "
+        f"{len(snapshot.roots)} roots, {len(tree)} reachable"
+    )
+    types = sorted(
+        snapshot.type_summary().items(), key=lambda kv: (-kv[1][1], kv[0])
+    )
+    print(f"per-type (top {min(args.top, len(types))} by shallow bytes):")
+    for name, (count, nbytes) in types[: args.top]:
+        print(f"  {name:24} {count:>8} objects {nbytes:>12} bytes")
+    rows = top_retained(snapshot, limit=args.top, tree=tree)
+    print(f"heaviest objects (top {len(rows)} by retained bytes):")
+    for addr, type_name, nbytes in rows:
+        print(f"  {type_name:24} @{addr:#x}  retains {nbytes} bytes")
+    # Exercised so a malformed tree fails here, not in a later `why` call.
+    assert all(addr in retained for addr, _t, _b in rows)
+    return 0
+
+
+def cmd_snapshot_diff(args) -> int:
+    from repro.snapshot import diff_snapshots
+
+    first, rc = _load_snapshot_or_complain(args.first)
+    if first is None:
+        return rc
+    last, rc = _load_snapshot_or_complain(args.last)
+    if last is None:
+        return rc
+    diff = diff_snapshots(first, last)
+    print(diff.render(limit=args.limit))
+    return 0
+
+
+def cmd_snapshot_why(args) -> int:
+    from repro.snapshot import why_alive
+
+    snapshot, rc = _load_snapshot_or_complain(args.snapshot)
+    if snapshot is None:
+        return rc
+    try:
+        address = int(args.address, 0)
+    except ValueError:
+        print(f"not an address: {args.address!r} (use decimal or 0x-hex)")
+        return 2
+    try:
+        answer = why_alive(snapshot, address)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    print(answer.render(show_addresses=not args.types_only))
     return 0
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="package and suite overview")
-    sub.add_parser("demo", help="run the quickstart scenario")
+    def add_command(name: str, help_text: str, example: str):
+        return sub.add_parser(
+            name,
+            help=help_text,
+            epilog=f"example: python -m repro {example}\n{_EXIT_CODES}",
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
 
-    figures = sub.add_parser("figures", help="regenerate Figures 2-5")
+    add_command("info", "package and suite overview", "info")
+    add_command(
+        "demo",
+        "run the quickstart scenario (prints a violation on purpose; exits 0)",
+        "demo",
+    )
+
+    figures = add_command(
+        "figures", "regenerate Figures 2-5", "figures --trials 1 --json-out BENCH_figures.json"
+    )
     figures.add_argument("--trials", type=int, default=3)
     figures.add_argument("--full", action="store_true")
     figures.add_argument(
@@ -201,7 +382,9 @@ def main(argv=None) -> int:
         help="also write machine-readable results (e.g. BENCH_figures.json)",
     )
 
-    bench = sub.add_parser("bench", help="hot-path perf record (BENCH_perf.json)")
+    bench = add_command(
+        "bench", "hot-path perf record (BENCH_perf.json)", "bench --quick"
+    )
     bench.add_argument(
         "--quick",
         action="store_true",
@@ -214,9 +397,11 @@ def main(argv=None) -> int:
         help="machine-readable results path (default: %(default)s)",
     )
 
-    sub.add_parser("verify", help="heap-integrity smoke test on all collectors")
+    add_command("verify", "heap-integrity smoke test on all collectors", "verify")
 
-    stats = sub.add_parser("stats", help="GC telemetry for one workload run")
+    stats = add_command(
+        "stats", "GC telemetry for one workload run", "stats --workload db --json"
+    )
     stats.add_argument("--workload", default="pseudojbb")
     stats.add_argument(
         "--collector",
@@ -236,7 +421,108 @@ def main(argv=None) -> int:
         "--prom", action="store_true", help="Prometheus text exposition format"
     )
 
-    minij = sub.add_parser("minij", help="run a MiniJ program")
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="heap snapshots and leak triage",
+        epilog=(
+            "example: python -m repro snapshot capture --workload swapleak "
+            "--out-dir /tmp/snaps --every-n-gcs 1 --gc-every-swaps 16\n"
+            + _EXIT_CODES
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    def add_snapshot_command(name: str, help_text: str, example: str):
+        return snap_sub.add_parser(
+            name,
+            help=help_text,
+            epilog=f"example: python -m repro snapshot {example}\n{_EXIT_CODES}",
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+
+    capture = add_snapshot_command(
+        "capture",
+        "run a workload and capture heap snapshot(s)",
+        "capture --workload swapleak --out-dir snaps --every-n-gcs 1 --gc-every-swaps 16",
+    )
+    capture.add_argument(
+        "--workload",
+        default="swapleak",
+        help="suite workload name or 'swapleak' (default: %(default)s)",
+    )
+    capture.add_argument("--out-dir", default="snapshots", metavar="DIR")
+    capture.add_argument(
+        "--collector",
+        default="marksweep",
+        choices=["marksweep", "semispace", "generational"],
+    )
+    capture.add_argument("--heap", type=int, default=4 << 20, help="heap bytes")
+    capture.add_argument(
+        "--every-n-gcs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="piggyback a capture on every Nth collection",
+    )
+    capture.add_argument(
+        "--on-violation",
+        action="store_true",
+        help="also capture (and annotate the report) when an assertion fires",
+    )
+    capture.add_argument(
+        "--assertions",
+        action="store_true",
+        help="run the workload's asserted variant (swapleak: assert-dead per swap)",
+    )
+    capture.add_argument("--swaps", type=int, default=64, help="swapleak: swap count")
+    capture.add_argument(
+        "--array-size", type=int, default=32, help="swapleak: SObject array size"
+    )
+    capture.add_argument(
+        "--gc-every-swaps",
+        type=int,
+        default=0,
+        metavar="N",
+        help="swapleak: collect every N swaps (gives every-n-gcs captures to bracket)",
+    )
+    capture.add_argument(
+        "--static-rep",
+        action="store_true",
+        help="swapleak: run the repaired (non-leaking) variant",
+    )
+
+    analyze = add_snapshot_command(
+        "analyze",
+        "dominator/retained-size analysis of one snapshot",
+        "analyze snaps/final.jsonl --top 10",
+    )
+    analyze.add_argument("snapshot", help="snapshot .jsonl path")
+    analyze.add_argument("--top", type=int, default=10)
+
+    diff = add_snapshot_command(
+        "diff",
+        "rank leak candidates between two snapshots",
+        "diff snaps/heap-gc00001-interval.jsonl snaps/final.jsonl",
+    )
+    diff.add_argument("first", help="earlier snapshot .jsonl path")
+    diff.add_argument("last", help="later snapshot .jsonl path")
+    diff.add_argument("--limit", type=int, default=10)
+
+    why = add_snapshot_command(
+        "why",
+        "why is this object alive? dominator chain + retained size",
+        "why snaps/final.jsonl 0x1040",
+    )
+    why.add_argument("snapshot", help="snapshot .jsonl path")
+    why.add_argument("address", help="object address (decimal or 0x-hex)")
+    why.add_argument(
+        "--types-only",
+        action="store_true",
+        help="render the chain as types without addresses (Figure-1 style)",
+    )
+
+    minij = add_command("minij", "run a MiniJ program", "minij examples/programs/linked_list.minij")
     minij.add_argument("file")
     minij.add_argument("--entry", default="main")
     minij.add_argument("--heap", type=int, default=4 << 20)
@@ -251,6 +537,14 @@ def main(argv=None) -> int:
         "stats": cmd_stats,
         "minij": cmd_minij,
     }
+    if args.command == "snapshot":
+        snapshot_handlers = {
+            "capture": cmd_snapshot_capture,
+            "analyze": cmd_snapshot_analyze,
+            "diff": cmd_snapshot_diff,
+            "why": cmd_snapshot_why,
+        }
+        return snapshot_handlers[args.snapshot_command](args)
     return handlers[args.command](args)
 
 

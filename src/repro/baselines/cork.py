@@ -82,6 +82,20 @@ class TypeGrowthProfiler:
 
     # -- reporting -------------------------------------------------------------------
 
+    def slopes(self) -> dict[str, float]:
+        """Per-type byte-growth slopes (bytes per observed GC).
+
+        A thin view over :meth:`ClassCensus.slopes` so consumers that want
+        Cork's ranking — ``snapshot diff`` cites it next to its own — read
+        it from the shared census instead of recomputing trend lines.
+        """
+        return self.census.slopes()
+
+    def ranked_slopes(self) -> list[tuple[str, float]]:
+        """Cork's ranking: types by growth slope, steepest first (name is
+        the deterministic tie-break)."""
+        return sorted(self.slopes().items(), key=lambda kv: (-kv[1], kv[0]))
+
     def report(
         self,
         min_samples: int = 3,

@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks and the eager-vs-lazy pause comparison.
 
-``python -m repro bench`` drives three measurements and writes the
+``python -m repro bench`` drives four measurements and writes the
 machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
 
 * **trace** — the same prepared heap traced by the generic per-edge drain
@@ -15,6 +15,10 @@ machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
   the deterministic work counters, which must be identical between modes
   (the lazy sweep changes *when* reclamation happens, never *what* is
   reclaimed).
+* **abl-snapshot** — one workload run with piggybacked heap-snapshot
+  capture on every collection vs off; reported as the GC-time ratio (the
+  subsystem's ≤15% acceptance bar) with, again, identical work counters
+  required.
 
 Wall-clock numbers from a Python simulator are noisy; the counters are the
 ground truth (``counters_match`` gates CI), the rates are the trend.
@@ -222,6 +226,77 @@ def bench_alloc(n_allocs: int = 50_000, trials: int = 5) -> dict:
     }
 
 
+# -- snapshot-capture ablation ----------------------------------------------------------
+
+
+def bench_snapshot(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """GC time with piggybacked snapshot capture on every collection vs off.
+
+    The acceptance bar for the snapshot subsystem: capturing on *every*
+    full collection (``every_n_gcs=1``, the worst case) must add no more
+    than ~15% to GC time, and the deterministic work counters must be
+    identical — capture observes marking, it must never change it.
+    Serialization cost lands on the mutator (after the pause timer
+    closes), so ``gc_seconds`` isolates exactly the in-pause row-append
+    overhead.  Best-of-``trials`` per leg to shave scheduler noise.
+    """
+    import shutil
+    import tempfile
+
+    from repro.snapshot import SnapshotPolicy
+
+    suite = build_suite()
+    entry = suite[workload]
+    results: dict[str, dict] = {}
+    for variant in ("off", "capture"):
+        best_gc = float("inf")
+        stats = None
+        snapshots = 0
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=entry.heap_bytes, assertions=False, telemetry=False
+            )
+            tmpdir = None
+            if variant == "capture":
+                tmpdir = tempfile.mkdtemp(prefix="repro-bench-snap-")
+                policy = SnapshotPolicy(tmpdir, every_n_gcs=1).attach(vm)
+            try:
+                entry.run(vm)
+                vm.collector.sweep_all()
+                if vm.stats.gc_seconds < best_gc:
+                    best_gc = vm.stats.gc_seconds
+                    stats = vm.stats
+                if variant == "capture":
+                    snapshots = len(policy.captured)
+            finally:
+                if tmpdir is not None:
+                    shutil.rmtree(tmpdir, ignore_errors=True)
+        results[variant] = {
+            "best_gc_seconds": best_gc,
+            "collections": stats.collections,
+            "snapshots_written": snapshots,
+            "counters": {
+                "objects_traced": stats.objects_traced,
+                "edges_traced": stats.edges_traced,
+                "objects_freed": stats.objects_freed,
+                "bytes_freed": stats.bytes_freed,
+            },
+        }
+    off, capture = results["off"], results["capture"]
+    return {
+        "workload": workload,
+        "trials": trials,
+        "off": off,
+        "capture": capture,
+        "gc_time_ratio": (
+            capture["best_gc_seconds"] / off["best_gc_seconds"]
+            if off["best_gc_seconds"]
+            else 0.0
+        ),
+        "counters_match": off["counters"] == capture["counters"],
+    }
+
+
 # -- eager vs lazy pause comparison -----------------------------------------------------
 
 
@@ -295,12 +370,16 @@ def perf_payload(quick: bool = False) -> dict:
         trace = bench_trace(n_nodes=4_000, trials=3)
         alloc = bench_alloc(n_allocs=10_000, trials=2)
         pauses = bench_pauses(("pseudojbb",))
+        snapshot = bench_snapshot(trials=2)
     else:
         trace = bench_trace()
         alloc = bench_alloc()
         pauses = bench_pauses()
-    counters_match = trace["counters_match"] and all(
-        row["counters_match"] for row in pauses.values()
+        snapshot = bench_snapshot()
+    counters_match = (
+        trace["counters_match"]
+        and snapshot["counters_match"]
+        and all(row["counters_match"] for row in pauses.values())
     )
     return {
         "schema": "repro-bench-perf/1",
@@ -310,6 +389,7 @@ def perf_payload(quick: bool = False) -> dict:
         "trace": trace,
         "alloc": alloc,
         "pauses": pauses,
+        "abl-snapshot": snapshot,
         "counters_match": counters_match,
     }
 
@@ -348,6 +428,17 @@ def render_perf(payload: dict) -> str:
             f"{eager['full_collections']} full GCs, "
             f"mean debt {lazy['mean_sweep_debt_chunks']:.1f} chunks, "
             f"counters {'match' if row['counters_match'] else 'DRIFT'}"
+        )
+    snap = payload.get("abl-snapshot")
+    if snap is not None:
+        lines.append("snapshot-capture ablation (off -> every-GC capture):")
+        lines.append(
+            f"  {snap['workload']:10} gc time "
+            f"{snap['off']['best_gc_seconds'] * 1e3:.1f}ms -> "
+            f"{snap['capture']['best_gc_seconds'] * 1e3:.1f}ms "
+            f"({snap['gc_time_ratio']:.2f}x), "
+            f"{snap['capture']['snapshots_written']} snapshots, "
+            f"counters {'match' if snap['counters_match'] else 'DRIFT'}"
         )
     lines.append(
         "work counters identical across modes: "

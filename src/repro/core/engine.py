@@ -318,4 +318,15 @@ class AssertionEngine:
             if violation.reaction == Reaction.HALT.value and halt is None:
                 halt = violation
         if halt is not None:
+            # A HALT aborts the collection before the VM's gc-observers run,
+            # which would silently skip an on_violation snapshot capture —
+            # the one report the user is about to read.  Run the policy's
+            # violation trigger now so the halt message carries the retained
+            # size and dominator chain; diagnosis must never mask the halt.
+            policy = getattr(self.vm, "snapshot_policy", None)
+            if policy is not None and getattr(policy, "on_violation", False):
+                try:
+                    policy._after_gc(self.vm, set())
+                except Exception:
+                    pass
             raise AssertionViolationHalt(halt)

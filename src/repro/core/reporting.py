@@ -50,6 +50,18 @@ class PathEntry:
         self.address = obj.address
         self.identity_hash = hdr.hash_of(obj.status)
 
+    @classmethod
+    def from_parts(
+        cls, type_name: str, address: int, identity_hash: int = 0
+    ) -> "PathEntry":
+        """Build an entry without a live :class:`HeapObject` (e.g. from a
+        snapshot record loaded long after the VM is gone)."""
+        entry = cls.__new__(cls)
+        entry.type_name = type_name
+        entry.address = address
+        entry.identity_hash = identity_hash
+        return entry
+
     def render(self, show_addresses: bool = False) -> str:
         if show_addresses:
             return f"{self.type_name}@{self.address:#x}"
@@ -72,6 +84,16 @@ class HeapPath:
     def from_tracer(cls, tracer, tip: Optional[HeapObject]) -> "HeapPath":
         root_desc, objects = tracer.current_path(tip)
         return cls(root_desc, objects)
+
+    @classmethod
+    def from_entries(
+        cls, root_description: Optional[str], entries: Sequence[PathEntry]
+    ) -> "HeapPath":
+        """Build a path from pre-made entries (e.g. a snapshot's dominator
+        chain) instead of live heap objects."""
+        path = cls(root_description, [])
+        path.entries = list(entries)
+        return path
 
     @classmethod
     def unavailable(cls, note: str) -> "HeapPath":
@@ -100,6 +122,8 @@ class Violation:
         "message",
         "type_name",
         "address",
+        "alloc_seq",
+        "alloc_site",
         "site",
         "path",
         "gc_number",
@@ -121,6 +145,8 @@ class Violation:
         self.message = message
         self.type_name = obj.cls.name if obj is not None else None
         self.address = obj.address if obj is not None else None
+        self.alloc_seq = obj.alloc_seq if obj is not None else None
+        self.alloc_site = obj.alloc_site if obj is not None else None
         self.site = site
         self.path = path
         self.gc_number = gc_number
@@ -132,6 +158,11 @@ class Violation:
         lines = [f"Warning: {self.message}"]
         if self.type_name is not None:
             lines.append(f"Type: {self.type_name}")
+        if self.alloc_seq is not None:
+            alloc = f"Allocated: epoch {self.alloc_seq}"
+            if self.alloc_site is not None:
+                alloc += f" at {self.alloc_site}"
+            lines.append(alloc)
         if self.site is not None:
             lines.append(f"Asserted at: {self.site}")
         if self.path is not None and len(self.path) > 0:
@@ -139,6 +170,16 @@ class Violation:
             lines.append(self.path.render(show_addresses))
         elif self.path is not None and self.path.root_description:
             lines.append(f"Path to object: {self.path.root_description}")
+        retained = self.details.get("retained_bytes")
+        if retained is not None:
+            lines.append(f"Retained size: {retained} bytes")
+        chain = self.details.get("dominator_chain")
+        if chain:
+            lines.append("Dominator chain:")
+            lines.append(" ->\n".join(chain))
+        snapshot_path = self.details.get("snapshot")
+        if snapshot_path:
+            lines.append(f"Snapshot: {snapshot_path}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

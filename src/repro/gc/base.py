@@ -87,6 +87,12 @@ class Collector:
         #: Telemetry hub, attached by the VM; None means the emit path is a
         #: single attribute load + ``is None`` test (the Base configuration).
         self.telemetry: Optional["Telemetry"] = None
+        #: Snapshot policy, installed via the VM; None (the default) keeps
+        #: the capture machinery entirely out of the collection path.
+        self.snapshot_policy = None
+        #: Sink filled by the current collection's tracer, awaiting the
+        #: post-pause :meth:`_snapshot_flush`.
+        self._snapshot_pending = None
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -132,8 +138,26 @@ class Collector:
 
     # -- shared helpers ---------------------------------------------------------------
 
-    def _make_tracer(self) -> Tracer:
-        return Tracer(self.heap, self.stats, self.engine, self.track_paths)
+    def _make_tracer(self, reason: str = "collect") -> Tracer:
+        policy = self.snapshot_policy
+        if policy is None:
+            return Tracer(self.heap, self.stats, self.engine, self.track_paths)
+        sink = policy.begin_capture(self, reason)
+        self._snapshot_pending = sink
+        return Tracer(
+            self.heap, self.stats, self.engine, self.track_paths, snapshot=sink
+        )
+
+    def _snapshot_flush(self) -> None:
+        """Serialize a capture buffered during this collection, if any.
+
+        Collectors call this *after* their ``gc_seconds`` timer closes:
+        the file write is mutator-side cost, not pause time.
+        """
+        sink = self._snapshot_pending
+        if sink is not None:
+            self._snapshot_pending = None
+            self.snapshot_policy.finish_capture(self, sink)
 
     def _run_mark_phase(self, tracer: Tracer) -> None:
         engine = self.engine

@@ -245,7 +245,7 @@ class GenerationalCollector(Collector):
             self.stats.full_collections += 1
             self.gc_log.append(f"fullGC {self.stats.collections}: {reason}")
 
-            tracer = self._make_tracer()
+            tracer = self._make_tracer(reason)
             self._run_mark_phase(tracer)
             self._mature_sweeper.schedule()
             nursery_freed = self._sweep_nursery_dead()
@@ -272,6 +272,9 @@ class GenerationalCollector(Collector):
                 self.vm.on_gc_complete(set())
         else:
             self._finish_mark_only(self._mature_sweeper.cutoff, fwd)
+        # Only full collections capture (minor collections use their own
+        # nursery traversal, not the tracer); write cost stays off-pause.
+        self._snapshot_flush()
         self._telemetry_end(pending)
 
     def _sweep_nursery_dead(self) -> set[int]:

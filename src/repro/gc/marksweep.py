@@ -172,7 +172,7 @@ class MarkSweepCollector(Collector):
             self.stats.full_collections += 1
             self.gc_log.append(f"GC {self.stats.collections}: {reason}")
 
-            tracer = self._make_tracer()
+            tracer = self._make_tracer(reason)
             self._run_mark_phase(tracer)
             self._sweeper.schedule()
             if self.sweep_mode == "eager":
@@ -183,6 +183,8 @@ class MarkSweepCollector(Collector):
             self._finish_collection(freed)
         else:
             self._finish_mark_only(self._sweeper.cutoff)
+        # Serialization is mutator-side cost: the pause timer is closed.
+        self._snapshot_flush()
         self._telemetry_end(pending)
 
     # -- lazy-sweep surface ------------------------------------------------------------

@@ -46,6 +46,7 @@ combination and is the "before" leg of the trace microbenchmark
 
 from __future__ import annotations
 
+import gc as _host_gc
 from typing import Iterable, Optional
 
 from repro.errors import InvalidAddressError
@@ -65,6 +66,7 @@ class Tracer:
         "engine",
         "track_paths",
         "specialized",
+        "snapshot",
         "_stack",
         "_root_descs",
         "_table",
@@ -77,12 +79,17 @@ class Tracer:
         engine=None,
         track_paths: bool = True,
         specialized: bool = True,
+        snapshot=None,
     ):
         self.heap = heap
         self.stats = stats
         self.engine = engine
         self.track_paths = track_paths
         self.specialized = specialized
+        #: Optional :class:`repro.snapshot.capture.SnapshotSink`.  When set,
+        #: the drain switches to the snapshot-recording variant; ``None``
+        #: costs exactly one attribute test per drain.
+        self.snapshot = snapshot
         self._stack: list[int] = []
         self._root_descs: dict[int, str] = {}
         self._table = heap.address_table()
@@ -92,9 +99,12 @@ class Tracer:
     def trace(self, roots: Iterable[tuple[str, int]]) -> int:
         """Mark everything reachable from ``roots``; returns objects marked."""
         before = self.stats.objects_traced
+        sink = self.snapshot
         for description, address in roots:
             if address == NULL:
                 continue
+            if sink is not None:
+                sink.roots.append((description, address))
             # Roots come from the mutator (statics, frames, handles), so they
             # go through the checked dereference path.
             self._reach(self.heap.get(address), parent=None, via_root=description)
@@ -103,6 +113,9 @@ class Tracer:
 
     def drain(self) -> None:
         """Process the worklist to empty."""
+        if self.snapshot is not None:
+            self._drain_snapshot()
+            return
         if not self.specialized:
             if self.track_paths:
                 self._drain_with_paths()
@@ -343,6 +356,242 @@ class Tracer:
             stats.objects_traced += objects
             stats.edges_traced += edges
             stats.path_entries_tagged += tagged
+
+    # -- snapshot-recording drain ---------------------------------------------------
+
+    def _drain_snapshot(self) -> None:
+        """Snapshot capture: the mark loop also appends one ``(address,
+        obj, alloc_seq, children)`` row per live object to the attached
+        sink.
+
+        Two variants, chosen once per drain: the paths-no-engine
+        configuration (what ``every_n_gcs`` captures on an
+        assertions-off VM run as — the ``abl-snapshot`` regime) gets a
+        fused loop whose per-edge body is byte-for-byte
+        :meth:`_drain_paths`, so capture pays only the row append; every
+        other configuration goes through the generic loop with the mode
+        flags hoisted into locals.  Both keep exact counter parity with
+        whichever normal drain the collection would otherwise have used
+        (``path_entries_tagged`` only under path tracking,
+        ``header_bit_checks``/``instance_count_increments`` only in
+        inline-engine mode).  The row must be recorded *before* the
+        leaf-object ``continue``s, and array children are copied —
+        ``obj.slots`` is the mutator's live buffer, not ours to keep.
+        """
+        # The row buffer allocates tens of thousands of small tuples in one
+        # burst, which trips the host interpreter's cyclic GC *inside the
+        # measured pause* — and its young-generation scan of the simulator's
+        # own object graph dwarfs the row appends themselves.  Defer it to
+        # mutator time, like the serialization it feeds.
+        host_gc_was_enabled = _host_gc.isenabled()
+        if host_gc_was_enabled:
+            _host_gc.disable()
+        try:
+            if self.engine is None and self.track_paths:
+                if self.snapshot.moving:
+                    self._drain_snapshot_paths()
+                else:
+                    self._drain_snapshot_paths_addr()
+            else:
+                self._drain_snapshot_generic()
+        finally:
+            if host_gc_was_enabled:
+                _host_gc.enable()
+
+    def _drain_snapshot_paths_addr(self) -> None:
+        """Snapshot capture, Infrastructure configuration, non-moving
+        collector: :meth:`_drain_paths` plus one bare-address append per
+        live object (the sink re-reads the heap at flush time)."""
+        sink = self.snapshot
+        rows = sink.rows
+        record = rows.append
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        tag_bit = ADDRESS_TAG_BIT
+        objects = edges = tagged = 0
+        try:
+            while stack:
+                entry = stack.pop()
+                if entry & tag_bit:
+                    continue
+                push(entry | tag_bit)
+                tagged += 1
+                record(entry)
+                obj = table[entry]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        continue
+                    children = obj.slots
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            stats = self.stats
+            stats.objects_traced += objects
+            stats.edges_traced += edges
+            stats.path_entries_tagged += tagged
+
+    def _drain_snapshot_paths(self) -> None:
+        """Snapshot capture in the Infrastructure configuration:
+        :meth:`_drain_paths` plus one row append per live object."""
+        sink = self.snapshot
+        rows = sink.rows
+        record = rows.append
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        tag_bit = ADDRESS_TAG_BIT
+        objects = edges = tagged = 0
+        try:
+            while stack:
+                entry = stack.pop()
+                if entry & tag_bit:
+                    continue
+                push(entry | tag_bit)
+                tagged += 1
+                obj = table[entry]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        record((entry, obj, obj.alloc_seq, None))
+                        continue
+                    children = obj.slots[:]
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        record((entry, obj, obj.alloc_seq, None))
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                record((entry, obj, obj.alloc_seq, children))
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            stats = self.stats
+            stats.objects_traced += objects
+            stats.edges_traced += edges
+            stats.path_entries_tagged += tagged
+
+    def _drain_snapshot_generic(self) -> None:
+        """Snapshot capture for every other tracer configuration."""
+        sink = self.snapshot
+        rows = sink.rows
+        record = rows.append
+        stack = self._stack
+        table = self._table
+        push = stack.append
+        mark_bit = hdr.MARK_BIT
+        tag_bit = ADDRESS_TAG_BIT
+        first_slow_bits = hdr.DEAD_BIT | hdr.OWNEE_BIT
+        unshared_bit = hdr.UNSHARED_BIT
+        track = self.track_paths
+        freeze = sink.moving
+        engine = self.engine
+        inline = engine is not None and getattr(engine, "INLINE_HEADER_CHECKS", False)
+        if inline:
+            slow_first = engine.on_first_encounter_slow
+            slow_repeat = engine.on_repeat_encounter_slow
+        elif engine is not None:
+            on_first = engine.on_first_encounter
+            on_repeat = engine.on_repeat_encounter
+        objects = edges = tagged = header_checks = instance_incrs = 0
+        try:
+            while stack:
+                entry = stack.pop()
+                if track:
+                    if entry & tag_bit:
+                        continue
+                    push(entry | tag_bit)
+                    tagged += 1
+                if not freeze:
+                    record(entry)
+                obj = table[entry]
+                cls = obj.cls
+                if cls.is_array:
+                    if not cls.element_kind.is_reference:
+                        if freeze:
+                            record((entry, obj, obj.alloc_seq, None))
+                        continue
+                    children = obj.slots[:] if freeze else obj.slots
+                else:
+                    ref_slots = cls.ref_slots
+                    if not ref_slots:
+                        if freeze:
+                            record((entry, obj, obj.alloc_seq, None))
+                        continue
+                    slots = obj.slots
+                    children = [slots[i] for i in ref_slots]
+                if freeze:
+                    record((entry, obj, obj.alloc_seq, children))
+                for child in children:
+                    if child == NULL:
+                        continue
+                    edges += 1
+                    cobj = table[child]
+                    status = cobj.status
+                    if status & mark_bit:
+                        if inline:
+                            header_checks += 1
+                            if status & unshared_bit:
+                                slow_repeat(cobj, self, obj)
+                        elif engine is not None:
+                            on_repeat(cobj, self, obj)
+                        continue
+                    cobj.status = status | mark_bit
+                    objects += 1
+                    if inline:
+                        header_checks += 1
+                        if status & first_slow_bits:
+                            slow_first(cobj, self, obj)
+                        ccls = cobj.cls
+                        if ccls.instance_limit is not None:
+                            ccls.instance_count += 1
+                            instance_incrs += 1
+                    elif engine is not None:
+                        on_first(cobj, self, obj)
+                    push(child)
+        except KeyError as exc:
+            raise InvalidAddressError(f"no live object at {exc.args[0]:#x}") from None
+        finally:
+            stats = self.stats
+            stats.objects_traced += objects
+            stats.edges_traced += edges
+            if track:
+                stats.path_entries_tagged += tagged
+            if inline:
+                stats.header_bit_checks += header_checks
+                stats.instance_count_increments += instance_incrs
 
     # -- generic (pre-specialization) drain ----------------------------------------
 

@@ -213,7 +213,7 @@ class HeapObject:
     updates it in place so Python-side handles keep working across moves.
     """
 
-    __slots__ = ("address", "status", "cls", "slots", "alloc_seq")
+    __slots__ = ("address", "status", "cls", "slots", "alloc_seq", "alloc_site")
 
     def __init__(self, address: int, cls: ClassDescriptor, length: int = 0):
         self.address = address
@@ -223,6 +223,9 @@ class HeapObject:
         #: relocation.  Lazy sweeping uses it to tell objects that occupied
         #: a cell at mark time from ones installed into the cell afterwards.
         self.alloc_seq = 0
+        #: Optional allocation-site tag stamped by the VM (see
+        #: :meth:`repro.runtime.vm.VM.alloc_site`); survives relocation.
+        self.alloc_site: Optional[str] = None
         if cls.is_array:
             elem_default = cls.element_kind.default()  # type: ignore[union-attr]
             self.slots: list = [elem_default] * length

@@ -128,6 +128,12 @@ class VirtualMachine:
         #: Optional read-barrier hook ``hook(HeapObject)`` invoked on handle
         #: field reads; installed by the staleness baseline, None otherwise.
         self.access_hook = None
+        #: Snapshot policy (see :mod:`repro.snapshot.capture`); None means
+        #: the capture machinery is completely inert.
+        self.snapshot_policy = None
+        #: Current allocation-site tag; stamped onto objects allocated while
+        #: an :meth:`alloc_site` scope is open, None otherwise.
+        self._alloc_site: Optional[str] = None
 
     # -- properties ---------------------------------------------------------------------
 
@@ -217,6 +223,8 @@ class VirtualMachine:
             raise RuntimeFault(f"use new_array() to allocate array class {cls.name}")
         thread = thread or self._current
         obj = self.collector.allocate(cls)
+        if self._alloc_site is not None:
+            obj.alloc_site = self._alloc_site
         thread.note_allocation(obj.address)
         if thread.scopes:
             thread.scopes[-1].register(obj.address)
@@ -236,10 +244,26 @@ class VirtualMachine:
         cls = self.array_class(element)
         thread = thread or self._current
         obj = self.collector.allocate(cls, length)
+        if self._alloc_site is not None:
+            obj.alloc_site = self._alloc_site
         thread.note_allocation(obj.address)
         if thread.scopes:
             thread.scopes[-1].register(obj.address)
         return Handle(self, obj)
+
+    @contextlib.contextmanager
+    def alloc_site(self, site: str) -> Iterator[None]:
+        """Tag every allocation in this scope with ``site``.
+
+        The tag surfaces in violation reports ("Allocated: epoch N at
+        <site>") and in heap snapshots, making both actionable without a
+        debugger.  Scopes nest; the innermost tag wins.
+        """
+        previous, self._alloc_site = self._alloc_site, site
+        try:
+            yield
+        finally:
+            self._alloc_site = previous
 
     def handle(self, target: Union[HeapObject, int]) -> Handle:
         if isinstance(target, HeapObject):
@@ -264,6 +288,23 @@ class VirtualMachine:
         if minor is None:
             raise RuntimeFault(f"{self.collector.name} has no minor collections")
         minor(reason)
+
+    # -- heap snapshots -----------------------------------------------------------------
+
+    def install_snapshot_policy(self, policy) -> None:
+        """Wire a :class:`repro.snapshot.capture.SnapshotPolicy` into this
+        VM: the collector consults it when building tracers, and its
+        violation trigger observes completed collections."""
+        self.snapshot_policy = policy
+        self.collector.snapshot_policy = policy
+        policy.vm = self
+        self.gc_observers.append(policy._after_gc)
+
+    def capture_snapshot(self, path: str, trigger: str = "manual") -> dict:
+        """Write a heap snapshot *now* (no collection, no policy needed)."""
+        from repro.snapshot.capture import capture_snapshot
+
+        return capture_snapshot(self, path, trigger=trigger)
 
     # -- collector callbacks -------------------------------------------------------------------
 

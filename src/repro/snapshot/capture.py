@@ -1,0 +1,354 @@
+"""Snapshot capture: piggybacked on tracing, or standalone between GCs.
+
+Piggybacked capture follows the tracer-specialization protocol of
+``INLINE_HEADER_CHECKS``: when a :class:`SnapshotPolicy` decides a
+collection should be captured, the collector hands the tracer a
+:class:`SnapshotSink` and the drain switches to a fused variant
+(:meth:`repro.gc.tracer.Tracer._drain_snapshot`) that appends one compact
+row per live object as a by-product of the marking it is already doing —
+O(1) extra memory per object, no second heap walk.  Rows are recorded *at
+mark time* so the snapshot is consistent even under the copying
+collectors, which relocate objects (and restamp ``alloc_seq``) later in
+the same pause.  Serialization to the JSONL format is deliberately *not*
+in-pause: the collector calls :meth:`SnapshotPolicy.finish_capture` after
+its ``gc_seconds`` timer closes, so capture adds only the row-append cost
+to GC time (bounded by the ``abl-snapshot`` bench) and the write cost to
+mutator time.
+
+With no policy installed nothing changes anywhere: the tracer's drain
+dispatch tests one attribute against ``None`` and the collectors never
+consult the policy — the zero-overhead-when-off discipline the telemetry
+subsystem established.
+
+:func:`capture_snapshot` is the standalone path — a read-only visited-set
+walk from the VM's roots that never touches mark bits, usable between
+collections (the CLI and the ``on_violation`` trigger use it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.heap import header as hdr
+from repro.heap.layout import NULL
+from repro.snapshot.dominators import build_dominator_tree
+from repro.snapshot.format import SnapshotWriter, load_snapshot
+from repro.snapshot.retained import retained_sizes
+
+if TYPE_CHECKING:
+    from repro.gc.base import Collector
+    from repro.runtime.vm import VirtualMachine
+
+#: Per-collection GC bits are an artifact of the capture moment, not a
+#: property of the object; they are masked out of serialized status words.
+_TRANSIENT_BITS = hdr.MARK_BIT | hdr.OWNED_BIT
+
+
+class SnapshotSink:
+    """In-pause buffer for one piggybacked capture.
+
+    Two row encodings, chosen by how much the collector is allowed to
+    disturb between mark time and flush time:
+
+    * ``moving=True`` (semispace, generational) — the tracer appends
+      ``(address, obj, alloc_seq, children)`` tuples: address/
+      ``alloc_seq``/children frozen at mark time (the collector relocates
+      and restamps later in the same pause), the object reference kept
+      for the stable attributes (type, size, sticky header bits,
+      allocation site) read at flush time.  ``children`` is ``None`` for
+      leaf objects and always a fresh list otherwise — never an alias of
+      ``obj.slots``, which the mutator resumes scribbling on after the
+      pause.
+    * ``moving=False`` (marksweep) — nothing relocates, nothing is
+      restamped, and :meth:`flush` runs before the mutator does, so the
+      mark-time view is still fully intact in the heap itself.  The
+      tracer appends the bare address — one ``int`` per live object, the
+      cheapest record a drain can make — and flush re-reads everything
+      through ``heap``.
+    """
+
+    __slots__ = (
+        "path",
+        "collector_name",
+        "gc_number",
+        "trigger",
+        "heap_bytes",
+        "heap",
+        "moving",
+        "roots",
+        "rows",
+        "started",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        collector_name: str = "unknown",
+        gc_number: int = 0,
+        trigger: str = "manual",
+        heap_bytes: int = 0,
+        heap=None,
+        moving: bool = True,
+    ):
+        self.path = path
+        self.collector_name = collector_name
+        self.gc_number = gc_number
+        self.trigger = trigger
+        self.heap_bytes = heap_bytes
+        self.heap = heap
+        #: False switches the drain to bare-address rows (see class doc).
+        self.moving = moving or heap is None
+        self.roots: list[tuple[str, int]] = []
+        self.rows: list = []
+        self.started = time.perf_counter()
+
+    def flush(self) -> dict:
+        """Serialize the buffered rows; returns the writer's summary."""
+        writer = SnapshotWriter(
+            self.path,
+            collector=self.collector_name,
+            gc_number=self.gc_number,
+            trigger=self.trigger,
+            heap_bytes=self.heap_bytes,
+        )
+        for desc, addr in self.roots:
+            writer.write_root(desc, addr)
+        if self.moving:
+            for addr, obj, alloc_seq, children in self.rows:
+                edges = (
+                    [c for c in children if c != NULL] if children is not None else []
+                )
+                writer.write_object(
+                    addr,
+                    obj.cls.name,
+                    obj.size_bytes,
+                    obj.status & ~_TRANSIENT_BITS,
+                    alloc_seq,
+                    obj.alloc_site,
+                    edges,
+                )
+        else:
+            table = self.heap.address_table()
+            for addr in self.rows:
+                obj = table[addr]
+                edges = [c for c in obj.reference_slots() if c != NULL]
+                writer.write_object(
+                    addr,
+                    obj.cls.name,
+                    obj.size_bytes,
+                    obj.status & ~_TRANSIENT_BITS,
+                    obj.alloc_seq,
+                    obj.alloc_site,
+                    edges,
+                )
+        return writer.finish()
+
+
+def capture_snapshot(
+    vm: "VirtualMachine", path: str, trigger: str = "manual"
+) -> dict:
+    """Capture a snapshot *now*, without a collection.
+
+    A plain visited-set walk over the strong-reference graph from the VM's
+    roots — mark bits are never read or written, so this is safe at any
+    point between collections (including with lazy sweep debt outstanding:
+    pending garbage is unreachable and the walk never sees it).  Returns
+    the snapshot summary (object/root counts, bytes, per-type rollup).
+    """
+    started = time.perf_counter()
+    collector = vm.collector
+    heap = vm.heap
+    writer = SnapshotWriter(
+        path,
+        collector=collector.name,
+        gc_number=vm.stats.collections,
+        trigger=trigger,
+        heap_bytes=collector.heap_bytes,
+    )
+    visited: set[int] = set()
+    stack: list[int] = []
+    for desc, addr in vm.root_entries():
+        if addr == NULL:
+            continue
+        writer.write_root(desc, addr)
+        if addr not in visited:
+            visited.add(addr)
+            stack.append(addr)
+    get = heap.get
+    while stack:
+        obj = get(stack.pop())
+        edges = [c for c in obj.reference_slots() if c != NULL]
+        writer.write_object(
+            obj.address,
+            obj.cls.name,
+            obj.size_bytes,
+            obj.status & ~_TRANSIENT_BITS,
+            obj.alloc_seq,
+            obj.alloc_site,
+            edges,
+        )
+        for child in edges:
+            if child not in visited:
+                visited.add(child)
+                stack.append(child)
+    summary = writer.finish()
+    _record_snapshot_event(vm, path, trigger, summary, started)
+    return summary
+
+
+def _record_snapshot_event(
+    vm: "VirtualMachine", path: str, trigger: str, summary: dict, started: float
+) -> None:
+    telemetry = vm.telemetry
+    if telemetry is None or not telemetry.enabled:
+        return
+    telemetry.record_snapshot(
+        collector=vm.collector.name,
+        seq=vm.stats.collections,
+        trigger=trigger,
+        path=path,
+        objects=summary["objects"],
+        roots=summary["roots"],
+        total_bytes=summary["total_bytes"],
+        file_bytes=os.path.getsize(path),
+        duration_s=time.perf_counter() - started,
+    )
+
+
+class SnapshotPolicy:
+    """Decides when the VM captures heap snapshots, and where they go.
+
+    Three triggers, combinable:
+
+    * ``every_n_gcs=N`` — piggyback a capture on every Nth full collection.
+    * ``on_violation=True`` — after a collection that detected new
+      assertion violations, capture a standalone snapshot and annotate
+      each new violation with the offending object's retained size and
+      dominator chain (the log's rendered lines are refreshed in place).
+    * :meth:`request_capture` — piggyback on the *next* full collection
+      ("manual").
+
+    Install with ``vm.install_snapshot_policy(policy)`` (or
+    ``policy.attach(vm)``); uninstalled VMs never pay a cycle.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        every_n_gcs: Optional[int] = None,
+        on_violation: bool = False,
+        prefix: str = "heap",
+    ):
+        if every_n_gcs is not None and every_n_gcs < 1:
+            raise ValueError(f"every_n_gcs must be >= 1, got {every_n_gcs}")
+        self.directory = directory
+        self.every_n_gcs = every_n_gcs
+        self.on_violation = on_violation
+        self.prefix = prefix
+        # Created now so snapshot_path never pays a syscall inside a pause.
+        os.makedirs(directory, exist_ok=True)
+        #: Paths of every snapshot this policy wrote, in order.
+        self.captured: list[str] = []
+        self.vm: Optional["VirtualMachine"] = None
+        self._capture_next = False
+        self._violations_seen = 0
+
+    def attach(self, vm: "VirtualMachine") -> "SnapshotPolicy":
+        vm.install_snapshot_policy(self)
+        return self
+
+    def request_capture(self) -> None:
+        """Arm a one-shot capture for the next full collection."""
+        self._capture_next = True
+
+    def snapshot_path(self, gc_number: int, trigger: str) -> str:
+        return os.path.join(
+            self.directory, f"{self.prefix}-gc{gc_number:05d}-{trigger}.jsonl"
+        )
+
+    # -- collector protocol (called from gc/base.py) ---------------------------------
+
+    def begin_capture(self, collector: "Collector", reason: str) -> Optional[SnapshotSink]:
+        """Called as the collector builds its tracer; a non-``None`` return
+        switches this collection's drain to the snapshot variant."""
+        gc_number = collector.stats.collections
+        if self._capture_next:
+            trigger = "manual"
+        elif self.every_n_gcs is not None and gc_number % self.every_n_gcs == 0:
+            trigger = "interval"
+        else:
+            return None
+        self._capture_next = False
+        return SnapshotSink(
+            self.snapshot_path(gc_number, trigger),
+            collector_name=collector.name,
+            gc_number=gc_number,
+            trigger=trigger,
+            heap_bytes=collector.heap_bytes,
+            heap=collector.heap,
+            moving=collector.moving,
+        )
+
+    def finish_capture(self, collector: "Collector", sink: SnapshotSink) -> dict:
+        """Serialize a filled sink; called after the pause timer closes."""
+        summary = sink.flush()
+        self.captured.append(sink.path)
+        telemetry = collector.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_snapshot(
+                collector=collector.name,
+                seq=sink.gc_number,
+                trigger=sink.trigger,
+                path=sink.path,
+                objects=summary["objects"],
+                roots=summary["roots"],
+                total_bytes=summary["total_bytes"],
+                file_bytes=os.path.getsize(sink.path),
+                duration_s=time.perf_counter() - sink.started,
+            )
+        return summary
+
+    # -- violation trigger (a vm.gc_observers entry) ---------------------------------
+
+    def _after_gc(self, vm: "VirtualMachine", freed: set[int]) -> None:
+        if not self.on_violation or vm.engine is None:
+            return
+        log = vm.engine.log
+        total = len(log.violations)
+        if total < self._violations_seen:  # log.clear() happened
+            self._violations_seen = total
+            return
+        if total == self._violations_seen:
+            return
+        first_new = self._violations_seen
+        self._violations_seen = total
+        path = self.snapshot_path(vm.stats.collections, "violation")
+        capture_snapshot(vm, path, trigger="violation")
+        self.captured.append(path)
+        self.annotate_violations(vm, path, first_new)
+
+    def annotate_violations(
+        self, vm: "VirtualMachine", path: str, first_index: int = 0
+    ) -> int:
+        """Annotate violations ``[first_index:]`` with retained size and
+        dominator chain from the snapshot at ``path``; re-renders the log's
+        lines in place.  Returns the number of violations annotated."""
+        log = vm.engine.log
+        snapshot = load_snapshot(path)
+        tree = build_dominator_tree(snapshot)
+        retained = retained_sizes(snapshot, tree)
+        annotated = 0
+        for idx in range(first_index, len(log.violations)):
+            violation = log.violations[idx]
+            violation.details["snapshot"] = path
+            addr = violation.address
+            if addr is not None and addr in tree:
+                violation.details["retained_bytes"] = retained[addr]
+                violation.details["dominator_chain"] = [
+                    f"{snapshot.objects[a].type_name}@{a:#x}" for a in tree.chain(addr)
+                ]
+            log.lines[idx] = violation.render()
+            annotated += 1
+        return annotated

@@ -1,0 +1,140 @@
+"""Immediate dominators over a heap snapshot's reachability graph.
+
+An object *d* dominates *o* when every path from a root to *o* passes
+through *d*; the immediate dominator is the closest such *d*.  The
+dominator tree is what turns a snapshot into an ownership view: cutting
+*o*'s incoming edges frees exactly the dominator subtree under *o* (its
+*retained size*, see :mod:`repro.snapshot.retained`), and the chain of
+dominators from the super-root to *o* answers "why is this alive" with
+the set of single points of failure — unlike a witness path, every entry
+in the chain *must* be on every path.
+
+The algorithm is the iterative Cooper–Harvey–Kennedy formulation ("A
+Simple, Fast Dominance Algorithm"): number the nodes in reverse postorder
+from a synthetic super-root (which has one edge to each distinct GC root),
+then repeatedly intersect the predecessors' dominator chains until a fixed
+point.  On reducible-ish heap graphs this converges in two or three
+passes and needs no auxiliary forests, which is why it beats
+Lengauer–Tarjan in practice at this scale; heap cycles (irreducible
+regions) just cost extra passes, not correctness.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.snapshot.format import HeapSnapshot
+
+#: The synthetic super-root's "address".  NULL (0) is never a real object
+#: address, so it is free for the node that parents every GC root.
+SUPER_ROOT = 0
+
+
+class DominatorTree:
+    """Immediate-dominator mapping for every object reachable from roots.
+
+    ``idom[addr]`` is the immediate dominator's address (``SUPER_ROOT``
+    for objects with no interior single point of failure); ``order`` is
+    the reverse postorder used to build the tree, which is also a valid
+    top-down processing order for it (an idom always precedes its
+    dominated nodes).
+    """
+
+    __slots__ = ("idom", "order")
+
+    def __init__(self, idom: dict[int, int], order: list[int]):
+        self.idom = idom
+        self.order = order
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self.idom
+
+    def __len__(self) -> int:
+        """Number of reachable objects (the super-root is not counted)."""
+        return len(self.idom) - 1
+
+    def chain(self, addr: int) -> list[int]:
+        """Dominator chain, outermost first, ending at ``addr``.
+
+        The super-root is omitted: the first entry is the outermost real
+        object that every root-to-``addr`` path passes through.
+        """
+        if addr not in self.idom:
+            raise KeyError(f"address {addr:#x} is not reachable in this snapshot")
+        chain: list[int] = []
+        cursor = addr
+        while cursor != SUPER_ROOT:
+            chain.append(cursor)
+            cursor = self.idom[cursor]
+        chain.reverse()
+        return chain
+
+    def children(self) -> dict[int, list[int]]:
+        """Dominator-tree adjacency (idom address -> dominated addresses)."""
+        out: dict[int, list[int]] = {}
+        for addr, dom in self.idom.items():
+            if addr == SUPER_ROOT:
+                continue
+            out.setdefault(dom, []).append(addr)
+        return out
+
+
+def build_dominator_tree(snapshot: "HeapSnapshot") -> DominatorTree:
+    """Compute immediate dominators for every object reachable from roots.
+
+    Objects recorded in the snapshot but unreachable from its root set
+    (possible only with hand-built snapshots; capture never emits them)
+    are left out of the tree.
+    """
+    objects = snapshot.objects
+    root_addrs = snapshot.root_addresses()
+
+    # Reverse postorder via an iterative DFS from the super-root.  The
+    # explicit edge-iterator stack mirrors the recursive formulation so
+    # postorder numbers come out exactly as the textbook algorithm's.
+    postorder: list[int] = []
+    visited: set[int] = {SUPER_ROOT}
+    preds: dict[int, list[int]] = {}
+    succ_of_super = [a for a in root_addrs if a in objects]
+    stack: list[tuple[int, iter]] = [(SUPER_ROOT, iter(succ_of_super))]
+    while stack:
+        node, edges = stack[-1]
+        advanced = False
+        for child in edges:
+            if child not in objects:
+                continue  # a dangling edge in a hand-built snapshot
+            preds.setdefault(child, []).append(node)
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, iter(objects[child].edges)))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(node)
+            stack.pop()
+    order = postorder[::-1]  # reverse postorder; order[0] == SUPER_ROOT
+
+    rpo_number = {addr: i for i, addr in enumerate(order)}
+    idom: dict[int, int] = {SUPER_ROOT: SUPER_ROOT}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_number[a] > rpo_number[b]:
+                a = idom[a]
+            while rpo_number[b] > rpo_number[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for addr in order[1:]:
+            new_idom: Optional[int] = None
+            for pred in preds.get(addr, ()):
+                if pred in idom:
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(addr) != new_idom:
+                idom[addr] = new_idom
+                changed = True
+    return DominatorTree(idom, order)

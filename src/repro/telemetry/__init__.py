@@ -37,7 +37,7 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.telemetry.census import ClassCensus, take_census
-from repro.telemetry.events import EventRing, GcEvent
+from repro.telemetry.events import EventRing, GcEvent, SnapshotEvent
 from repro.telemetry.histogram import LogHistogram
 from repro.telemetry.sinks import (
     JsonlSink,
@@ -58,6 +58,7 @@ __all__ = [
     "JsonlSink",
     "LogHistogram",
     "MemorySink",
+    "SnapshotEvent",
     "Telemetry",
     "TelemetrySink",
     "render_prometheus",
@@ -110,6 +111,9 @@ class Telemetry:
         self.sinks: list[TelemetrySink] = list(sinks or [])
         self.collections_by_kind: dict[str, int] = {}
         self.violations_by_kind: dict[str, int] = {}
+        #: Every heap snapshot written this VM lifetime (unbounded on
+        #: purpose: snapshots are rare and each record is a few words).
+        self.snapshots: list[SnapshotEvent] = []
         self.sink_errors = 0
 
     # -- wiring -----------------------------------------------------------------------
@@ -133,6 +137,39 @@ class Telemetry:
     def record_violation(self, violation: "Violation") -> None:
         kind = violation.kind.value
         self.violations_by_kind[kind] = self.violations_by_kind.get(kind, 0) + 1
+
+    def record_snapshot(
+        self,
+        collector: str,
+        seq: int,
+        trigger: str,
+        path: str,
+        objects: int,
+        roots: int,
+        total_bytes: int,
+        file_bytes: int,
+        duration_s: float,
+    ) -> SnapshotEvent:
+        """Record a ``snapshot_written`` event and stream it to every sink."""
+        event = SnapshotEvent(
+            event="snapshot_written",
+            seq=seq,
+            collector=collector,
+            trigger=trigger,
+            path=path,
+            objects=objects,
+            roots=roots,
+            total_bytes=total_bytes,
+            file_bytes=file_bytes,
+            duration_s=duration_s,
+        )
+        self.snapshots.append(event)
+        for sink in self.sinks:
+            try:
+                sink.emit(event)
+            except Exception:
+                self.sink_errors += 1
+        return event
 
     def begin_collection(
         self, collector: "Collector", kind: str, trigger: str
@@ -213,6 +250,7 @@ class Telemetry:
             "ownees_checked_per_gc": self.ownees_hist.summary(),
             "census": self.census.as_dict(),
             "violations_by_kind": dict(self.violations_by_kind),
+            "snapshots": [event.as_dict() for event in self.snapshots],
             "sink_errors": self.sink_errors,
         }
 
@@ -255,6 +293,10 @@ class Telemetry:
             ranked = sorted(census.items(), key=lambda kv: kv[1][1], reverse=True)
             for name, (count, nbytes) in ranked[:census_top]:
                 lines.append(f"  {name:24} {count:>8} objects {nbytes:>12} bytes")
+        if self.snapshots:
+            lines.append(f"heap snapshots ({len(self.snapshots)} written):")
+            for event in self.snapshots[-3:]:
+                lines.append(f"  {event.render()}")
         events = self.events.snapshot()
         if events:
             lines.append(f"recent collections (last {min(recent_events, len(events))}):")

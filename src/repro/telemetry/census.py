@@ -78,6 +78,33 @@ class ClassCensus:
     def bytes_series(self, name: str) -> list[int]:
         return [nbytes for _count, nbytes in self._series.get(name, [])]
 
+    def slope(self, name: str) -> float:
+        """Least-squares growth slope of ``name``'s live bytes, in bytes
+        per census sample.
+
+        This is the number Cork's type-growth ranking is built on: a
+        steadily leaking class has a positive slope however bursty the
+        individual samples are, while a healthy class oscillates around
+        zero.  Classes with fewer than two samples have no trend (0.0).
+        """
+        series = self.bytes_series(name)
+        n = len(series)
+        if n < 2:
+            return 0.0
+        # x = 0..n-1, so the sums have closed forms.
+        sum_x = n * (n - 1) / 2.0
+        sum_xx = (n - 1) * n * (2 * n - 1) / 6.0
+        sum_y = float(sum(series))
+        sum_xy = float(sum(i * y for i, y in enumerate(series)))
+        denom = n * sum_xx - sum_x * sum_x
+        if denom == 0.0:
+            return 0.0
+        return (n * sum_xy - sum_x * sum_y) / denom
+
+    def slopes(self) -> dict[str, float]:
+        """Per-class byte-growth slopes over every observed class."""
+        return {name: self.slope(name) for name in self._series}
+
     def latest(self) -> dict[str, CensusRow]:
         """The most recent sample, omitting classes with no live instances."""
         if not self.samples:

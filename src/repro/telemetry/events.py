@@ -71,6 +71,38 @@ class GcEvent:
         )
 
 
+@dataclass(frozen=True)
+class SnapshotEvent:
+    """One heap snapshot written (``snapshot_written`` in the event stream).
+
+    Emitted by the snapshot subsystem after serialization completes —
+    always outside the GC pause, so ``duration_s`` is capture+write cost,
+    not added pause time (the in-pause recording cost shows up in the
+    ``abl-snapshot`` bench instead).
+    """
+
+    event: str               #: always "snapshot_written" (sink discriminator)
+    seq: int                 #: collection ordinal the snapshot belongs to
+    collector: str
+    trigger: str             #: "manual" | "interval" | "violation"
+    path: str                #: snapshot body path (index is path + ".idx.json")
+    objects: int             #: live objects recorded
+    roots: int               #: root entries recorded
+    total_bytes: int         #: live bytes recorded (heap view)
+    file_bytes: int          #: serialized body size on disk
+    duration_s: float        #: capture + serialization wall-clock time
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return (
+            f"snapshot gc#{self.seq} {self.trigger} -> {self.path} "
+            f"({self.objects} objects, {self.total_bytes}B live, "
+            f"{self.file_bytes}B on disk, {self.duration_s * 1e3:.2f}ms)"
+        )
+
+
 class EventRing:
     """Bounded FIFO of the most recent :class:`GcEvent` records.
 

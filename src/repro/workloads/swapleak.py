@@ -39,14 +39,17 @@ def define_swapleak_classes(vm: VirtualMachine) -> None:
     vm.define_class(REP_STATIC, [("data", FieldKind.INT)])
 
 
-def new_sobject(vm: VirtualMachine, object_id: int, static_rep: bool) -> Handle:
+def new_sobject(
+    vm: VirtualMachine, object_id: int, static_rep: bool, site: str = "SObject.<init>"
+) -> Handle:
     """Allocate an SObject, instantiating its Rep inner-class instance.
 
     With ``static_rep=False`` the Rep records the hidden reference to its
     enclosing instance — exactly what javac emits for a non-static inner
-    class.
+    class.  Allocations are tagged with ``site`` so violation reports and
+    snapshots can say *where* the leaked instances came from.
     """
-    with vm.scope("SObject.new"):
+    with vm.scope("SObject.new"), vm.alloc_site(site):
         obj = vm.new(SOBJECT, id=object_id)
         if static_rep:
             rep = vm.new(REP_STATIC, data=object_id)
@@ -72,6 +75,10 @@ class SwapLeakConfig:
     static_rep: bool = False
     assert_dead_swapped: bool = True
     gc_at_end: bool = True
+    #: Collect every N swaps (0 = never mid-run).  Snapshot policies with
+    #: ``every_n_gcs`` hang their captures off these collections, which is
+    #: how the leak-triage walkthrough brackets the leak's growth.
+    gc_every_swaps: int = 0
 
 
 @dataclass
@@ -101,13 +108,17 @@ def run_swapleak(vm: VirtualMachine, config: SwapLeakConfig | None = None) -> Sw
             slot = swap_index % config.array_size
             # "allocating new SObjects and swapping their Rep fields with
             # those of the SObjects already in the array."
-            fresh = new_sobject(vm, 1000 + swap_index, config.static_rep)
+            fresh = new_sobject(
+                vm, 1000 + swap_index, config.static_rep, site="SwapLeak.swap loop"
+            )
             swap(fresh, array[slot])
             result.swaps += 1
             # The user expects `fresh` to be reclaimable now.
             if config.assert_dead_swapped and vm.assertions is not None:
                 vm.assertions.assert_dead(fresh, site="after swap()")
                 result.asserted += 1
+            if config.gc_every_swaps and (swap_index + 1) % config.gc_every_swaps == 0:
+                vm.gc(reason=f"SwapLeak periodic (swap {swap_index + 1})")
 
         if config.gc_at_end:
             vm.gc(reason="SwapLeak check")

@@ -2,12 +2,30 @@
 
 import json
 import pathlib
+import runpy
+import sys
+import warnings
 
 import pytest
 
 from repro.__main__ import main
 
 PROGRAMS = pathlib.Path(__file__).resolve().parent.parent / "examples" / "programs"
+
+
+def run_as_module(argv: list[str]) -> int:
+    """Invoke ``python -m repro <argv>`` in-process via runpy."""
+    saved = sys.argv
+    sys.argv = ["repro"] + argv
+    try:
+        with pytest.raises(SystemExit) as excinfo, warnings.catch_warnings():
+            # repro.__main__ is already imported by this test module; the
+            # re-execution runpy warns about is exactly what we want here.
+            warnings.filterwarnings("ignore", category=RuntimeWarning)
+            runpy.run_module("repro", run_name="__main__")
+        return excinfo.value.code or 0
+    finally:
+        sys.argv = saved
 
 
 class TestCli:
@@ -99,3 +117,120 @@ class TestCli:
         fig2 = payload["figures"]["fig2"]
         assert "geomean_overhead_pct" in fig2
         assert "pseudojbb" in fig2["rows"]
+
+
+class TestSnapshotCli:
+    @pytest.fixture()
+    def captured_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "snaps"
+        code = main(
+            [
+                "snapshot", "capture",
+                "--workload", "swapleak",
+                "--out-dir", str(out_dir),
+                "--every-n-gcs", "1",
+                "--gc-every-swaps", "16",
+                "--swaps", "48",
+            ]
+        )
+        assert code == 0  # no --assertions, so no violations
+        capsys.readouterr()
+        snapshots = sorted(out_dir.glob("heap-gc*.jsonl"))
+        assert len(snapshots) >= 2
+        return snapshots
+
+    def test_capture_with_assertions_exits_one(self, tmp_path, capsys):
+        code = main(
+            [
+                "snapshot", "capture",
+                "--workload", "swapleak",
+                "--out-dir", str(tmp_path / "viol"),
+                "--assertions",
+                "--swaps", "8",
+            ]
+        )
+        assert code == 1
+        assert "GC assertion reports:" in capsys.readouterr().out
+
+    def test_analyze(self, captured_dir, capsys):
+        assert main(["snapshot", "analyze", str(captured_dir[-1])]) == 0
+        out = capsys.readouterr().out
+        assert "SObject" in out
+        assert "retains" in out
+
+    def test_diff_ranks_leaking_type_first(self, captured_dir, capsys):
+        code = main(
+            ["snapshot", "diff", str(captured_dir[0]), str(captured_dir[-1])]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1 SObject:" in out
+
+    def test_why(self, captured_dir, capsys):
+        snapshot = json.loads(
+            (pathlib.Path(str(captured_dir[-1]) + ".idx.json")).read_text()
+        )
+        addr = next(iter(snapshot["offsets"]))
+        assert main(["snapshot", "why", str(captured_dir[-1]), addr]) == 0
+        out = capsys.readouterr().out
+        assert "Retained size:" in out
+        assert "Dominator chain" in out
+
+    def test_why_unreachable_is_usage_error(self, captured_dir, capsys):
+        assert main(["snapshot", "why", str(captured_dir[-1]), "0xdead0"]) == 2
+        assert "not reachable" in capsys.readouterr().out
+
+    def test_bad_snapshot_file_is_usage_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"kind": "header", "schema": "other/1"}\n')
+        assert main(["snapshot", "analyze", str(bogus)]) == 2
+        assert "cannot load snapshot" in capsys.readouterr().out
+        assert main(["snapshot", "analyze", str(tmp_path / "missing.jsonl")]) == 2
+
+
+class TestRunpyInvocation:
+    """Satellite: every subcommand is reachable via ``python -m repro``."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["info"],
+            ["demo"],
+            ["figures", "--help"],
+            ["bench", "--help"],
+            ["verify", "--help"],
+            ["stats", "--help"],
+            ["minij", "--help"],
+            ["snapshot", "--help"],
+            ["snapshot", "capture", "--help"],
+            ["snapshot", "analyze", "--help"],
+            ["snapshot", "diff", "--help"],
+            ["snapshot", "why", "--help"],
+        ],
+    )
+    def test_subcommand_exits_zero(self, argv, capsys):
+        assert run_as_module(argv) == 0
+        capsys.readouterr()
+
+    def test_help_epilogs_document_exit_codes(self, capsys):
+        for argv in (["stats", "--help"], ["snapshot", "diff", "--help"]):
+            run_as_module(argv)
+            assert "exit codes: 0 = success" in capsys.readouterr().out
+
+    def test_usage_error_exits_two(self, capsys):
+        assert run_as_module(["snapshot", "capture", "--every-n-gcs"]) == 2
+        capsys.readouterr()
+
+    def test_capture_via_runpy(self, tmp_path, capsys):
+        code = run_as_module(
+            [
+                "snapshot", "capture",
+                "--workload", "swapleak",
+                "--out-dir", str(tmp_path / "rp"),
+                "--every-n-gcs", "1",
+                "--gc-every-swaps", "16",
+                "--swaps", "32",
+            ]
+        )
+        assert code == 0
+        assert "snapshot(s) written" in capsys.readouterr().out
