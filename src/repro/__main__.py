@@ -18,6 +18,13 @@ Commands:
 * ``snapshot``  — heap snapshots and leak triage: ``capture`` a workload's
   heap, ``analyze`` retained sizes, ``diff`` two snapshots for leak
   candidates, ask ``why`` an object is alive.
+* ``trace``     — in-pause span tracing: ``run`` a workload and export a
+  Chrome trace_event JSON loadable in Perfetto (``--flame`` adds a
+  collapsed-stack flamegraph of mark work by type and alloc site);
+  ``report`` prints the per-phase span table and the mark-drain
+  piggyback-cost attribution.
+* ``top``       — live terminal view of a running workload: pause
+  percentiles, sweep debt, census slopes, hottest GC phases.
 * ``minij FILE``— run a MiniJ program (with gcAssert* builtins available).
 
 Exit codes (every command): 0 = success, 1 = assertion violations were
@@ -181,6 +188,128 @@ def cmd_verify(_args) -> int:
             print(f"    {problem}")
         failures += bool(problems)
     return 1 if failures else 0
+
+
+# -- trace / top commands ---------------------------------------------------------------
+
+
+def _resolve_workload_runner(args):
+    """Shared --workload resolution: returns ``(runner, label, rc)``.
+
+    ``runner`` is ``None`` (with ``rc == 2``) for an unknown name; the
+    pseudo-workload ``swapleak`` gets the same knobs ``snapshot capture``
+    exposes so the leak scenario can be traced and watched live too.
+    """
+    if args.workload == "swapleak":
+        from repro.workloads.swapleak import SwapLeakConfig, run_swapleak
+
+        config = SwapLeakConfig(
+            array_size=args.array_size,
+            swaps=args.swaps,
+            static_rep=args.static_rep,
+            assert_dead_swapped=args.assertions,
+            gc_every_swaps=args.gc_every_swaps,
+        )
+        if args.heap is None:
+            args.heap = 4 << 20
+        return (lambda vm: run_swapleak(vm, config)), "swapleak", 0
+
+    from repro.workloads.suite import build_suite
+
+    suite = build_suite()
+    try:
+        entry = suite[args.workload]
+    except KeyError:
+        choices = sorted(suite) + ["swapleak"]
+        print(f"unknown workload {args.workload!r}; pick from {choices}")
+        return None, args.workload, 2
+    if args.heap is None:
+        # The suite's tuned heap size makes the workload actually collect,
+        # so the trace has in-run pauses rather than one forced final GC.
+        args.heap = entry.heap_bytes
+    runner = entry.run
+    if args.assertions and entry.run_with_assertions is not None:
+        runner = entry.run_with_assertions
+    return runner, entry.name, 0
+
+
+def cmd_trace_run(args) -> int:
+    from repro.runtime.vm import VirtualMachine
+    from repro.tracing import SpanTracer, write_chrome_trace, write_flamegraph
+
+    runner, label, rc = _resolve_workload_runner(args)
+    if runner is None:
+        return rc
+    # Mark attribution walks the heap after every mark phase; only pay for
+    # it when a flamegraph was requested.
+    tracer = SpanTracer(attribute_marks=bool(args.flame))
+    vm = VirtualMachine(
+        heap_bytes=args.heap, collector=args.collector, tracing=tracer
+    )
+    runner(vm)
+    if vm.stats.collections == 0:
+        vm.gc("trace: final collection")
+    summary = write_chrome_trace(
+        vm.span_tracer,
+        args.out,
+        meta={"workload": label, "collector": vm.collector.describe()},
+    )
+    print(f"workload {label!r} on {vm.collector.describe()}")
+    print(
+        f"{summary['spans']} spans / {summary['events']} trace events "
+        f"-> {summary['path']} ({summary['file_bytes']} bytes)"
+    )
+    print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    if args.flame:
+        flame = write_flamegraph(vm.span_tracer, args.flame, weight=args.flame_weight)
+        print(
+            f"{flame['stacks']} collapsed stacks ({flame['weight']}) "
+            f"-> {flame['path']}"
+        )
+    return _violations_exit(vm)
+
+
+def cmd_trace_report(args) -> int:
+    from repro.runtime.vm import VirtualMachine
+    from repro.tracing import (
+        aggregate_spans,
+        piggyback_report,
+        render_piggyback,
+        render_span_table,
+    )
+
+    runner, label, rc = _resolve_workload_runner(args)
+    if runner is None:
+        return rc
+    vm = VirtualMachine(
+        heap_bytes=args.heap, collector=args.collector, tracing=True
+    )
+    runner(vm)
+    if vm.stats.collections == 0:
+        vm.gc("trace: final collection")
+    print(
+        f"workload {label!r} on {vm.collector.describe()} — "
+        f"{vm.stats.collections} collections"
+    )
+    print()
+    print(render_span_table(aggregate_spans(vm.span_tracer.events), indent="  "))
+    print()
+    print(render_piggyback(piggyback_report(vm), indent="  "))
+    return _violations_exit(vm)
+
+
+def cmd_top(args) -> int:
+    from repro.runtime.vm import VirtualMachine
+    from repro.tracing import run_top
+
+    runner, label, rc = _resolve_workload_runner(args)
+    if runner is None:
+        return rc
+    vm = VirtualMachine(
+        heap_bytes=args.heap, collector=args.collector, tracing=True
+    )
+    rc = run_top(vm, runner, interval=args.interval, frames=args.frames)
+    return rc or _violations_exit(vm)
 
 
 def cmd_minij(args) -> int:
@@ -522,6 +651,119 @@ def main(argv=None) -> int:
         help="render the chain as types without addresses (Figure-1 style)",
     )
 
+    def add_workload_arguments(target):
+        """The shared workload-selection knobs for trace/top commands."""
+        target.add_argument(
+            "--workload",
+            default="pseudojbb",
+            help="suite workload name or 'swapleak' (default: %(default)s)",
+        )
+        target.add_argument(
+            "--collector",
+            default="marksweep",
+            choices=["marksweep", "semispace", "generational"],
+        )
+        target.add_argument(
+            "--heap",
+            type=int,
+            default=None,
+            help="heap bytes (default: the workload's tuned suite size)",
+        )
+        target.add_argument(
+            "--assertions",
+            action="store_true",
+            help="use the workload's asserted variant when it has one",
+        )
+        target.add_argument(
+            "--swaps", type=int, default=64, help="swapleak: swap count"
+        )
+        target.add_argument(
+            "--array-size", type=int, default=32, help="swapleak: SObject array size"
+        )
+        target.add_argument(
+            "--gc-every-swaps",
+            type=int,
+            default=16,
+            metavar="N",
+            help="swapleak: collect every N swaps (default: %(default)s)",
+        )
+        target.add_argument(
+            "--static-rep",
+            action="store_true",
+            help="swapleak: run the repaired (non-leaking) variant",
+        )
+
+    trace = sub.add_parser(
+        "trace",
+        help="in-pause span tracing: Perfetto export and mark-work attribution",
+        epilog=(
+            "example: python -m repro trace run --workload lusearch --out trace.json\n"
+            + _EXIT_CODES
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_command(name: str, help_text: str, example: str):
+        return trace_sub.add_parser(
+            name,
+            help=help_text,
+            epilog=f"example: python -m repro trace {example}\n{_EXIT_CODES}",
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+
+    trace_run = add_trace_command(
+        "run",
+        "run a workload under span tracing; export Chrome/Perfetto JSON",
+        "run --workload lusearch --out trace.json --flame mark.folded",
+    )
+    add_workload_arguments(trace_run)
+    trace_run.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace_event JSON output path (default: %(default)s)",
+    )
+    trace_run.add_argument(
+        "--flame",
+        metavar="PATH",
+        help="also write a collapsed-stack flamegraph of mark work "
+        "by (type, alloc site)",
+    )
+    trace_run.add_argument(
+        "--flame-weight",
+        choices=["bytes", "objects"],
+        default="bytes",
+        help="flamegraph weight (default: %(default)s)",
+    )
+
+    trace_report = add_trace_command(
+        "report",
+        "per-phase span table + mark-drain piggyback-cost attribution",
+        "report --workload pseudojbb --assertions",
+    )
+    add_workload_arguments(trace_report)
+
+    top = add_command(
+        "top",
+        "live terminal view: pauses, sweep debt, census slopes, hottest phases",
+        "top --workload pseudojbb --interval 0.5",
+    )
+    add_workload_arguments(top)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between repaints (default: %(default)s)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N frames (for scripting/CI; default: run to completion)",
+    )
+
     minij = add_command("minij", "run a MiniJ program", "minij examples/programs/linked_list.minij")
     minij.add_argument("file")
     minij.add_argument("--entry", default="main")
@@ -535,8 +777,15 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "verify": cmd_verify,
         "stats": cmd_stats,
+        "top": cmd_top,
         "minij": cmd_minij,
     }
+    if args.command == "trace":
+        trace_handlers = {
+            "run": cmd_trace_run,
+            "report": cmd_trace_report,
+        }
+        return trace_handlers[args.trace_command](args)
     if args.command == "snapshot":
         snapshot_handlers = {
             "capture": cmd_snapshot_capture,

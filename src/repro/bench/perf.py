@@ -19,6 +19,10 @@ machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
   capture on every collection vs off; reported as the GC-time ratio (the
   subsystem's ≤15% acceptance bar) with, again, identical work counters
   required.
+* **abl-tracing** — the same shape for span tracing: one workload run with
+  the in-pause span recorder on vs off; reported as the GC-time ratio with
+  identical work counters required (spans observe phases, they must never
+  change what the collector does).
 
 Wall-clock numbers from a Python simulator are noisy; the counters are the
 ground truth (``counters_match`` gates CI), the rates are the trend.
@@ -297,6 +301,69 @@ def bench_snapshot(workload: str = "pseudojbb", trials: int = 3) -> dict:
     }
 
 
+# -- span-tracing ablation --------------------------------------------------------------
+
+
+def bench_tracing(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """GC time with in-pause span tracing on vs off.
+
+    The tracing subsystem's acceptance bar: recording every phase span and
+    counter must stay within a few percent of GC time, and the
+    deterministic work counters must be identical — spans observe the
+    phases, they must never change collector behaviour.  (With tracing
+    *off* the hooks cost one attribute load per phase; that leg is the
+    baseline here, so the ratio prices exactly the recorder.)
+    Best-of-``trials`` per leg to shave scheduler noise.
+    """
+    from repro.tracing.spans import SpanTracer
+
+    suite = build_suite()
+    entry = suite[workload]
+    results: dict[str, dict] = {}
+    for variant in ("off", "trace"):
+        best_gc = float("inf")
+        stats = None
+        spans = 0
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=entry.heap_bytes,
+                assertions=False,
+                telemetry=False,
+                tracing=(variant == "trace"),
+            )
+            entry.run(vm)
+            vm.collector.sweep_all()
+            if vm.stats.gc_seconds < best_gc:
+                best_gc = vm.stats.gc_seconds
+                stats = vm.stats
+            if variant == "trace":
+                spans = vm.span_tracer.spans_ended
+        results[variant] = {
+            "best_gc_seconds": best_gc,
+            "collections": stats.collections,
+            "spans_recorded": spans,
+            "counters": {
+                "objects_traced": stats.objects_traced,
+                "edges_traced": stats.edges_traced,
+                "objects_freed": stats.objects_freed,
+                "bytes_freed": stats.bytes_freed,
+            },
+        }
+    off, trace = results["off"], results["trace"]
+    return {
+        "workload": workload,
+        "trials": trials,
+        "off": off,
+        "trace": trace,
+        "gc_time_ratio": (
+            trace["best_gc_seconds"] / off["best_gc_seconds"]
+            if off["best_gc_seconds"]
+            else 0.0
+        ),
+        "counters_match": off["counters"] == trace["counters"],
+    }
+
+
 # -- eager vs lazy pause comparison -----------------------------------------------------
 
 
@@ -371,14 +438,17 @@ def perf_payload(quick: bool = False) -> dict:
         alloc = bench_alloc(n_allocs=10_000, trials=2)
         pauses = bench_pauses(("pseudojbb",))
         snapshot = bench_snapshot(trials=2)
+        tracing = bench_tracing(trials=2)
     else:
         trace = bench_trace()
         alloc = bench_alloc()
         pauses = bench_pauses()
         snapshot = bench_snapshot()
+        tracing = bench_tracing()
     counters_match = (
         trace["counters_match"]
         and snapshot["counters_match"]
+        and tracing["counters_match"]
         and all(row["counters_match"] for row in pauses.values())
     )
     return {
@@ -390,6 +460,7 @@ def perf_payload(quick: bool = False) -> dict:
         "alloc": alloc,
         "pauses": pauses,
         "abl-snapshot": snapshot,
+        "abl-tracing": tracing,
         "counters_match": counters_match,
     }
 
@@ -439,6 +510,17 @@ def render_perf(payload: dict) -> str:
             f"({snap['gc_time_ratio']:.2f}x), "
             f"{snap['capture']['snapshots_written']} snapshots, "
             f"counters {'match' if snap['counters_match'] else 'DRIFT'}"
+        )
+    spans = payload.get("abl-tracing")
+    if spans is not None:
+        lines.append("span-tracing ablation (off -> every-phase spans):")
+        lines.append(
+            f"  {spans['workload']:10} gc time "
+            f"{spans['off']['best_gc_seconds'] * 1e3:.1f}ms -> "
+            f"{spans['trace']['best_gc_seconds'] * 1e3:.1f}ms "
+            f"({spans['gc_time_ratio']:.2f}x), "
+            f"{spans['trace']['spans_recorded']} spans, "
+            f"counters {'match' if spans['counters_match'] else 'DRIFT'}"
         )
     lines.append(
         "work counters identical across modes: "

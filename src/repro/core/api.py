@@ -60,6 +60,15 @@ class GcAssertions:
     def _gc_number(self) -> int:
         return self._vm.collector.stats.collections
 
+    def _lifecycle(self, stage: str, kind: AssertionKind, **args) -> None:
+        """Emit an assertion-lifecycle instant (``assertion_register`` /
+        ``assertion_armed``) when the VM records spans; free otherwise.
+        The checked/violated ends of the lifecycle are emitted by the
+        engine at collection time."""
+        spans = self._vm.span_tracer
+        if spans is not None:
+            spans.instant(f"assertion_{stage}", cat="assertion", kind=kind.value, **args)
+
     # -- lifetime assertions (§2.3) -----------------------------------------------
 
     def assert_dead(self, target: Target, site: str = "<unknown site>") -> None:
@@ -72,6 +81,10 @@ class GcAssertions:
         obj.set(hdr.DEAD_BIT)
         self._engine.registry.register_dead(obj.address, site, self._gc_number)
         self._engine.registry.calls[AssertionKind.DEAD] += 1
+        # assert-dead registers and arms in one call: the header bit is set,
+        # so the very next collection will check it.
+        self._lifecycle("register", AssertionKind.DEAD, site=site)
+        self._lifecycle("armed", AssertionKind.DEAD, site=site)
 
     def start_region(
         self,
@@ -85,6 +98,8 @@ class GcAssertions:
         """
         thread = thread or self._vm.current_thread
         thread.begin_region(label)
+        # A region registers intent now but arms only at assert_alldead.
+        self._lifecycle("register", AssertionKind.ALLDEAD, label=label)
 
     def assert_alldead(
         self,
@@ -111,6 +126,7 @@ class GcAssertions:
             registry.register_dead(address, site, self._gc_number, AssertionKind.ALLDEAD)
             registry.calls[AssertionKind.DEAD] += 1
             asserted += 1
+        self._lifecycle("armed", AssertionKind.ALLDEAD, site=site, objects=asserted)
         return asserted
 
     # -- volume assertions (§2.4) ----------------------------------------------------
@@ -125,6 +141,8 @@ class GcAssertions:
             cls = self._vm.classes.get(cls)
         self._vm.classes.track_instances(cls, limit)
         self._engine.registry.calls[AssertionKind.INSTANCES] += 1
+        self._lifecycle("register", AssertionKind.INSTANCES, type=cls.name, limit=limit)
+        self._lifecycle("armed", AssertionKind.INSTANCES, type=cls.name, limit=limit)
 
     # -- ownership assertions (§2.5) ----------------------------------------------------
 
@@ -134,6 +152,8 @@ class GcAssertions:
         obj.set(hdr.UNSHARED_BIT)
         self._engine.registry.register_unshared(obj.address, site)
         self._engine.registry.calls[AssertionKind.UNSHARED] += 1
+        self._lifecycle("register", AssertionKind.UNSHARED, site=site)
+        self._lifecycle("armed", AssertionKind.UNSHARED, site=site)
 
     def assert_ownedby(
         self,
@@ -156,6 +176,8 @@ class GcAssertions:
         owner_obj.set(hdr.OWNER_BIT)
         ownee_obj.set(hdr.OWNEE_BIT)
         self._engine.registry.calls[AssertionKind.OWNED_BY] += 1
+        self._lifecycle("register", AssertionKind.OWNED_BY, site=site)
+        self._lifecycle("armed", AssertionKind.OWNED_BY, site=site)
 
     def retract_ownedby(self, ownee: Target) -> bool:
         """Withdraw an ownership assertion (extension; not in the paper).

@@ -164,7 +164,21 @@ class AssertionEngine:
 
     def finalize(self, collector: "Collector") -> None:
         """Per-GC accounting and violation dispatch (may raise on HALT)."""
-        collector.stats.ownees_checked += self.registry.live_ownee_count()
+        ownees = self.registry.live_ownee_count()
+        collector.stats.ownees_checked += ownees
+        spans = collector.span_tracer
+        if spans is not None:
+            # One per-GC "everything registered was checked" marker: the
+            # paper's guarantee is that a full collection checks all armed
+            # assertions, and this is that guarantee's trace footprint.
+            spans.instant(
+                "assertion_checked",
+                cat="assertion",
+                gc=self._gc_number,
+                pending_dead=len(self.registry.dead_sites),
+                ownees=ownees,
+                violations=len(self._pending),
+            )
         self._dispatch()
 
     def apply_forwarding(self, fwd: dict[int, int]) -> None:
@@ -310,11 +324,20 @@ class AssertionEngine:
         telemetry = self.vm.telemetry if self.vm is not None else None
         if telemetry is not None and not telemetry.enabled:
             telemetry = None
+        spans = self.vm.collector.span_tracer if self.vm is not None else None
         halt: Optional[Violation] = None
         for violation in pending:
             self.log.record(violation)
             if telemetry is not None:
                 telemetry.record_violation(violation)
+            if spans is not None:
+                spans.instant(
+                    "assertion_violated",
+                    cat="assertion",
+                    kind=violation.kind.value,
+                    site=violation.site,
+                    reaction=violation.reaction,
+                )
             if violation.reaction == Reaction.HALT.value and halt is None:
                 halt = violation
         if halt is not None:

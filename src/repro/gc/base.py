@@ -27,6 +27,25 @@ if TYPE_CHECKING:
     from repro.telemetry import Telemetry, _PendingCollection
 
 
+class _NoopSpan:
+    """The do-nothing span context handed out when tracing is off.
+
+    A single module-level instance (it is stateless), so the disabled path
+    never allocates — the property the zero-overhead test pins.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
 class AssertionEngineProtocol(Protocol):
     """Hook points a collector offers to the assertion machinery."""
 
@@ -93,6 +112,11 @@ class Collector:
         #: Sink filled by the current collection's tracer, awaiting the
         #: post-pause :meth:`_snapshot_flush`.
         self._snapshot_pending = None
+        #: Span recorder (:class:`repro.tracing.spans.SpanTracer`), attached
+        #: by a VM built with ``tracing=True``.  None means every emit site
+        #: is one attribute load + ``is None`` test and no span object of
+        #: any kind is allocated — the same zero-overhead bar as telemetry.
+        self.span_tracer = None
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -136,6 +160,15 @@ class Collector:
         if telemetry is not None and telemetry.enabled:
             telemetry.record_allocation(nbytes)
 
+    # -- span emit path ----------------------------------------------------------------
+
+    def _span(self, name: str, **args):
+        """A span context for phase ``name`` — the shared no-op when off."""
+        tracer = self.span_tracer
+        if tracer is None:
+            return _NOOP_SPAN
+        return tracer.span(name, **args)
+
     # -- shared helpers ---------------------------------------------------------------
 
     def _make_tracer(self, reason: str = "collect") -> Tracer:
@@ -144,6 +177,10 @@ class Collector:
             return Tracer(self.heap, self.stats, self.engine, self.track_paths)
         sink = policy.begin_capture(self, reason)
         self._snapshot_pending = sink
+        if sink is not None and self.span_tracer is not None:
+            self.span_tracer.instant(
+                "snapshot_capture", cat="snapshot", trigger=sink.trigger
+            )
         return Tracer(
             self.heap, self.stats, self.engine, self.track_paths, snapshot=sink
         )
@@ -157,16 +194,33 @@ class Collector:
         sink = self._snapshot_pending
         if sink is not None:
             self._snapshot_pending = None
-            self.snapshot_policy.finish_capture(self, sink)
+            with self._span("snapshot_serialize", cat="snapshot"):
+                self.snapshot_policy.finish_capture(self, sink)
 
     def _run_mark_phase(self, tracer: Tracer) -> None:
         engine = self.engine
+        spans = self.span_tracer
         if engine is not None:
             engine.gc_begin(self)
-            with PhaseTimer(self.stats, "ownership_phase_seconds"):
+            with PhaseTimer(
+                self.stats, "ownership_phase_seconds", spans, "ownership_phase"
+            ):
                 engine.pre_mark(self, tracer)
-        with PhaseTimer(self.stats, "mark_seconds"):
-            tracer.trace(self._roots())
+        if spans is None:
+            with PhaseTimer(self.stats, "mark_seconds"):
+                tracer.trace(self._roots())
+        else:
+            # The root scan and the drain get child spans of their own; the
+            # loops themselves are untouched (spans are phase-granular).
+            with PhaseTimer(self.stats, "mark_seconds", spans, "mark"):
+                with spans.span("root_scan"):
+                    tracer.scan_roots(self._roots())
+                with spans.span("mark_drain"):
+                    tracer.drain()
+            if spans.attribute_marks:
+                # Between mark end and sweep begin the mark bits identify
+                # exactly this cycle's traced set — the attribution window.
+                spans.record_mark_attribution(self.heap)
         if engine is not None:
             engine.post_mark(self, tracer)
 

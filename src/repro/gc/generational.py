@@ -126,23 +126,27 @@ class GenerationalCollector(Collector):
             if self.mature.bytes_free < headroom:
                 self.collect(reason=f"{reason}; mature too full for promotion")
                 return
-        pending = self._telemetry_begin("minor", reason)
-        with PhaseTimer(self.stats, "gc_seconds"):
-            self.stats.collections += 1
-            self.stats.minor_collections += 1
-            self.gc_log.append(f"minorGC {self.stats.collections}: {reason}")
-            freed, fwd = self._minor_trace_and_promote()
-        if fwd:
+        # The span opens only now: the fallback above delegated to collect(),
+        # which records its own ``collect`` span (a minor span wrapping a
+        # full one would misattribute the whole pause to the minor kind).
+        with self._span("collect", kind="minor", reason=reason):
+            pending = self._telemetry_begin("minor", reason)
+            with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
+                self.stats.collections += 1
+                self.stats.minor_collections += 1
+                self.gc_log.append(f"minorGC {self.stats.collections}: {reason}")
+                freed, fwd = self._minor_trace_and_promote()
+            if fwd:
+                if self.engine is not None:
+                    self.engine.apply_forwarding(fwd)
+                if self.vm is not None:
+                    self.vm.apply_forwarding(fwd)
+            self.process_weak_references(fwd)
             if self.engine is not None:
-                self.engine.apply_forwarding(fwd)
+                self.engine.purge(freed)
             if self.vm is not None:
-                self.vm.apply_forwarding(fwd)
-        self.process_weak_references(fwd)
-        if self.engine is not None:
-            self.engine.purge(freed)
-        if self.vm is not None:
-            self.vm.on_gc_complete(freed)
-        self._telemetry_end(pending)
+                self.vm.on_gc_complete(freed)
+            self._telemetry_end(pending)
 
     def _minor_trace_and_promote(self) -> tuple[set[int], dict[int, int]]:
         heap = self.heap
@@ -159,7 +163,7 @@ class GenerationalCollector(Collector):
                 visited.add(address)
                 stack.append(address)
 
-        with PhaseTimer(stats, "mark_seconds"):
+        with PhaseTimer(stats, "mark_seconds", self.span_tracer, "mark"):
             for _desc, address in self._roots():
                 reach(address)
             for src_address in self.remembered:
@@ -179,7 +183,7 @@ class GenerationalCollector(Collector):
         fwd: dict[int, int] = {}
         survivors: list[HeapObject] = []
         freed: set[int] = set()
-        with PhaseTimer(stats, "sweep_seconds"):
+        with PhaseTimer(stats, "sweep_seconds", self.span_tracer, "sweep"):
             for address in nursery.addresses():
                 obj = heap.maybe(address)
                 if obj is None:
@@ -235,47 +239,51 @@ class GenerationalCollector(Collector):
         sweeping and promotion, lazily per chunk inside
         :meth:`_mature_allocate`.
         """
-        # Repay the previous cycle's debt before a new trace: the ownership
-        # phase must not walk registry entries for dead owners, and header
-        # bits of pending garbage belong to the old cycle.
-        self.sweep_all()
-        pending = self._telemetry_begin("full", reason)
-        with PhaseTimer(self.stats, "gc_seconds"):
-            self.stats.collections += 1
-            self.stats.full_collections += 1
-            self.gc_log.append(f"fullGC {self.stats.collections}: {reason}")
+        with self._span("collect", kind="full", reason=reason):
+            # Repay the previous cycle's debt before a new trace: the
+            # ownership phase must not walk registry entries for dead
+            # owners, and header bits of pending garbage belong to the old
+            # cycle.
+            with self._span("prologue"):
+                self.sweep_all()
+            pending = self._telemetry_begin("full", reason)
+            with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
+                self.stats.collections += 1
+                self.stats.full_collections += 1
+                self.gc_log.append(f"fullGC {self.stats.collections}: {reason}")
 
-            tracer = self._make_tracer(reason)
-            self._run_mark_phase(tracer)
-            self._mature_sweeper.schedule()
-            nursery_freed = self._sweep_nursery_dead()
+                tracer = self._make_tracer(reason)
+                self._run_mark_phase(tracer)
+                self._mature_sweeper.schedule()
+                nursery_freed = self._sweep_nursery_dead()
+                if self.sweep_mode == "eager":
+                    freed = nursery_freed | self._mature_sweeper.drain_eager()
+                    # Purge before promotion can recycle any freed mature cell.
+                    self._purge_before_reuse(freed)
+                else:
+                    # Mature chunks stay pending; only the chunk sweeper
+                    # (which purges per chunk) can recycle their cells
+                    # during promotion.
+                    self._purge_before_reuse(nursery_freed)
+                fwd = self._promote_survivors()
+            if fwd:
+                if self.engine is not None:
+                    self.engine.apply_forwarding(fwd)
+                if self.vm is not None:
+                    self.vm.apply_forwarding(fwd)
             if self.sweep_mode == "eager":
-                freed = nursery_freed | self._mature_sweeper.drain_eager()
-                # Purge before promotion can recycle any freed mature cell.
-                self._purge_before_reuse(freed)
+                self.process_weak_references(fwd)
+                if self.engine is not None:
+                    self.engine.finalize(self)
+                if self.vm is not None:
+                    # Metadata was purged pre-promotion; observers fire here.
+                    self.vm.on_gc_complete(set())
             else:
-                # Mature chunks stay pending; only the chunk sweeper (which
-                # purges per chunk) can recycle their cells during promotion.
-                self._purge_before_reuse(nursery_freed)
-            fwd = self._promote_survivors()
-        if fwd:
-            if self.engine is not None:
-                self.engine.apply_forwarding(fwd)
-            if self.vm is not None:
-                self.vm.apply_forwarding(fwd)
-        if self.sweep_mode == "eager":
-            self.process_weak_references(fwd)
-            if self.engine is not None:
-                self.engine.finalize(self)
-            if self.vm is not None:
-                # Metadata was purged pre-promotion; observers fire here.
-                self.vm.on_gc_complete(set())
-        else:
-            self._finish_mark_only(self._mature_sweeper.cutoff, fwd)
-        # Only full collections capture (minor collections use their own
-        # nursery traversal, not the tracer); write cost stays off-pause.
-        self._snapshot_flush()
-        self._telemetry_end(pending)
+                self._finish_mark_only(self._mature_sweeper.cutoff, fwd)
+            # Only full collections capture (minor collections use their own
+            # nursery traversal, not the tracer); write cost stays off-pause.
+            self._snapshot_flush()
+            self._telemetry_end(pending)
 
     def _sweep_nursery_dead(self) -> set[int]:
         """Evict dead nursery objects (the nursery never sweeps lazily —
@@ -284,7 +292,7 @@ class GenerationalCollector(Collector):
         stats = self.stats
         nursery = self.nursery
         freed: set[int] = set()
-        with PhaseTimer(stats, "sweep_seconds"):
+        with PhaseTimer(stats, "sweep_seconds", self.span_tracer, "sweep"):
             for address in nursery.addresses():
                 obj = heap.maybe(address)
                 if obj is None:
@@ -313,7 +321,7 @@ class GenerationalCollector(Collector):
         stats = self.stats
         nursery = self.nursery
         fwd: dict[int, int] = {}
-        with PhaseTimer(stats, "sweep_seconds"):
+        with PhaseTimer(stats, "sweep_seconds", self.span_tracer, "sweep"):
             for address in nursery.addresses():
                 obj = heap.maybe(address)
                 if obj is None:

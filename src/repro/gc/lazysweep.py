@@ -118,10 +118,11 @@ class ChunkSweeper:
         eager collect sequence purges once, via
         ``_finish_collection(freed)``, before the mutator can allocate.
         """
-        stats = self.collector.stats
+        collector = self.collector
+        stats = collector.stats
         freed_all: set[int] = set()
         pending = self.pending
-        with PhaseTimer(stats, "sweep_seconds"):
+        with PhaseTimer(stats, "sweep_seconds", collector.span_tracer, "sweep"):
             while pending:
                 chunk_id = pending.popleft()
                 freed, by_class = self._sweep_chunk(chunk_id)
@@ -138,12 +139,23 @@ class ChunkSweeper:
         *before* its cells are spliced back — the purge-precedes-reuse
         invariant, per chunk.  Returns the number of cells released.
         """
+        pending = self.pending
+        if not pending:
+            # Nothing outstanding (every eager-mode call lands here): no
+            # timers opened, no spans recorded, no telemetry sample.
+            return 0
         collector = self.collector
         stats = collector.stats
-        pending = self.pending
+        spans = collector.span_tracer
         budget = len(pending) if max_chunks is None else max_chunks
+        chunks_before = len(pending)
         released = 0
-        with PhaseTimer(stats, "sweep_seconds"), PhaseTimer(stats, "lazy_sweep_seconds"):
+        # The nested timers share their perf_counter readings with the
+        # nested spans, so sweep/lazy_sweep_slice span durations sum to
+        # sweep_seconds/lazy_sweep_seconds exactly (the unification rule);
+        # the slice timer's .elapsed feeds the debt-repayment histogram.
+        slice_timer = PhaseTimer(stats, "lazy_sweep_seconds", spans, "lazy_sweep_slice")
+        with PhaseTimer(stats, "sweep_seconds", spans, "sweep"), slice_timer:
             while pending and budget > 0:
                 budget -= 1
                 chunk_id = pending.popleft()
@@ -152,6 +164,13 @@ class ChunkSweeper:
                     collector._purge_before_reuse(freed)
                     stats.bytes_freed += self.space.free_chunk_cells(chunk_id, by_class)
                     released += len(freed)
+        if spans is not None:
+            spans.counter("sweep_debt", chunks=len(pending))
+        telemetry = collector.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_lazy_slice(
+                slice_timer.elapsed, chunks_before - len(pending), released
+            )
         return released
 
     def sweep_all(self) -> None:

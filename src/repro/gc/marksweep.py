@@ -159,33 +159,36 @@ class MarkSweepCollector(Collector):
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
-        # Repay outstanding sweep debt before a new trace: the assertion
-        # registry must not hold dead entries when the ownership phase runs
-        # (a dead owner would resurrect its region), and dead-but-unswept
-        # objects must not survive into a second cycle's accounting.  Both
-        # happen outside the measured pause.
-        self.sweep_all()
-        self._flush_alloc_cache()
-        pending = self._telemetry_begin("full", reason)
-        with PhaseTimer(self.stats, "gc_seconds"):
-            self.stats.collections += 1
-            self.stats.full_collections += 1
-            self.gc_log.append(f"GC {self.stats.collections}: {reason}")
+        spans = self.span_tracer
+        with self._span("collect", kind="full", reason=reason):
+            # Repay outstanding sweep debt before a new trace: the assertion
+            # registry must not hold dead entries when the ownership phase
+            # runs (a dead owner would resurrect its region), and
+            # dead-but-unswept objects must not survive into a second
+            # cycle's accounting.  Both happen outside the measured pause.
+            with self._span("prologue"):
+                self.sweep_all()
+                self._flush_alloc_cache()
+            pending = self._telemetry_begin("full", reason)
+            with PhaseTimer(self.stats, "gc_seconds", spans, "pause"):
+                self.stats.collections += 1
+                self.stats.full_collections += 1
+                self.gc_log.append(f"GC {self.stats.collections}: {reason}")
 
-            tracer = self._make_tracer(reason)
-            self._run_mark_phase(tracer)
-            self._sweeper.schedule()
-            if self.sweep_mode == "eager":
-                freed = self._sweeper.drain_eager()
+                tracer = self._make_tracer(reason)
+                self._run_mark_phase(tracer)
+                self._sweeper.schedule()
+                if self.sweep_mode == "eager":
+                    freed = self._sweeper.drain_eager()
+                else:
+                    freed = None  # chunks stay pending; the pause ends here
+            if freed is not None:
+                self._finish_collection(freed)
             else:
-                freed = None  # chunks stay pending; the pause ends here
-        if freed is not None:
-            self._finish_collection(freed)
-        else:
-            self._finish_mark_only(self._sweeper.cutoff)
-        # Serialization is mutator-side cost: the pause timer is closed.
-        self._snapshot_flush()
-        self._telemetry_end(pending)
+                self._finish_mark_only(self._sweeper.cutoff)
+            # Serialization is mutator-side cost: the pause timer is closed.
+            self._snapshot_flush()
+            self._telemetry_end(pending)
 
     # -- lazy-sweep surface ------------------------------------------------------------
 

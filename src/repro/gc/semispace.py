@@ -64,20 +64,21 @@ class SemiSpaceCollector(Collector):
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
-        pending = self._telemetry_begin("full", reason)
-        with PhaseTimer(self.stats, "gc_seconds"):
-            self.stats.collections += 1
-            self.stats.full_collections += 1
-            self.gc_log.append(f"GC {self.stats.collections}: {reason}")
+        with self._span("collect", kind="full", reason=reason):
+            pending = self._telemetry_begin("full", reason)
+            with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
+                self.stats.collections += 1
+                self.stats.full_collections += 1
+                self.gc_log.append(f"GC {self.stats.collections}: {reason}")
 
-            tracer = self._make_tracer(reason)
-            self._run_mark_phase(tracer)
-            freed, fwd = self._evacuate()
-        self._finish_collection(freed, fwd)
-        # Snapshot rows were frozen at mark time (from-space addresses, one
-        # consistent graph); serializing them here costs no pause time.
-        self._snapshot_flush()
-        self._telemetry_end(pending)
+                tracer = self._make_tracer(reason)
+                self._run_mark_phase(tracer)
+                freed, fwd = self._evacuate()
+            self._finish_collection(freed, fwd)
+            # Snapshot rows were frozen at mark time (from-space addresses,
+            # one consistent graph); serializing them costs no pause time.
+            self._snapshot_flush()
+            self._telemetry_end(pending)
 
     def _evacuate(self) -> tuple[set[int], dict[int, int]]:
         """Copy marked objects to the to-space; reclaim everything else."""
@@ -88,7 +89,7 @@ class SemiSpaceCollector(Collector):
         fwd: dict[int, int] = {}
         survivors: list[HeapObject] = []
 
-        with PhaseTimer(stats, "sweep_seconds"):
+        with PhaseTimer(stats, "sweep_seconds", self.span_tracer, "sweep"):
             for address in from_space.addresses():
                 obj = heap.maybe(address)
                 if obj is None:

@@ -10,6 +10,7 @@ the overhead deterministically.  Benchmarks report both.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 
 class GcStats:
@@ -119,19 +120,37 @@ class GcStats:
 
 
 class PhaseTimer:
-    """Context manager accumulating elapsed seconds into a stats attribute."""
+    """Context manager accumulating elapsed seconds into a stats attribute.
 
-    __slots__ = ("stats", "attr", "_start")
+    When a span recorder is attached (``spans``/``name``), the *same two*
+    ``perf_counter`` readings that bound the accumulated interval are handed
+    to ``spans.begin``/``spans.end`` as the span's timestamps.  That is the
+    unification guarantee of the tracing subsystem: a phase's span durations
+    sum to its ``GcStats`` timer with exact float equality — the two views
+    are one measurement, so they can never disagree.  ``spans=None`` (every
+    call site when tracing is off) costs two ``is None`` tests.
+    """
 
-    def __init__(self, stats: GcStats, attr: str):
+    __slots__ = ("stats", "attr", "spans", "name", "elapsed", "_start")
+
+    def __init__(self, stats: GcStats, attr: str, spans=None, name: Optional[str] = None):
         self.stats = stats
         self.attr = attr
+        self.spans = spans
+        self.name = name
+        #: Last completed interval (lazy-sweep telemetry reads this).
+        self.elapsed = 0.0
         self._start = 0.0
 
     def __enter__(self) -> "PhaseTimer":
-        self._start = time.perf_counter()
+        self._start = start = time.perf_counter()
+        if self.spans is not None:
+            self.spans.begin(self.name, ts=start)
         return self
 
     def __exit__(self, *exc) -> None:
-        elapsed = time.perf_counter() - self._start
+        end = time.perf_counter()
+        self.elapsed = elapsed = end - self._start
         setattr(self.stats, self.attr, getattr(self.stats, self.attr) + elapsed)
+        if self.spans is not None:
+            self.spans.end(ts=end)

@@ -99,6 +99,14 @@ class Tracer:
     def trace(self, roots: Iterable[tuple[str, int]]) -> int:
         """Mark everything reachable from ``roots``; returns objects marked."""
         before = self.stats.objects_traced
+        self.scan_roots(roots)
+        self.drain()
+        return self.stats.objects_traced - before
+
+    def scan_roots(self, roots: Iterable[tuple[str, int]]) -> None:
+        """Seed the worklist from the root set (the first half of
+        :meth:`trace`, split out so the span tracer can time the root scan
+        and the drain as separate phases without touching either loop)."""
         sink = self.snapshot
         for description, address in roots:
             if address == NULL:
@@ -108,8 +116,6 @@ class Tracer:
             # Roots come from the mutator (statics, frames, handles), so they
             # go through the checked dereference path.
             self._reach(self.heap.get(address), parent=None, via_root=description)
-        self.drain()
-        return self.stats.objects_traced - before
 
     def drain(self) -> None:
         """Process the worklist to empty."""

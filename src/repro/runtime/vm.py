@@ -44,6 +44,7 @@ from repro.runtime.classes import ClassRegistry
 from repro.runtime.handles import Handle, HandleScope
 from repro.runtime.threads import MutatorThread, StaticRoots
 from repro.telemetry import Telemetry
+from repro.tracing.spans import SpanTracer
 
 #: Default heap budget: generous for unit tests, overridden by benchmarks
 #: (which size heaps at 2x the workload minimum, like the paper).
@@ -72,6 +73,7 @@ class VirtualMachine:
         nursery_fraction: Optional[float] = None,
         sweep_mode: Optional[str] = None,
         telemetry: Union[bool, Telemetry] = True,
+        tracing: Union[bool, "SpanTracer"] = False,
     ):
         self.classes = ClassRegistry()
         self.engine: Optional[AssertionEngine] = (
@@ -114,6 +116,15 @@ class VirtualMachine:
         else:
             self.telemetry = Telemetry() if telemetry else None
         self.collector.telemetry = self.telemetry
+
+        #: Span recorder (``None`` when built with ``tracing=False``, the
+        #: default — then no span object is ever allocated anywhere; see
+        #: :mod:`repro.tracing.spans` for the zero-overhead contract).
+        if isinstance(tracing, SpanTracer):
+            self.span_tracer: Optional[SpanTracer] = tracing
+        else:
+            self.span_tracer = SpanTracer() if tracing else None
+        self.collector.span_tracer = self.span_tracer
 
         self.statics = StaticRoots()
         self.threads: list[MutatorThread] = []

@@ -158,6 +158,20 @@ def capture_snapshot(
     the snapshot summary (object/root counts, bytes, per-type rollup).
     """
     started = time.perf_counter()
+    spans = vm.span_tracer
+    if spans is not None:
+        spans.begin("snapshot_capture", cat="snapshot", args={"trigger": trigger})
+    try:
+        summary = _capture_walk(vm, path, trigger)
+    finally:
+        if spans is not None:
+            spans.end()
+    _record_snapshot_event(vm, path, trigger, summary, started)
+    return summary
+
+
+def _capture_walk(vm: "VirtualMachine", path: str, trigger: str) -> dict:
+    """The walk itself (split out so the span wrapper stays trivial)."""
     collector = vm.collector
     heap = vm.heap
     writer = SnapshotWriter(
@@ -193,9 +207,7 @@ def capture_snapshot(
             if child not in visited:
                 visited.add(child)
                 stack.append(child)
-    summary = writer.finish()
-    _record_snapshot_event(vm, path, trigger, summary, started)
-    return summary
+    return writer.finish()
 
 
 def _record_snapshot_event(

@@ -107,6 +107,13 @@ class Telemetry:
         self.alloc_hist = LogHistogram(8, 1 << 20)
         #: Ownees checked per *full* collection (§3.1.2's per-GC counts).
         self.ownees_hist = LogHistogram(1, 1_000_000)
+        #: Lazy sweep-debt repayment latency: seconds per allocation-slow-
+        #: path sweep slice (the mutator-side stall lazy mode trades pause
+        #: time for).  Sub-100ns slices clamp into the first bucket.
+        self.lazy_slice_hist = LogHistogram(1e-7, 10.0)
+        #: Chunks and cells reclaimed on the mutator side, lifetime totals.
+        self.lazy_chunks_swept = 0
+        self.lazy_cells_released = 0
         self.census = ClassCensus()
         self.sinks: list[TelemetrySink] = list(sinks or [])
         self.collections_by_kind: dict[str, int] = {}
@@ -133,6 +140,12 @@ class Telemetry:
 
     def record_allocation(self, nbytes: int) -> None:
         self.alloc_hist.record(nbytes)
+
+    def record_lazy_slice(self, seconds: float, chunks: int, released: int) -> None:
+        """Record one allocation-slow-path sweep slice (lazy mode only)."""
+        self.lazy_slice_hist.record(seconds)
+        self.lazy_chunks_swept += chunks
+        self.lazy_cells_released += released
 
     def record_violation(self, violation: "Violation") -> None:
         kind = violation.kind.value
@@ -248,6 +261,11 @@ class Telemetry:
             "pause_seconds": self.pause_hist.summary(),
             "allocation_bytes": self.alloc_hist.summary(),
             "ownees_checked_per_gc": self.ownees_hist.summary(),
+            "lazy_sweep_slices": {
+                "latency_seconds": self.lazy_slice_hist.summary(),
+                "chunks_swept": self.lazy_chunks_swept,
+                "cells_released": self.lazy_cells_released,
+            },
             "census": self.census.as_dict(),
             "violations_by_kind": dict(self.violations_by_kind),
             "snapshots": [event.as_dict() for event in self.snapshots],
@@ -281,6 +299,16 @@ class Telemetry:
             lines.append(
                 f"ownees/GC:    p50={self.ownees_hist.percentile(50):.0f} "
                 f"max={self.ownees_hist.max_value:.0f}"
+            )
+        slices = self.lazy_slice_hist
+        if slices.count:
+            lines.append(
+                f"lazy sweep:   {slices.count} slices, "
+                f"p50={slices.percentile(50) * 1e6:.0f}us "
+                f"p99={slices.percentile(99) * 1e6:.0f}us "
+                f"max={slices.max_value * 1e3:.2f}ms "
+                f"({self.lazy_chunks_swept} chunks, "
+                f"{self.lazy_cells_released} cells released)"
             )
         if self.violations_by_kind:
             rendered = ", ".join(

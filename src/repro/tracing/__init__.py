@@ -1,0 +1,58 @@
+"""In-pause span tracing: phase spans, Perfetto export, mark attribution.
+
+The observability ladder so far: telemetry (PR 1) records one event per
+collection; snapshots (PR 3) record the heap at a collection.  This package
+records what happens *inside* a collection — a strictly nested span per GC
+phase (``collect`` → ``prologue`` / ``pause`` → ``ownership_phase`` /
+``mark`` → ``root_scan`` / ``mark_drain`` / ``sweep``, plus
+``lazy_sweep_slice`` between pauses), assertion-lifecycle instants, and
+counter tracks — exported as Chrome ``trace_event`` JSON that Perfetto and
+chrome://tracing load directly.
+
+Entry points:
+
+* :class:`~repro.tracing.spans.SpanTracer` — the recorder; a VM built with
+  ``tracing=True`` owns one and shares it with its collector.
+* :mod:`~repro.tracing.export` — Perfetto-loadable JSON + the validator the
+  schema test and CI use.
+* :mod:`~repro.tracing.report` — per-phase aggregation and the
+  piggyback-cost attribution report (``repro trace report``).
+* :mod:`~repro.tracing.flame` — collapsed-stack flamegraph of mark work by
+  (object type, allocation site).
+* :mod:`~repro.tracing.top` — the live ``repro top`` terminal view.
+"""
+
+from repro.tracing.export import (
+    TRACE_SCHEMA,
+    chrome_trace_events,
+    trace_payload,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.tracing.flame import collapsed_stacks, write_flamegraph
+from repro.tracing.report import (
+    aggregate_spans,
+    piggyback_report,
+    render_piggyback,
+    render_span_table,
+)
+from repro.tracing.spans import MARK_ATTRIBUTION_UNTAGGED, SpanTracer
+from repro.tracing.top import render_frame, run_top
+
+__all__ = [
+    "MARK_ATTRIBUTION_UNTAGGED",
+    "SpanTracer",
+    "TRACE_SCHEMA",
+    "aggregate_spans",
+    "chrome_trace_events",
+    "collapsed_stacks",
+    "piggyback_report",
+    "render_frame",
+    "render_piggyback",
+    "render_span_table",
+    "run_top",
+    "trace_payload",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_flamegraph",
+]

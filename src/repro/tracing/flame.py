@@ -1,0 +1,55 @@
+"""Collapsed-stack flamegraph export of mark-work attribution.
+
+The recorder's opt-in post-mark heap walk (``attribute_marks``) accumulates
+``(type, alloc site) -> [objects, bytes]`` over every attributed collection.
+This module renders that as Brendan Gregg's collapsed-stack format — one
+``frame;frame;frame value`` line per stack — which ``flamegraph.pl``,
+speedscope, and Perfetto's "import" all accept:
+
+    collect;mark_drain;LinkedNode;sim:swap-region 18432
+
+The synthetic two-frame prefix keeps every stack rooted under the span
+taxonomy (``collect`` → ``mark_drain``), so the flamegraph reads as a
+drill-down of the phase the work happened in.  ``value`` is bytes marked by
+default (what a leak hunt wants) or objects marked with ``weight="objects"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.tracing.spans import SpanTracer
+
+#: Synthetic root frames placing mark work inside the span taxonomy.
+STACK_PREFIX = ("collect", "mark_drain")
+
+
+def collapsed_stacks(tracer: "SpanTracer", weight: str = "bytes") -> list[str]:
+    """Render ``tracer.mark_attribution`` as collapsed-stack lines.
+
+    ``weight`` selects the sample value: ``"bytes"`` (default) or
+    ``"objects"``.  Lines are sorted by descending value, then stack, so
+    the output is deterministic and the heaviest stacks lead.
+    """
+    if weight not in ("bytes", "objects"):
+        raise ValueError(f"unknown weight {weight!r} (use 'bytes' or 'objects')")
+    index = 1 if weight == "bytes" else 0
+    prefix = ";".join(STACK_PREFIX)
+    rows = []
+    for (type_name, alloc_site), counts in tracer.mark_attribution.items():
+        value = counts[index]
+        if value:
+            rows.append((value, f"{prefix};{type_name};{alloc_site}"))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    return [f"{stack} {value}" for value, stack in rows]
+
+
+def write_flamegraph(tracer: "SpanTracer", path: str, weight: str = "bytes") -> dict:
+    """Write the collapsed-stack file; returns a small summary."""
+    lines = collapsed_stacks(tracer, weight)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return {"path": path, "stacks": len(lines), "weight": weight}
