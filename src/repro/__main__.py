@@ -25,6 +25,11 @@ Commands:
   piggyback-cost attribution.
 * ``top``       — live terminal view of a running workload: pause
   percentiles, sweep debt, census slopes, hottest GC phases.
+* ``chaos``     — fault-injection soak: run a seeded fault schedule
+  (header-bit flips, dangling refs, free-list corruption, allocation
+  failure, raising reactions/sinks/snapshots) across the
+  (collector × sweep-mode) × workload matrix on hardened VMs and assert
+  the crash-consistency contract (``--quick`` for the CI smoke pair).
 * ``minij FILE``— run a MiniJ program (with gcAssert* builtins available).
 
 Exit codes (every command): 0 = success, 1 = assertion violations were
@@ -310,6 +315,14 @@ def cmd_top(args) -> int:
     )
     rc = run_top(vm, runner, interval=args.interval, frames=args.frames)
     return rc or _violations_exit(vm)
+
+
+def cmd_chaos(args) -> int:
+    from repro.faults import run_chaos
+
+    report = run_chaos(quick=args.quick, seed=args.seed)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_minij(args) -> int:
@@ -764,6 +777,24 @@ def main(argv=None) -> int:
         help="exit after N frames (for scripting/CI; default: run to completion)",
     )
 
+    chaos = add_command(
+        "chaos",
+        "fault-injection soak across the collector matrix",
+        "chaos --quick --seed 7",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="one seed, smoke workload pair (lusearch + swapleak) — the CI gate",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-schedule seed; a failing run replays bit-for-bit "
+        "(default: %(default)s)",
+    )
+
     minij = add_command("minij", "run a MiniJ program", "minij examples/programs/linked_list.minij")
     minij.add_argument("file")
     minij.add_argument("--entry", default="main")
@@ -778,6 +809,7 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "stats": cmd_stats,
         "top": cmd_top,
+        "chaos": cmd_chaos,
         "minij": cmd_minij,
     }
     if args.command == "trace":

@@ -23,6 +23,11 @@ machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
   the in-pause span recorder on vs off; reported as the GC-time ratio with
   identical work counters required (spans observe phases, they must never
   change what the collector does).
+* **abl-faults** — the fault-injection hook cost: one workload run with an
+  *armed but empty-plan* :class:`~repro.faults.FaultInjector` attached vs
+  without; the injector's standing cost is one allocation-counter
+  increment plus a list check, so the ratio must sit at ~1.00 with
+  bit-identical work counters and zero recovery activity.
 
 Wall-clock numbers from a Python simulator are noisy; the counters are the
 ground truth (``counters_match`` gates CI), the rates are the trend.
@@ -364,6 +369,71 @@ def bench_tracing(workload: str = "pseudojbb", trials: int = 3) -> dict:
     }
 
 
+# -- fault-injection ablation -----------------------------------------------------------
+
+
+def bench_faults(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """GC + mutator time with an armed (empty-plan) fault injector vs off.
+
+    The robustness layer's acceptance bar: with no faults scheduled, the
+    injector's only standing cost is the allocation-count shim (one
+    integer increment and an empty-list check per allocation) plus one
+    inert GC observer.  The GC-time ratio must sit at ~1.00, every
+    deterministic work counter must be bit-identical to the uninstrumented
+    run, and the recovery counters must stay at zero — an armed injector
+    that changes *anything* before its first fault fires is a bug.
+    Best-of-``trials`` per leg to shave scheduler noise.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+
+    suite = build_suite()
+    entry = suite[workload]
+    results: dict[str, dict] = {}
+    recovery_total = 0
+    for variant in ("off", "armed"):
+        best_gc = float("inf")
+        stats = None
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=entry.heap_bytes, assertions=False, telemetry=False
+            )
+            injector = None
+            if variant == "armed":
+                injector = FaultInjector(vm, FaultPlan()).attach()
+            entry.run(vm)
+            vm.collector.sweep_all()
+            if vm.stats.gc_seconds < best_gc:
+                best_gc = vm.stats.gc_seconds
+                stats = vm.stats
+            if variant == "armed":
+                recovery_total = vm.collector.recovery.total()
+                injector.detach()
+        results[variant] = {
+            "best_gc_seconds": best_gc,
+            "collections": stats.collections,
+            "counters": {
+                "objects_traced": stats.objects_traced,
+                "edges_traced": stats.edges_traced,
+                "objects_freed": stats.objects_freed,
+                "bytes_freed": stats.bytes_freed,
+            },
+        }
+    off, armed = results["off"], results["armed"]
+    return {
+        "workload": workload,
+        "trials": trials,
+        "off": off,
+        "armed": armed,
+        "gc_time_ratio": (
+            armed["best_gc_seconds"] / off["best_gc_seconds"]
+            if off["best_gc_seconds"]
+            else 0.0
+        ),
+        "counters_match": off["counters"] == armed["counters"],
+        "recovery_activity": recovery_total,
+    }
+
+
 # -- eager vs lazy pause comparison -----------------------------------------------------
 
 
@@ -439,16 +509,19 @@ def perf_payload(quick: bool = False) -> dict:
         pauses = bench_pauses(("pseudojbb",))
         snapshot = bench_snapshot(trials=2)
         tracing = bench_tracing(trials=2)
+        faults = bench_faults(trials=2)
     else:
         trace = bench_trace()
         alloc = bench_alloc()
         pauses = bench_pauses()
         snapshot = bench_snapshot()
         tracing = bench_tracing()
+        faults = bench_faults()
     counters_match = (
         trace["counters_match"]
         and snapshot["counters_match"]
         and tracing["counters_match"]
+        and faults["counters_match"]
         and all(row["counters_match"] for row in pauses.values())
     )
     return {
@@ -461,6 +534,7 @@ def perf_payload(quick: bool = False) -> dict:
         "pauses": pauses,
         "abl-snapshot": snapshot,
         "abl-tracing": tracing,
+        "abl-faults": faults,
         "counters_match": counters_match,
     }
 
@@ -521,6 +595,17 @@ def render_perf(payload: dict) -> str:
             f"({spans['gc_time_ratio']:.2f}x), "
             f"{spans['trace']['spans_recorded']} spans, "
             f"counters {'match' if spans['counters_match'] else 'DRIFT'}"
+        )
+    faults = payload.get("abl-faults")
+    if faults is not None:
+        lines.append("fault-injection ablation (off -> armed empty-plan injector):")
+        lines.append(
+            f"  {faults['workload']:10} gc time "
+            f"{faults['off']['best_gc_seconds'] * 1e3:.1f}ms -> "
+            f"{faults['armed']['best_gc_seconds'] * 1e3:.1f}ms "
+            f"({faults['gc_time_ratio']:.2f}x), "
+            f"recovery activity {faults['recovery_activity']}, "
+            f"counters {'match' if faults['counters_match'] else 'DRIFT'}"
         )
     lines.append(
         "work counters identical across modes: "

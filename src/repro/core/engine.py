@@ -31,7 +31,7 @@ from repro.core.ownership import run_naive_ownership_check, run_ownership_phase
 from repro.core.reactions import Reaction, ReactionPolicy
 from repro.core.registry import AssertionRegistry, OwnerRecord
 from repro.core.reporting import AssertionKind, HeapPath, Violation, ViolationLog
-from repro.errors import AssertionViolationHalt
+from repro.errors import AssertionViolationHalt, ConfigurationError, EngineDegraded
 from repro.heap import header as hdr
 from repro.heap.object_model import HeapObject
 
@@ -50,9 +50,12 @@ class AssertionEngine:
         classes: "ClassRegistry",
         policy: Optional[ReactionPolicy] = None,
         ownership_mode: str = "two-phase",
+        check_budget: Optional[int] = None,
     ):
         if ownership_mode not in ("two-phase", "naive"):
-            raise ValueError(f"unknown ownership mode {ownership_mode!r}")
+            raise ConfigurationError(f"unknown ownership mode {ownership_mode!r}")
+        if check_budget is not None and check_budget < 1:
+            raise ConfigurationError(f"check_budget must be positive, got {check_budget}")
         self.classes = classes
         self.registry = AssertionRegistry()
         self.policy = policy or ReactionPolicy()
@@ -62,6 +65,66 @@ class AssertionEngine:
         self._gc_number = 0
         self._pending: list[Violation] = []
         self._force_victims: list[int] = []
+        #: Optional cap on per-pause assertion checks; exceeding it degrades
+        #: checking for the rest of that collection (never-stall-the-GC rule).
+        self.check_budget = check_budget
+        self._checks_this_gc = 0
+        #: GC number whose checks are disabled (degraded); -1 = none.  The
+        #: comparison-based form (rather than a boolean) survives a recovery
+        #: retrace of the *same* collection and re-arms automatically when
+        #: the next collection bumps the number.
+        self._degraded_gc = -1
+        self.degraded_events: list[EngineDegraded] = []
+
+    @property
+    def degraded(self) -> bool:
+        """True while checks are disabled for the current collection."""
+        return self._degraded_gc == self._gc_number
+
+    def note_degraded(self, phase: str, exc: Optional[BaseException] = None, reason: str = "") -> None:
+        """Disable checking for the rest of this GC and record why.
+
+        The never-propagate rule: an engine or reaction exception must not
+        take down the collection, so the caller swallows it and routes it
+        here.  Checks re-arm on the next pause (gc number comparison).
+        """
+        already = self._degraded_gc == self._gc_number
+        self._degraded_gc = self._gc_number
+        if already:
+            return
+        detail = reason or (f"{type(exc).__name__}: {exc}" if exc is not None else "unknown")
+        event = EngineDegraded(detail, phase=phase, gc_number=self._gc_number)
+        self.degraded_events.append(event)
+        vm = self.vm
+        if vm is None:
+            return
+        collector = vm.collector
+        recovery = getattr(collector, "recovery", None)
+        if recovery is not None:
+            recovery.engine_degradations += 1
+        telemetry = vm.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_degradation("engine", f"{phase}: {detail}", seq=self._gc_number)
+        spans = collector.span_tracer
+        if spans is not None:
+            spans.instant(
+                "engine_degraded",
+                cat="assertion",
+                phase=phase,
+                gc=self._gc_number,
+                reason=detail,
+            )
+
+    def _budget_spent(self) -> bool:
+        """Count one check against the per-pause budget; True once blown."""
+        self._checks_this_gc += 1
+        if self.check_budget is not None and self._checks_this_gc > self.check_budget:
+            self.note_degraded(
+                "budget",
+                reason=f"per-pause check budget of {self.check_budget} exceeded",
+            )
+            return True
+        return False
 
     # ------------------------------------------------------------------ hooks
 
@@ -69,6 +132,7 @@ class AssertionEngine:
         self._gc_number = collector.stats.collections
         self._pending = []
         self._force_victims = []
+        self._checks_this_gc = 0
         self.classes.reset_instance_counts()
 
     def pre_mark(self, collector: "Collector", tracer: "Tracer") -> None:
@@ -89,6 +153,8 @@ class AssertionEngine:
         """Violation checks for a first encounter whose header word matched
         ``DEAD_BIT | OWNEE_BIT``.  The inlining caller owns the check
         counters and the instance-count bookkeeping."""
+        if self._degraded_gc == self._gc_number or self._budget_spent():
+            return
         status = obj.status
         if status & hdr.DEAD_BIT:
             self._dead_violation(obj, tracer)
@@ -97,10 +163,14 @@ class AssertionEngine:
 
     def on_repeat_encounter_slow(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
         """Unshared violation for a repeat encounter with ``UNSHARED_BIT`` set."""
+        if self._degraded_gc == self._gc_number or self._budget_spent():
+            return
         self._unshared_violation(obj, tracer, parent)
 
     def on_first_encounter(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
         """First GC encounter: the object was just marked."""
+        if self._degraded_gc == self._gc_number or self._budget_spent():
+            return
         stats = tracer.stats if tracer is not None else None
         if stats is not None:
             stats.header_bit_checks += 1
@@ -122,6 +192,8 @@ class AssertionEngine:
         unowned-ownee detection (phase 1 is what *establishes* ownedness)
         and full-path reporting (the ownership scan keeps no path).
         """
+        if self._degraded_gc == self._gc_number or self._budget_spent():
+            return
         status = obj.status
         if status & hdr.DEAD_BIT:
             path = HeapPath.unavailable(
@@ -134,6 +206,8 @@ class AssertionEngine:
 
     def on_repeat_encounter(self, obj: HeapObject, tracer: Optional["Tracer"], parent) -> None:
         """Mark bit already set: a second incoming reference (§2.5.1)."""
+        if self._degraded_gc == self._gc_number or self._budget_spent():
+            return
         if tracer is not None:
             tracer.stats.header_bit_checks += 1
         if obj.status & hdr.UNSHARED_BIT:
@@ -313,7 +387,18 @@ class AssertionEngine:
         for violation in self._pending:
             if violation.reaction is not None:
                 continue
-            reaction = self.policy.reaction_for(violation)
+            try:
+                reaction = self.policy.reaction_for(violation)
+            except (AssertionViolationHalt, ConfigurationError):
+                # Halts and usage errors (e.g. a handler forcing a
+                # non-forcible kind) are deliberate, not faults.
+                raise
+            except Exception as exc:
+                # Never-propagate rule: a raising reaction handler must not
+                # take down the collection.  Degrade, then fall back to the
+                # per-kind/default policy with user handlers bypassed.
+                self.note_degraded("reaction", exc)
+                reaction = self.policy._per_kind.get(violation.kind, self.policy.default)
             violation.reaction = reaction.value
             if reaction is Reaction.FORCE and violation.address is not None:
                 self._force_victims.append(violation.address)

@@ -29,6 +29,7 @@ import enum
 from typing import Callable, Optional
 
 from repro.core.reporting import AssertionKind, Violation
+from repro.errors import ConfigurationError
 
 
 class Reaction(enum.Enum):
@@ -60,7 +61,7 @@ class ReactionPolicy:
 
     def set_reaction(self, kind: AssertionKind, reaction: Reaction) -> None:
         if reaction.is_forcing and kind not in FORCIBLE_KINDS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"{kind.value} violations cannot be forced true; only lifetime "
                 f"assertions ({', '.join(sorted(k.value for k in FORCIBLE_KINDS))}) can"
             )
@@ -68,7 +69,9 @@ class ReactionPolicy:
 
     def set_default(self, reaction: Reaction) -> None:
         if reaction.is_forcing:
-            raise ValueError("FORCE cannot be the default reaction; set it per kind")
+            raise ConfigurationError(
+                "FORCE cannot be the default reaction; set it per kind"
+            )
         self.default = reaction
 
     def add_handler(self, handler: Handler) -> None:
@@ -82,7 +85,7 @@ class ReactionPolicy:
             override = handler(violation)
             if override is not None:
                 if override.is_forcing and violation.kind not in FORCIBLE_KINDS:
-                    raise ValueError(
+                    raise ConfigurationError(
                         f"handler requested FORCE for non-forcible {violation.kind.value}"
                     )
                 reaction = override

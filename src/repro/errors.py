@@ -23,6 +23,59 @@ class OutOfMemoryError(HeapError):
     """Raised when an allocation cannot be satisfied even after a full GC."""
 
 
+class HeapCorruption(HeapError):
+    """Raised when heap integrity checking finds broken invariants.
+
+    Carries the structured list of problems and (when the hardened sentinel
+    produced it) the set of addresses that were fenced into quarantine.
+    """
+
+    def __init__(self, message: str, problems: list | None = None, fenced: set | None = None):
+        self.problems: list[str] = list(problems or [])
+        self.fenced: set[int] = set(fenced or ())
+        super().__init__(message)
+
+
+class HeapExhausted(OutOfMemoryError):
+    """Structured out-of-memory error with census + top-retained triage.
+
+    Subclasses :class:`OutOfMemoryError` so existing ``except OutOfMemoryError``
+    handlers keep working; hardened collectors attach a per-type census and the
+    top retained-size entries so the failure is actionable without a core dump.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_bytes: int = 0,
+        type_name: str = "",
+        heap_bytes: int = 0,
+        census: dict | None = None,
+        top_retained: list | None = None,
+    ):
+        self.requested_bytes = requested_bytes
+        self.type_name = type_name
+        self.heap_bytes = heap_bytes
+        self.census: dict[str, tuple[int, int]] = dict(census or {})
+        self.top_retained: list[tuple[str, int]] = list(top_retained or [])
+        super().__init__(message)
+
+    def triage(self) -> str:
+        """Render the census/top-retained payload as indented report lines."""
+        lines = []
+        if self.census:
+            lines.append("census (top types by bytes):")
+            ranked = sorted(self.census.items(), key=lambda kv: -kv[1][1])[:8]
+            for name, (count, nbytes) in ranked:
+                lines.append(f"  {name:<24} {count:>8} objects {nbytes:>12} bytes")
+        if self.top_retained:
+            lines.append("top retained:")
+            for label, nbytes in self.top_retained[:8]:
+                lines.append(f"  {label:<40} retains {nbytes:>12} bytes")
+        return "\n".join(lines)
+
+
 class InvalidAddressError(HeapError):
     """Raised when an address does not name a live, allocated object."""
 
@@ -53,6 +106,29 @@ class TypeFault(RuntimeFault):
 
 class RegionError(RuntimeFault):
     """Raised on misuse of start-region / assert-alldead bracketing."""
+
+
+class EngineDegraded(ReproError):
+    """Records an assertion-engine degradation (never raised across a pause).
+
+    The hardened engine swallows engine/reaction exceptions for the rest of
+    the current collection and records one of these; it re-arms on the next
+    pause.  Exposed so tooling can inspect ``engine.degraded_events``.
+    """
+
+    def __init__(self, reason: str, *, phase: str = "", gc_number: int = -1):
+        self.reason = reason
+        self.phase = phase
+        self.gc_number = gc_number
+        super().__init__(f"assertion engine degraded during {phase or 'gc'}: {reason}")
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised for invalid configuration values (modes, fractions, budgets).
+
+    Also a :class:`ValueError` so callers validating arguments the standard
+    way keep working.
+    """
 
 
 class AssertionUsageError(ReproError):

@@ -1,0 +1,41 @@
+"""Seeded, deterministic fault injection for the hardened GC.
+
+This package is the chaos half of the robustness story: the collectors
+(see :mod:`repro.gc.base`) carry the recovery machinery — integrity
+sentinel, quarantine, engine degradation, OOM recovery ladder, sink
+circuit breakers — and this package supplies the faults that prove the
+machinery works.  Everything is driven by a single seed so a failing
+chaos run is replayable bit-for-bit.
+
+* :class:`FaultPlan` / :class:`Fault` — a schedule of faults keyed to
+  collection ordinals and allocation counts.
+* :class:`FaultInjector` — attaches to a live VM and applies the plan:
+  header-bit flips, dangling references, free-list corruption, simulated
+  allocation failure, and injected exceptions in assertion reactions,
+  telemetry sinks, and snapshot serialization.
+* :func:`run_chaos` — the soak harness behind ``python -m repro chaos``:
+  a (collector × sweep-mode) × workload matrix under a seeded fault
+  schedule, asserting the crash-consistency contract afterwards.
+"""
+
+from repro.faults.chaos import CellResult, ChaosReport, run_chaos
+from repro.faults.injector import (
+    FAULT_KINDS,
+    ExplodingSink,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CellResult",
+    "ChaosReport",
+    "ExplodingSink",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "run_chaos",
+]

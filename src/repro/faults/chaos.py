@@ -1,0 +1,243 @@
+"""The chaos soak harness behind ``python -m repro chaos``.
+
+Runs a seeded fault schedule (:meth:`FaultPlan.one_of_each`) against the
+full crash-consistency matrix — (collector × sweep mode) × workload —
+on hardened VMs, then asserts the contract the robustness layer makes:
+
+* **no untyped exceptions** — a fault may surface a typed
+  :class:`~repro.errors.ReproError` (that is a documented outcome), but
+  anything else escaping is a harness failure;
+* **the heap recovers** — after a final recovery collection and
+  ``sweep_all``, :func:`~repro.gc.verify.verify_heap` finds zero
+  problems and the heap's fast/slow byte accountings agree;
+* **coverage** — every fault kind in the plan was applied at least once
+  (the injector's ``apply_remaining`` backstop guarantees this even for
+  short workloads);
+* **detection still works while degraded** — the injected
+  ``flip-dead`` produces an assert-dead violation whose ``site`` is
+  ``None``, proving assertion checking survived the fault storm.
+
+Each cell runs in its own VM with telemetry on, a snapshot policy
+capturing every 2nd GC into a temp directory, and a growth ceiling of
+2× the workload heap so the OOM ladder has headroom.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.reporting import AssertionKind
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.gc.verify import verify_heap
+from repro.runtime.vm import VirtualMachine
+
+#: The crash-consistency matrix rows: (collector, sweep_mode).
+MATRIX: tuple[tuple[str, Optional[str]], ...] = (
+    ("marksweep", "eager"),
+    ("marksweep", "lazy"),
+    ("generational", "eager"),
+    ("generational", "lazy"),
+    ("semispace", None),
+)
+
+
+def _chaos_workloads(quick: bool) -> dict[str, tuple[Callable, int]]:
+    """name -> (runner, heap_bytes).  Quick mode is the CI smoke pair."""
+    from repro.workloads.lusearch import LusearchConfig, run_lusearch
+    from repro.workloads.suite import HEAP_BUDGETS
+    from repro.workloads.swapleak import SwapLeakConfig, run_swapleak
+
+    def lusearch(vm: VirtualMachine):
+        return run_lusearch(vm, LusearchConfig(gc_midway=False))
+
+    def swapleak(vm: VirtualMachine):
+        return run_swapleak(vm, SwapLeakConfig(swaps=64, gc_every_swaps=8))
+
+    workloads: dict[str, tuple[Callable, int]] = {
+        "lusearch": (lusearch, HEAP_BUDGETS["lusearch"]),
+        "swapleak": (swapleak, 96 * 1024),
+    }
+    if not quick:
+        from repro.workloads.db import DbConfig, run_db
+        from repro.workloads.jbb.driver import JbbConfig, run_pseudojbb
+
+        workloads["db"] = (lambda vm: run_db(vm, DbConfig()), HEAP_BUDGETS["db"])
+        workloads["pseudojbb"] = (
+            lambda vm: run_pseudojbb(vm, JbbConfig()),
+            HEAP_BUDGETS["pseudojbb"],
+        )
+    return workloads
+
+
+@dataclass
+class CellResult:
+    """One matrix cell: its outcome and the contract checks."""
+
+    collector: str
+    sweep_mode: Optional[str]
+    workload: str
+    seed: int
+    #: "completed", "typed:<ErrorName>", or "untyped:<ErrorName>: <msg>".
+    outcome: str = "completed"
+    #: Contract-check failures; empty means the cell passed.
+    failures: list[str] = field(default_factory=list)
+    kinds_applied: set[str] = field(default_factory=set)
+    degradations: dict[str, int] = field(default_factory=dict)
+    recovery: dict[str, int] = field(default_factory=dict)
+    violations: int = 0
+    injected_dead_violations: int = 0
+    collections: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def label(self) -> str:
+        mode = f"/{self.sweep_mode}" if self.sweep_mode else ""
+        return f"{self.collector}{mode} × {self.workload} (seed {self.seed})"
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        head = (
+            f"{status:4} {self.label}: {self.outcome}, "
+            f"{self.collections} GCs, {self.violations} violation(s) "
+            f"({self.injected_dead_violations} injected-dead), "
+            f"degradations={self.degradations or '{}'}"
+        )
+        return head + "".join(f"\n       !! {f}" for f in self.failures)
+
+
+@dataclass
+class ChaosReport:
+    """The full matrix outcome; ``ok`` is the process exit-code gate."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    seeds: tuple[int, ...] = (0,)
+    quick: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak: {len(self.cells)} cell(s), "
+            f"seeds={list(self.seeds)}{' (quick)' if self.quick else ''}"
+        ]
+        lines.extend(cell.render() for cell in self.cells)
+        passed = sum(1 for cell in self.cells if cell.ok)
+        lines.append(f"{passed}/{len(self.cells)} cells passed")
+        return "\n".join(lines)
+
+
+def run_cell(
+    collector: str,
+    sweep_mode: Optional[str],
+    workload: str,
+    runner: Callable,
+    heap_bytes: int,
+    seed: int,
+) -> CellResult:
+    """One matrix cell: hardened VM, seeded faults, contract checks."""
+    from repro.snapshot.capture import SnapshotPolicy
+
+    result = CellResult(collector, sweep_mode, workload, seed)
+    plan = FaultPlan.one_of_each(seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as snapdir:
+        vm = VirtualMachine(
+            heap_bytes=heap_bytes,
+            collector=collector,
+            sweep_mode=sweep_mode,
+            hardened=True,
+            max_heap_bytes=heap_bytes * 2,
+        )
+        SnapshotPolicy(snapdir, every_n_gcs=2).attach(vm)
+        injector = FaultInjector(vm, plan).attach()
+
+        try:
+            runner(vm)
+        except ReproError as exc:
+            # A typed error surfacing is a documented matrix outcome; the
+            # contract is that the heap is still recoverable afterwards.
+            result.outcome = f"typed:{type(exc).__name__}"
+        except Exception as exc:  # the contract the whole PR exists for
+            result.outcome = f"untyped:{type(exc).__name__}: {exc}"
+            result.failures.append(f"untyped exception escaped: {result.outcome}")
+
+        injector.apply_remaining()
+
+        # Recovery: one full collection over the (possibly corrupt) heap,
+        # then exact reclamation.  The pre-GC sentinel repairs what the
+        # late-applied faults broke; a typed error here is still a
+        # contract failure because recovery must always succeed.
+        try:
+            vm.gc("chaos recovery")
+            vm.collector.sweep_all()
+        except Exception as exc:
+            result.failures.append(
+                f"recovery collection failed: {type(exc).__name__}: {exc}"
+            )
+
+        problems = verify_heap(vm, raise_on_error=False)
+        if problems:
+            result.failures.append(
+                f"verify_heap found {len(problems)} problem(s) after recovery: "
+                + "; ".join(problems[:3])
+            )
+        heap = vm.heap
+        if heap.live_bytes() != heap.live_bytes_slow():
+            result.failures.append(
+                f"byte accounting drifted: fast={heap.live_bytes()} "
+                f"slow={heap.live_bytes_slow()}"
+            )
+        if heap.stats.objects_live != len(heap.address_table()):
+            result.failures.append(
+                f"live-object counter drifted: stats={heap.stats.objects_live} "
+                f"table={len(heap.address_table())}"
+            )
+
+        result.kinds_applied = injector.kinds_applied()
+        missing = plan.kinds() - result.kinds_applied
+        if missing:
+            result.failures.append(f"fault kinds never applied: {sorted(missing)}")
+
+        if vm.engine is not None:
+            log = vm.engine.log
+            result.violations = len(log)
+            result.injected_dead_violations = sum(
+                1
+                for violation in log.violations
+                if violation.kind is AssertionKind.DEAD and violation.site is None
+            )
+            if "flip-dead" in result.kinds_applied and not result.injected_dead_violations:
+                result.failures.append(
+                    "injected DEAD bit produced no assert-dead violation"
+                )
+
+        if vm.telemetry is not None:
+            result.degradations = dict(vm.telemetry.degradations)
+            vm.telemetry.close()
+        result.recovery = vm.collector.recovery.snapshot()
+        result.collections = vm.stats.collections
+        injector.detach()
+    return result
+
+
+def run_chaos(quick: bool = False, seed: int = 0) -> ChaosReport:
+    """Run the whole matrix; quick mode is one seed × the CI smoke pair."""
+    seeds = (seed,) if quick else (seed, seed + 1)
+    workloads = _chaos_workloads(quick)
+    report = ChaosReport(seeds=seeds, quick=quick)
+    for collector, sweep_mode in MATRIX:
+        for workload, (runner, heap_bytes) in workloads.items():
+            for cell_seed in seeds:
+                report.cells.append(
+                    run_cell(
+                        collector, sweep_mode, workload, runner, heap_bytes, cell_seed
+                    )
+                )
+    return report

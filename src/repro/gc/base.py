@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from typing import Optional, Protocol, TYPE_CHECKING
 
-from repro.errors import OutOfMemoryError
-from repro.gc.stats import GcStats, PhaseTimer
+from repro.errors import AssertionViolationHalt, HeapError, HeapExhausted
+from repro.gc.stats import GcStats, PhaseTimer, RecoveryStats
 from repro.gc.tracer import Tracer
+from repro.gc.verify import Quarantine, SentinelReport, run_sentinel
 from repro.heap import header as hdr
 from repro.heap.heap import ObjectHeap
 from repro.heap.layout import NULL
@@ -93,10 +94,24 @@ class Collector:
         heap_bytes: int,
         engine: Optional[AssertionEngineProtocol] = None,
         track_paths: Optional[bool] = None,
+        hardened: bool = False,
+        max_heap_bytes: Optional[int] = None,
     ):
         self.heap = ObjectHeap()
         self.heap_bytes = heap_bytes
         self.engine = engine
+        #: Hardened mode: pre/post-GC integrity sentinel with quarantine,
+        #: mid-mark recovery, and engine-exception containment.  Off by
+        #: default — the sentinel is an O(heap) scan per collection, so it is
+        #: a chaos/diagnostics knob, not a production default.
+        self.hardened = hardened
+        #: Growth ceiling for OOM recovery; None disables heap growth.
+        self.max_heap_bytes = max_heap_bytes
+        #: Counters for the recovery paths (kept out of GcStats on purpose:
+        #: GcStats counters are gated bit-identical across benchmark modes).
+        self.recovery = RecoveryStats()
+        #: Addresses fenced off as corrupt; dead to the allocator forever.
+        self.quarantine = Quarantine()
         # Path tracking defaults on exactly when the assertion infrastructure
         # is present, mirroring the paper's Infrastructure configuration.
         self.track_paths = (engine is not None) if track_paths is None else track_paths
@@ -189,23 +204,60 @@ class Collector:
         """Serialize a capture buffered during this collection, if any.
 
         Collectors call this *after* their ``gc_seconds`` timer closes:
-        the file write is mutator-side cost, not pause time.
+        the file write is mutator-side cost, not pause time.  A failing
+        serializer (disk full, injected IOError) must never stall the
+        mutator, so failures are contained here and recorded.
         """
         sink = self._snapshot_pending
         if sink is not None:
             self._snapshot_pending = None
-            with self._span("snapshot_serialize", cat="snapshot"):
-                self.snapshot_policy.finish_capture(self, sink)
+            try:
+                with self._span("snapshot_serialize", cat="snapshot"):
+                    self.snapshot_policy.finish_capture(self, sink)
+            except Exception as exc:
+                self.recovery.snapshot_failures += 1
+                self.gc_log.append(
+                    f"snapshot serialization failed: {type(exc).__name__}: {exc}"
+                )
+                telemetry = self.telemetry
+                if telemetry is not None and telemetry.enabled:
+                    telemetry.record_degradation(
+                        "snapshot",
+                        f"{type(exc).__name__}: {exc}",
+                        seq=self.stats.collections,
+                    )
 
-    def _run_mark_phase(self, tracer: Tracer) -> None:
+    def _engine_call(self, phase: str, fn, *args) -> None:
+        """Invoke one engine hook; in hardened mode, contain its exceptions.
+
+        The never-propagate rule: an engine bug (or injected fault) degrades
+        checking for this collection instead of killing the pause.  Halts
+        are the engine *working as designed* and heap errors are the heap's
+        problem — both propagate.
+        """
+        if not self.hardened:
+            fn(*args)
+            return
+        try:
+            fn(*args)
+        except (AssertionViolationHalt, HeapError):
+            raise
+        except Exception as exc:
+            note = getattr(self.engine, "note_degraded", None)
+            if note is not None:
+                note(phase, exc)
+            else:
+                self.recovery.engine_degradations += 1
+
+    def _mark_once(self, tracer: Tracer) -> None:
         engine = self.engine
         spans = self.span_tracer
         if engine is not None:
-            engine.gc_begin(self)
+            self._engine_call("gc_begin", engine.gc_begin, self)
             with PhaseTimer(
                 self.stats, "ownership_phase_seconds", spans, "ownership_phase"
             ):
-                engine.pre_mark(self, tracer)
+                self._engine_call("pre_mark", engine.pre_mark, self, tracer)
         if spans is None:
             with PhaseTimer(self.stats, "mark_seconds"):
                 tracer.trace(self._roots())
@@ -222,7 +274,58 @@ class Collector:
                 # exactly this cycle's traced set — the attribution window.
                 spans.record_mark_attribution(self.heap)
         if engine is not None:
-            engine.post_mark(self, tracer)
+            self._engine_call("post_mark", engine.post_mark, self, tracer)
+
+    def _run_mark_phase(self, tracer: Tracer) -> Tracer:
+        """Mark the heap; in hardened mode, recover from a mid-mark fault.
+
+        Recovery drops any pending snapshot capture, clears the partial
+        mark state, quarantines detected corruption (or degrades the
+        engine, for non-heap faults), and re-runs the *entire* mark phase
+        with a fresh tracer — ``pre_mark`` must re-run because clearing
+        OWNED bits would otherwise fabricate unowned-ownee violations.  A
+        second failure propagates: one recovery attempt per pause.
+
+        Returns the tracer that actually completed the mark (callers that
+        consult tracer state must use the return value).
+        """
+        if not self.hardened:
+            self._mark_once(tracer)
+            return tracer
+        try:
+            self._mark_once(tracer)
+            return tracer
+        except AssertionViolationHalt:
+            raise
+        except Exception as exc:
+            if self._snapshot_pending is not None:
+                self._snapshot_pending = None
+                self.recovery.snapshots_dropped += 1
+            self._clear_all_marks()
+            if isinstance(exc, HeapError):
+                # Corruption surfaced mid-trace: repair what the sentinel
+                # can and retrace over the fenced heap.
+                report = self._sentinel_check("mid-mark")
+                if report is None or report.clean:
+                    # The fault's cause was not repairable (or not findable);
+                    # still record the degradation before the retrace.
+                    self.recovery.heap_degradations += 1
+                    self.gc_log.append(
+                        f"mid-mark heap fault: {type(exc).__name__}: {exc}"
+                    )
+            else:
+                note = getattr(self.engine, "note_degraded", None)
+                if note is not None:
+                    note("mark", exc)
+            retry = Tracer(self.heap, self.stats, self.engine, self.track_paths)
+            self._mark_once(retry)
+            return retry
+
+    def _clear_all_marks(self) -> None:
+        """Reset per-collection header bits after an aborted mark."""
+        clear = ~(hdr.MARK_BIT | hdr.OWNED_BIT)
+        for obj in self.heap:
+            obj.status &= clear
 
     def _purge_before_reuse(self, freed: set[int]) -> None:
         """Drop address-keyed metadata for ``freed`` before any reuse.
@@ -313,11 +416,159 @@ class Collector:
                     slots[idx] = NULL
                     self.stats.weak_refs_cleared += 1
 
-    def _oom(self, cls: ClassDescriptor, nbytes: int, reason: str) -> OutOfMemoryError:
-        return OutOfMemoryError(
+    # -- hardened recovery surface ------------------------------------------------------
+
+    def _sentinel_check(self, phase: str) -> Optional[SentinelReport]:
+        """Pre/post-GC integrity sentinel: repair + quarantine, never raise.
+
+        Callers must only invoke this when mark bits are legitimately clear
+        (after ``sweep_all``, or when this collector has no sweep debt) —
+        lazy-sweep survivors carry MARK bits until their chunk is swept.
+        """
+        if not self.hardened or self.vm is None:
+            return None
+        report = run_sentinel(self.vm, self.quarantine, phase=phase)
+        if not report.clean:
+            self._heap_degraded(report)
+        return report
+
+    def _heap_degraded(self, report: SentinelReport) -> None:
+        """Record one sentinel scan that found (and fenced) corruption."""
+        recovery = self.recovery
+        recovery.heap_degradations += 1
+        recovery.objects_quarantined += report.objects_quarantined
+        recovery.refs_fenced += report.refs_fenced + report.roots_fenced
+        recovery.stale_bits_cleared += report.stale_bits_cleared
+        self.gc_log.append(report.render())
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_degradation(
+                "heap",
+                f"{report.phase}: {len(report.problems)} problem(s), "
+                f"{report.repairs()} repair(s)",
+                seq=self.stats.collections,
+            )
+        spans = self.span_tracer
+        if spans is not None:
+            spans.instant(
+                "heap_degraded",
+                cat="gc",
+                phase=report.phase,
+                problems=len(report.problems),
+                repairs=report.repairs(),
+            )
+
+    def _fence_aliased_cell(self, space, address: int, cell: int) -> None:
+        """Quarantine a free-list cell that aliased a live object.
+
+        Corrupted free-list metadata handed out an address the heap already
+        tracks.  The address is fenced (never reused), the double byte
+        charge from the aliased commit is undone, and the legitimate
+        occupant is untouched.
+        """
+        self.quarantine.fence(address)
+        self.recovery.cells_fenced += 1
+        uncommit = getattr(space, "uncommit", None)
+        if uncommit is not None and cell > 0:
+            uncommit(address, cell)
+        self.gc_log.append(
+            f"aliased free-list cell {address:#x} ({cell} bytes) fenced"
+        )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_degradation(
+                "heap",
+                f"aliased free-list cell {address:#x} fenced",
+                seq=self.stats.collections,
+            )
+
+    def _try_grow(self) -> bool:
+        """Grow the heap toward ``max_heap_bytes``; False when at the limit.
+
+        The OOM-recovery ladder's last rung before :class:`HeapExhausted`:
+        emergency full collection and ``sweep_all`` have already run, so a
+        1.5× (min one page) growth is the only remaining option.
+        """
+        limit = self.max_heap_bytes
+        if limit is None or self.heap_bytes >= limit:
+            return False
+        new_total = min(limit, max(self.heap_bytes + 4096, self.heap_bytes * 3 // 2))
+        delta = new_total - self.heap_bytes
+        if delta <= 0:
+            return False
+        self._grow_spaces(delta)
+        self.heap_bytes = new_total
+        self.recovery.heap_growths += 1
+        self.gc_log.append(f"heap grown by {delta} bytes to {new_total}")
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.record_degradation(
+                "heap_grown",
+                f"+{delta} bytes to {new_total}",
+                seq=self.stats.collections,
+            )
+        spans = self.span_tracer
+        if spans is not None:
+            spans.instant("heap_grown", cat="gc", delta=delta, total=new_total)
+        return True
+
+    def _grow_spaces(self, delta: int) -> None:
+        """Distribute ``delta`` new bytes across this collector's spaces."""
+        raise NotImplementedError
+
+    def _top_retained(self, limit: int = 5) -> list[tuple[str, int]]:
+        """Top retained-size entries for OOM triage, via an in-memory snapshot."""
+        if self.vm is None:
+            return []
+        from repro.snapshot.format import HeapSnapshot, ObjectRecord
+        from repro.snapshot.retained import top_retained
+
+        heap = self.heap
+        pending = self.pending_garbage_predicate()
+        objects: dict[int, ObjectRecord] = {}
+        for obj in heap:
+            if pending is not None and pending(obj):
+                continue
+            edges = tuple(
+                ref for ref in obj.reference_slots() if ref != NULL and heap.contains(ref)
+            )
+            objects[obj.address] = ObjectRecord(
+                obj.address, obj.cls.name, obj.size_bytes, edges=edges
+            )
+        roots = [(desc, addr) for desc, addr in self.vm.root_entries() if addr in objects]
+        snapshot = HeapSnapshot({"collector": self.name}, roots, objects)
+        return [
+            (f"{type_name}@{addr:#x}", retained)
+            for addr, type_name, retained in top_retained(snapshot, limit=limit)
+        ]
+
+    def _oom(self, cls: ClassDescriptor, nbytes: int, reason: str) -> HeapExhausted:
+        message = (
             f"{self.name}: cannot allocate {nbytes} bytes for {cls.name} ({reason}); "
             f"heap budget {self.heap_bytes} bytes, "
             f"{self.heap.stats.objects_live} objects live"
+        )
+        census: dict[str, tuple[int, int]] = {}
+        top: list[tuple[str, int]] = []
+        try:
+            pending = self.pending_garbage_predicate()
+            for obj in self.heap:
+                if pending is not None and pending(obj):
+                    continue
+                count, total = census.get(obj.cls.name, (0, 0))
+                census[obj.cls.name] = (count + 1, total + obj.size_bytes)
+            top = self._top_retained()
+        except Exception:
+            # Triage is best-effort: an OOM report must never be masked by a
+            # failure while assembling its own diagnostics.
+            pass
+        return HeapExhausted(
+            message,
+            requested_bytes=nbytes,
+            type_name=cls.name,
+            heap_bytes=self.heap_bytes,
+            census=census,
+            top_retained=top,
         )
 
     # -- lazy-sweep surface (no-ops for eager-only collectors) ---------------------------

@@ -27,7 +27,7 @@ paper accepts for its ownership phase (§2.5.2).
 
 from __future__ import annotations
 
-from repro.errors import HeapError
+from repro.errors import HeapError, InvalidAddressError
 from repro.gc.base import Collector
 from repro.gc.lazysweep import LAZY_SWEEP_BATCH, ChunkSweeper
 from repro.gc.stats import PhaseTimer
@@ -57,8 +57,10 @@ class GenerationalCollector(Collector):
         track_paths=None,
         nursery_fraction: float = DEFAULT_NURSERY_FRACTION,
         sweep_mode: str = "eager",
+        hardened: bool = False,
+        max_heap_bytes=None,
     ):
-        super().__init__(heap_bytes, engine, track_paths)
+        super().__init__(heap_bytes, engine, track_paths, hardened, max_heap_bytes)
         nursery_bytes = max(4096, int(heap_bytes * nursery_fraction))
         self.nursery = BumpSpace("nursery", nursery_bytes, HEAP_BASE_ADDRESS + SPACE_STRIDE)
         self.mature = FreeListSpace("mature", heap_bytes - nursery_bytes, HEAP_BASE_ADDRESS)
@@ -98,12 +100,31 @@ class GenerationalCollector(Collector):
         if address is None:
             self.collect(reason=f"mature allocation of {nbytes} bytes failed")
             address = self._mature_allocate(nbytes)
+            while address is None and self._try_grow():
+                address = self._mature_allocate(nbytes)
+                if address is not None:
+                    self.recovery.oom_recoveries += 1
             if address is None:
                 raise self._oom(cls, nbytes, "mature space full after full-heap GC")
-        return self.heap.install(address, cls, length)
+        try:
+            return self.heap.install(address, cls, length)
+        except InvalidAddressError:
+            if not self.hardened:
+                raise
+            try:
+                aliased_cell = self.mature.cell_size(address)
+            except Exception:
+                aliased_cell = 0
+            self._fence_aliased_cell(self.mature, address, aliased_cell)
+            return self._allocate_mature(cls, length, nbytes)
 
     def bytes_in_use(self) -> int:
         return self.nursery.bytes_in_use + self.mature.bytes_in_use
+
+    def _grow_spaces(self, delta: int) -> None:
+        # All growth goes to the mature space: the nursery's size governs
+        # minor-collection cadence, which growth should not perturb.
+        self.mature.capacity_bytes += delta
 
     # -- write barrier ----------------------------------------------------------------
 
@@ -115,7 +136,14 @@ class GenerationalCollector(Collector):
     # -- minor collection ---------------------------------------------------------------
 
     def collect_minor(self, reason: str = "explicit-minor") -> None:
-        """Nursery-only collection.  Checks **no** assertions (§2.2)."""
+        """Nursery-only collection.  Checks **no** assertions (§2.2).
+
+        No hardened sentinel runs here: the minor trace is visited-set
+        based and filters every edge through ``nursery.contains``, so a
+        dangled or retargeted reference simply fails the filter — minor
+        collections are naturally fault-robust and stay unsentineled to
+        keep their pause cost unchanged.
+        """
         # If the mature space cannot absorb the worst-case survivor volume,
         # try repaying sweep debt first, then fall back to a full-heap
         # collection (which also empties the nursery).
@@ -190,10 +218,7 @@ class GenerationalCollector(Collector):
                     continue
                 stats.objects_swept += 1
                 if address in visited:
-                    new_address = self._mature_allocate(obj.size_bytes)
-                    if new_address is None:
-                        raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
-                    heap.relocate(obj, new_address)
+                    new_address = self._promote(obj)
                     fwd[address] = new_address
                     survivors.append(obj)
                     stats.objects_promoted += 1
@@ -215,6 +240,36 @@ class GenerationalCollector(Collector):
             nursery.reset()
             self.remembered.clear()
         return freed, fwd
+
+    def _promote(self, obj: HeapObject) -> int:
+        """Allocate a mature cell for one survivor and relocate it there.
+
+        Hardened mode retries around a corrupt target cell: an install
+        collision (corrupted free-list metadata aliasing a live object) is
+        fenced and a fresh cell requested, bounded to a handful of attempts.
+        A growth attempt backstops promotion pressure when a ceiling allows.
+        """
+        heap = self.heap
+        attempts = 4 if self.hardened else 1
+        for _ in range(attempts):
+            new_address = self._mature_allocate(obj.size_bytes)
+            if new_address is None and self._try_grow():
+                self.recovery.oom_recoveries += 1
+                new_address = self._mature_allocate(obj.size_bytes)
+            if new_address is None:
+                raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
+            try:
+                heap.relocate(obj, new_address)
+                return new_address
+            except InvalidAddressError:
+                if not self.hardened:
+                    raise
+                try:
+                    aliased_cell = self.mature.cell_size(new_address)
+                except Exception:
+                    aliased_cell = 0
+                self._fence_aliased_cell(self.mature, new_address, aliased_cell)
+        raise self._oom(obj.cls, obj.size_bytes, "promotion failed after quarantine")
 
     @staticmethod
     def _forward_slots(obj: HeapObject, fwd: dict[int, int]) -> None:
@@ -246,6 +301,10 @@ class GenerationalCollector(Collector):
             # cycle.
             with self._span("prologue"):
                 self.sweep_all()
+            if self.hardened:
+                # Debt repaid, so mark bits are legitimately clear and the
+                # sentinel may repair/quarantine across both spaces.
+                self._sentinel_check("pre-gc")
             pending = self._telemetry_begin("full", reason)
             with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
                 self.stats.collections += 1
@@ -284,6 +343,8 @@ class GenerationalCollector(Collector):
             # nursery traversal, not the tracer); write cost stays off-pause.
             self._snapshot_flush()
             self._telemetry_end(pending)
+            if self.hardened and self.sweep_debt() == 0:
+                self._sentinel_check("post-gc")
 
     def _sweep_nursery_dead(self) -> set[int]:
         """Evict dead nursery objects (the nursery never sweeps lazily —
@@ -327,10 +388,7 @@ class GenerationalCollector(Collector):
                 if obj is None:
                     continue
                 self.clear_gc_bits(obj)
-                new_address = self._mature_allocate(obj.size_bytes)
-                if new_address is None:
-                    raise self._oom(obj.cls, obj.size_bytes, "promotion failed")
-                heap.relocate(obj, new_address)
+                new_address = self._promote(obj)
                 fwd[address] = new_address
                 stats.objects_promoted += 1
             if fwd:

@@ -20,7 +20,7 @@ by a chunked sweep in one of two disciplines:
 
 from __future__ import annotations
 
-from repro.errors import HeapError
+from repro.errors import HeapError, InvalidAddressError
 from repro.gc.base import Collector
 from repro.gc.lazysweep import LAZY_SWEEP_BATCH, ChunkSweeper
 from repro.gc.stats import PhaseTimer
@@ -58,8 +58,10 @@ class MarkSweepCollector(Collector):
         track_paths=None,
         space_policy: str = "freelist",
         sweep_mode: str = "eager",
+        hardened: bool = False,
+        max_heap_bytes=None,
     ):
-        super().__init__(heap_bytes, engine, track_paths)
+        super().__init__(heap_bytes, engine, track_paths, hardened, max_heap_bytes)
         if space_policy == "freelist":
             self.space = FreeListSpace("ms", heap_bytes)
         elif space_policy == "blocks":
@@ -89,11 +91,25 @@ class MarkSweepCollector(Collector):
             if run and self.space.commit(run[-1], cell):
                 # Fast path: table lookup + capacity check + list.pop.
                 self.stats.alloc_fast_hits += 1
-                return self.heap.install(run.pop(), cls, length)
-            address = self._allocate_slow_cached(cell, cls, nbytes)
+                address = run.pop()
+            else:
+                address = self._allocate_slow_cached(cell, cls, nbytes)
         else:
             address = self._allocate_slow(cls, nbytes)
-        return self.heap.install(address, cls, length)
+        try:
+            return self.heap.install(address, cls, length)
+        except InvalidAddressError:
+            if not self.hardened:
+                raise
+            # Corrupted free-list metadata handed out an address the table
+            # already tracks: fence the alias and allocate again.
+            space = self.space
+            try:
+                aliased_cell = space.cell_size(address)
+            except Exception:
+                aliased_cell = 0
+            self._fence_aliased_cell(space, address, aliased_cell)
+            return self.allocate(cls, length)
 
     def _try_cached(self, cell: int) -> int | None:
         """Pop a cell from the run cache, refilling it from the space."""
@@ -120,6 +136,13 @@ class MarkSweepCollector(Collector):
                     return address
             if attempt == 0:
                 self.collect(reason=f"allocation of {nbytes} bytes failed")
+        # Emergency collection and debt repayment both failed; growing the
+        # heap (when a ceiling allows it) is the last rung before OOM.
+        while self._try_grow():
+            address = self._try_cached(cell)
+            if address is not None:
+                self.recovery.oom_recoveries += 1
+                return address
         raise self._oom(cls, nbytes, "space full after full-heap GC")
 
     def _allocate_slow(self, cls: ClassDescriptor, nbytes: int) -> int:
@@ -135,6 +158,11 @@ class MarkSweepCollector(Collector):
                     return address
             if attempt == 0:
                 self.collect(reason=f"allocation of {nbytes} bytes failed")
+        while self._try_grow():
+            address = self.space.allocate(nbytes)
+            if address is not None:
+                self.recovery.oom_recoveries += 1
+                return address
         raise self._oom(cls, nbytes, "space full after full-heap GC")
 
     def _flush_alloc_cache(self) -> None:
@@ -156,6 +184,9 @@ class MarkSweepCollector(Collector):
     def bytes_in_use(self) -> int:
         return self.space.bytes_in_use
 
+    def _grow_spaces(self, delta: int) -> None:
+        self.space.capacity_bytes += delta
+
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
@@ -169,6 +200,10 @@ class MarkSweepCollector(Collector):
             with self._span("prologue"):
                 self.sweep_all()
                 self._flush_alloc_cache()
+            if self.hardened:
+                # Sweep debt is repaid, so mark bits are legitimately clear:
+                # the sentinel can judge (and repair) the whole heap.
+                self._sentinel_check("pre-gc")
             pending = self._telemetry_begin("full", reason)
             with PhaseTimer(self.stats, "gc_seconds", spans, "pause"):
                 self.stats.collections += 1
@@ -189,6 +224,10 @@ class MarkSweepCollector(Collector):
             # Serialization is mutator-side cost: the pause timer is closed.
             self._snapshot_flush()
             self._telemetry_end(pending)
+            if self.hardened and self.sweep_debt() == 0:
+                # Lazy mode skips this: survivors carry MARK bits until
+                # their chunk sweeps, so post-GC state is not judgeable.
+                self._sentinel_check("post-gc")
 
     # -- lazy-sweep surface ------------------------------------------------------------
 

@@ -28,8 +28,15 @@ class SemiSpaceCollector(Collector):
     name = "semispace"
     moving = True
 
-    def __init__(self, heap_bytes: int, engine=None, track_paths=None):
-        super().__init__(heap_bytes, engine, track_paths)
+    def __init__(
+        self,
+        heap_bytes: int,
+        engine=None,
+        track_paths=None,
+        hardened: bool = False,
+        max_heap_bytes=None,
+    ):
+        super().__init__(heap_bytes, engine, track_paths, hardened, max_heap_bytes)
         half = heap_bytes // 2
         self._spaces = (
             BumpSpace("ss0", half, HEAP_BASE_ADDRESS),
@@ -54,6 +61,10 @@ class SemiSpaceCollector(Collector):
         if address is None:
             self.collect(reason=f"allocation of {nbytes} bytes failed")
             address = self.from_space.allocate(nbytes)
+            while address is None and self._try_grow():
+                address = self.from_space.allocate(nbytes)
+                if address is not None:
+                    self.recovery.oom_recoveries += 1
             if address is None:
                 raise self._oom(cls, nbytes, "semispace full after collection")
         return self.heap.install(address, cls, length)
@@ -61,10 +72,20 @@ class SemiSpaceCollector(Collector):
     def bytes_in_use(self) -> int:
         return self.from_space.bytes_in_use
 
+    def _grow_spaces(self, delta: int) -> None:
+        # Both halves grow equally so evacuation capacity keeps up.
+        half = delta // 2
+        for space in self._spaces:
+            space.capacity_bytes += half
+
     # -- collection -----------------------------------------------------------------
 
     def collect(self, reason: str = "explicit") -> None:
         with self._span("collect", kind="full", reason=reason):
+            if self.hardened:
+                # No sweep debt to worry about (the semispace collector is
+                # always exact), so the sentinel can run right away.
+                self._sentinel_check("pre-gc")
             pending = self._telemetry_begin("full", reason)
             with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
                 self.stats.collections += 1
@@ -79,6 +100,8 @@ class SemiSpaceCollector(Collector):
             # one consistent graph); serializing them costs no pause time.
             self._snapshot_flush()
             self._telemetry_end(pending)
+            if self.hardened:
+                self._sentinel_check("post-gc")
 
     def _evacuate(self) -> tuple[set[int], dict[int, int]]:
         """Copy marked objects to the to-space; reclaim everything else."""
@@ -97,6 +120,9 @@ class SemiSpaceCollector(Collector):
                 stats.objects_swept += 1
                 if obj.status & hdr.MARK_BIT:
                     new_address = to_space.allocate(obj.size_bytes)
+                    if new_address is None and self._try_grow():
+                        self.recovery.oom_recoveries += 1
+                        new_address = to_space.allocate(obj.size_bytes)
                     if new_address is None:
                         # With equal-size semispaces this cannot happen unless
                         # the heap is badly undersized; surface it loudly.

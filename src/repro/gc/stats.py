@@ -119,6 +119,45 @@ class GcStats:
         )
 
 
+class RecoveryStats:
+    """Counters for the hardened recovery paths (quarantine, degradation, OOM).
+
+    Kept separate from :class:`GcStats` on purpose: GcStats counters are
+    gated bit-identical across benchmark modes, while recovery counters only
+    move when something actually went wrong (or was injected).
+    """
+
+    __slots__ = (
+        "heap_degradations",
+        "engine_degradations",
+        "objects_quarantined",
+        "refs_fenced",
+        "cells_fenced",
+        "stale_bits_cleared",
+        "oom_recoveries",
+        "heap_growths",
+        "snapshot_failures",
+        "snapshots_dropped",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> dict:
+        return {f: getattr(self, f) for f in self.__slots__}
+
+    def total(self) -> int:
+        return sum(getattr(self, f) for f in self.__slots__)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecoveryStats heap_degradations={self.heap_degradations} "
+            f"engine_degradations={self.engine_degradations} "
+            f"oom_recoveries={self.oom_recoveries}>"
+        )
+
+
 class PhaseTimer:
     """Context manager accumulating elapsed seconds into a stats attribute.
 

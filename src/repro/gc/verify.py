@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import HeapError
+from repro.errors import HeapCorruption
 from repro.heap import header as hdr
 from repro.heap.layout import NULL, is_aligned
 
@@ -30,7 +30,7 @@ if TYPE_CHECKING:
     from repro.runtime.vm import VirtualMachine
 
 
-class HeapVerificationError(HeapError):
+class HeapVerificationError(HeapCorruption):
     """Raised when :func:`verify_heap` finds a broken invariant."""
 
 
@@ -127,6 +127,178 @@ def verify_heap(vm: "VirtualMachine", raise_on_error: bool = True) -> list[str]:
 
     if problems and raise_on_error:
         raise HeapVerificationError(
-            f"{len(problems)} heap invariant violation(s):\n  " + "\n  ".join(problems)
+            f"{len(problems)} heap invariant violation(s):\n  " + "\n  ".join(problems),
+            problems=problems,
         )
     return problems
+
+
+class Quarantine:
+    """Fence for addresses the sentinel has declared corrupt.
+
+    A fenced address is dead to the allocator: its table entry is evicted,
+    its free-list cell (if any) is withheld from reuse, and later sweeps
+    skip it.  The backing cell is deliberately leaked — reusing memory the
+    collector no longer trusts is how a recoverable fault becomes silent
+    corruption.
+    """
+
+    __slots__ = ("fenced",)
+
+    def __init__(self) -> None:
+        self.fenced: set[int] = set()
+
+    def fence(self, address: int) -> bool:
+        """Fence an address; returns False if it was already fenced."""
+        if address in self.fenced:
+            return False
+        self.fenced.add(address)
+        return True
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.fenced
+
+    def __len__(self) -> int:
+        return len(self.fenced)
+
+
+class SentinelReport:
+    """What one sentinel scan found and repaired."""
+
+    __slots__ = (
+        "phase",
+        "problems",
+        "objects_quarantined",
+        "refs_fenced",
+        "roots_fenced",
+        "stale_bits_cleared",
+        "registry_scrubbed",
+    )
+
+    def __init__(self, phase: str):
+        self.phase = phase
+        self.problems: list[str] = []
+        self.objects_quarantined = 0
+        self.refs_fenced = 0
+        self.roots_fenced = 0
+        self.stale_bits_cleared = 0
+        self.registry_scrubbed = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def repairs(self) -> int:
+        return (
+            self.objects_quarantined
+            + self.refs_fenced
+            + self.roots_fenced
+            + self.stale_bits_cleared
+            + self.registry_scrubbed
+        )
+
+    def render(self) -> str:
+        head = f"sentinel[{self.phase}]: {len(self.problems)} problem(s), {self.repairs()} repair(s)"
+        return head + "".join(f"\n  {p}" for p in self.problems)
+
+
+def run_sentinel(
+    vm: "VirtualMachine",
+    quarantine: Quarantine,
+    *,
+    phase: str = "pre-gc",
+    expect_clear_bits: bool = True,
+) -> SentinelReport:
+    """Repair scan behind the hardened collectors' pre/post-GC sentinel.
+
+    Unlike :func:`verify_heap` (detect and raise), this *fixes* what it can:
+    freed-bit zombies are evicted and fenced, stale MARK/OWNED bits cleared,
+    dangling strong/weak slots and roots nulled, region queues purged, and
+    assertion-registry entries for vanished addresses scrubbed.  The caller
+    is responsible for only asking for ``expect_clear_bits`` when lazy sweep
+    debt has been repaid (survivors legitimately carry MARK bits until their
+    chunk is swept).
+    """
+    report = SentinelReport(phase)
+    heap = vm.heap
+
+    # Pass 1: headers + zombies.  Snapshot the table first — eviction mutates it.
+    zombies = []
+    for obj in list(heap):
+        if obj.status & hdr.FREED_BIT:
+            report.problems.append(f"{obj!r}: freed object still in address table")
+            zombies.append(obj)
+            continue
+        if expect_clear_bits and obj.status & (hdr.MARK_BIT | hdr.OWNED_BIT):
+            report.problems.append(f"{obj!r}: stale MARK/OWNED bits outside a collection")
+            obj.clear(hdr.MARK_BIT)
+            obj.clear(hdr.OWNED_BIT)
+            report.stale_bits_cleared += 1
+    for obj in zombies:
+        address = obj.address
+        heap.evict(obj)
+        if quarantine.fence(address):
+            report.objects_quarantined += 1
+
+    # Pass 2: dangling strong/weak slots (after zombie eviction so references
+    # into an evicted zombie are fenced too).
+    for obj in heap:
+        slots = obj.slots
+        for idx in obj.reference_slot_indices():
+            ref = slots[idx]
+            if ref != NULL and not heap.contains(ref):
+                report.problems.append(f"{obj!r}: dangling reference {ref:#x} nulled")
+                slots[idx] = NULL
+                report.refs_fenced += 1
+        if obj.has_weak_slots:
+            for idx in obj.weak_slot_indices():
+                weak = slots[idx]
+                if weak != NULL and not heap.contains(weak):
+                    report.problems.append(f"{obj!r}: dangling weak reference {weak:#x} nulled")
+                    slots[idx] = NULL
+                    report.refs_fenced += 1
+
+    # Pass 3: roots and region queues.
+    dangling_roots: set[int] = set()
+    for description, address in vm.root_entries():
+        if not heap.contains(address):
+            report.problems.append(f"root {description}: dangling address {address:#x} nulled")
+            dangling_roots.add(address)
+    if dangling_roots:
+        vm.null_roots(dangling_roots)
+        report.roots_fenced += len(dangling_roots)
+    for thread in vm.threads:
+        stale = [a for a in thread.region_queue if not heap.contains(a)]
+        if stale:
+            report.problems.append(
+                f"thread {thread.name!r}: region queue held {len(stale)} dead address(es)"
+            )
+            thread.purge_freed(set(stale))
+
+    # Pass 4: assertion-registry scrub — a stale entry corrupts checking after
+    # address reuse, so entries for vanished addresses are dropped outright.
+    engine = vm.engine
+    if engine is not None:
+        registry = engine.registry
+        for address in [a for a in registry.dead_sites if not heap.contains(a)]:
+            report.problems.append(f"registry: dead site for vanished {address:#x} scrubbed")
+            del registry.dead_sites[address]
+            report.registry_scrubbed += 1
+        for address in [a for a in registry.unshared_sites if not heap.contains(a)]:
+            report.problems.append(f"registry: unshared site for vanished {address:#x} scrubbed")
+            del registry.unshared_sites[address]
+            report.registry_scrubbed += 1
+        for owner_address in [a for a in registry.owners if not heap.contains(a)]:
+            report.problems.append(f"registry: owner record for vanished {owner_address:#x} scrubbed")
+            registry.drop_owner(owner_address)
+            report.registry_scrubbed += 1
+        dead_ownees = [a for a in registry.ownee_owner if not heap.contains(a)]
+        for ownee_address in dead_ownees:
+            owner_address = registry.ownee_owner.pop(ownee_address)
+            record = registry.owners.get(owner_address)
+            if record is not None:
+                record.remove(ownee_address)
+            report.problems.append(f"registry: vanished ownee {ownee_address:#x} scrubbed")
+            report.registry_scrubbed += 1
+
+    return report

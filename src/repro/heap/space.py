@@ -38,12 +38,22 @@ class Space:
         self.bytes_in_use = 0
         self._base = base_address
         self._cursor = base_address
+        #: Fault-injection hook: while positive, capacity checks refuse the
+        #: next N requests as if the space were full (see repro.faults).
+        self._fault_refusals = 0
 
     @property
     def bytes_free(self) -> int:
         return self.capacity_bytes - self.bytes_in_use
 
+    def deny_next(self, count: int = 1) -> None:
+        """Arm ``count`` simulated allocation failures (fault injection)."""
+        self._fault_refusals += count
+
     def can_fit(self, nbytes: int) -> bool:
+        if self._fault_refusals:
+            self._fault_refusals -= 1
+            return False
         return self.bytes_in_use + nbytes <= self.capacity_bytes
 
     def _bump(self, nbytes: int) -> int:
@@ -129,10 +139,25 @@ class FreeListSpace(Space):
 
     def commit(self, address: int, cell: int) -> bool:
         """Charge and record a reserved cell; False when capacity is gone."""
+        if self._fault_refusals:
+            self._fault_refusals -= 1
+            return False
         if self.bytes_in_use + cell > self.capacity_bytes:
             return False
         self._record(address, cell)
         return True
+
+    def uncommit(self, address: int, cell: int) -> None:
+        """Undo one :meth:`commit`'s byte charge without recycling the cell.
+
+        Quarantine repair path: when a commit lands on an address the space
+        already tracked (corrupted free-list metadata handed the same cell
+        out twice), the ``_record`` overwrite left ``bytes_in_use`` charged
+        twice for one cell.  The hardened allocator fences the address and
+        calls this to drop the double charge; the cell itself stays recorded
+        and is deliberately never reused.
+        """
+        self.bytes_in_use -= cell
 
     def release_run(self, cell: int, addresses: list[int]) -> None:
         """Return unused reserved cells to the free list (cache flush)."""

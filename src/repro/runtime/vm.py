@@ -74,6 +74,8 @@ class VirtualMachine:
         sweep_mode: Optional[str] = None,
         telemetry: Union[bool, Telemetry] = True,
         tracing: Union[bool, "SpanTracer"] = False,
+        hardened: bool = False,
+        max_heap_bytes: Optional[int] = None,
     ):
         self.classes = ClassRegistry()
         self.engine: Optional[AssertionEngine] = (
@@ -93,6 +95,12 @@ class VirtualMachine:
                     f"unknown collector {collector!r}; pick from {sorted(_COLLECTORS)}"
                 ) from None
             kwargs = {}
+            if hardened:
+                # Fault tolerance opt-in: integrity sentinel, quarantine,
+                # engine degradation, OOM recovery (see DESIGN.md).
+                kwargs["hardened"] = True
+            if max_heap_bytes is not None:
+                kwargs["max_heap_bytes"] = max_heap_bytes
             if collector == "generational" and nursery_fraction is not None:
                 kwargs["nursery_fraction"] = nursery_fraction
             if sweep_mode is not None:

@@ -105,7 +105,12 @@ class SnapshotSink:
         self.started = time.perf_counter()
 
     def flush(self) -> dict:
-        """Serialize the buffered rows; returns the writer's summary."""
+        """Serialize the buffered rows; returns the writer's summary.
+
+        Any serialization failure aborts the writer (unlinking its temp
+        files) before propagating, so a fault mid-flush can never publish
+        a truncated snapshot at the final path.
+        """
         writer = SnapshotWriter(
             self.path,
             collector=self.collector_name,
@@ -113,37 +118,43 @@ class SnapshotSink:
             trigger=self.trigger,
             heap_bytes=self.heap_bytes,
         )
-        for desc, addr in self.roots:
-            writer.write_root(desc, addr)
-        if self.moving:
-            for addr, obj, alloc_seq, children in self.rows:
-                edges = (
-                    [c for c in children if c != NULL] if children is not None else []
-                )
-                writer.write_object(
-                    addr,
-                    obj.cls.name,
-                    obj.size_bytes,
-                    obj.status & ~_TRANSIENT_BITS,
-                    alloc_seq,
-                    obj.alloc_site,
-                    edges,
-                )
-        else:
-            table = self.heap.address_table()
-            for addr in self.rows:
-                obj = table[addr]
-                edges = [c for c in obj.reference_slots() if c != NULL]
-                writer.write_object(
-                    addr,
-                    obj.cls.name,
-                    obj.size_bytes,
-                    obj.status & ~_TRANSIENT_BITS,
-                    obj.alloc_seq,
-                    obj.alloc_site,
-                    edges,
-                )
-        return writer.finish()
+        try:
+            for desc, addr in self.roots:
+                writer.write_root(desc, addr)
+            if self.moving:
+                for addr, obj, alloc_seq, children in self.rows:
+                    edges = (
+                        [c for c in children if c != NULL]
+                        if children is not None
+                        else []
+                    )
+                    writer.write_object(
+                        addr,
+                        obj.cls.name,
+                        obj.size_bytes,
+                        obj.status & ~_TRANSIENT_BITS,
+                        alloc_seq,
+                        obj.alloc_site,
+                        edges,
+                    )
+            else:
+                table = self.heap.address_table()
+                for addr in self.rows:
+                    obj = table[addr]
+                    edges = [c for c in obj.reference_slots() if c != NULL]
+                    writer.write_object(
+                        addr,
+                        obj.cls.name,
+                        obj.size_bytes,
+                        obj.status & ~_TRANSIENT_BITS,
+                        obj.alloc_seq,
+                        obj.alloc_site,
+                        edges,
+                    )
+            return writer.finish()
+        except BaseException:
+            writer.abort()
+            raise
 
 
 def capture_snapshot(
@@ -181,33 +192,37 @@ def _capture_walk(vm: "VirtualMachine", path: str, trigger: str) -> dict:
         trigger=trigger,
         heap_bytes=collector.heap_bytes,
     )
-    visited: set[int] = set()
-    stack: list[int] = []
-    for desc, addr in vm.root_entries():
-        if addr == NULL:
-            continue
-        writer.write_root(desc, addr)
-        if addr not in visited:
-            visited.add(addr)
-            stack.append(addr)
-    get = heap.get
-    while stack:
-        obj = get(stack.pop())
-        edges = [c for c in obj.reference_slots() if c != NULL]
-        writer.write_object(
-            obj.address,
-            obj.cls.name,
-            obj.size_bytes,
-            obj.status & ~_TRANSIENT_BITS,
-            obj.alloc_seq,
-            obj.alloc_site,
-            edges,
-        )
-        for child in edges:
-            if child not in visited:
-                visited.add(child)
-                stack.append(child)
-    return writer.finish()
+    try:
+        visited: set[int] = set()
+        stack: list[int] = []
+        for desc, addr in vm.root_entries():
+            if addr == NULL:
+                continue
+            writer.write_root(desc, addr)
+            if addr not in visited:
+                visited.add(addr)
+                stack.append(addr)
+        get = heap.get
+        while stack:
+            obj = get(stack.pop())
+            edges = [c for c in obj.reference_slots() if c != NULL]
+            writer.write_object(
+                obj.address,
+                obj.cls.name,
+                obj.size_bytes,
+                obj.status & ~_TRANSIENT_BITS,
+                obj.alloc_seq,
+                obj.alloc_site,
+                edges,
+            )
+            for child in edges:
+                if child not in visited:
+                    visited.add(child)
+                    stack.append(child)
+        return writer.finish()
+    except BaseException:
+        writer.abort()
+        raise
 
 
 def _record_snapshot_event(

@@ -30,6 +30,7 @@ beyond the index entry.
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import ReproError
@@ -104,7 +105,11 @@ class SnapshotWriter:
         heap_bytes: int = 0,
     ):
         self.path = path
-        self._file = open(path, "w")
+        # Crash consistency: the body streams into a temp file and is
+        # atomically renamed in finish(), so a mid-serialization failure can
+        # never leave a truncated .jsonl/.idx.json pair at the final paths.
+        self._tmp_path = path + ".tmp"
+        self._file = open(self._tmp_path, "w")
         self._offsets: dict[int, int] = {}
         self._types: dict[str, list[int]] = {}
         self.objects = 0
@@ -162,7 +167,14 @@ class SnapshotWriter:
         )
 
     def finish(self) -> dict:
-        """Write the summary line and the sidecar index; returns the summary."""
+        """Write the summary line and the sidecar index; returns the summary.
+
+        Both files are written to temp paths first, then published with
+        ``os.replace`` — body *before* index, so a crash between the two
+        renames leaves at worst a stale index next to a fresh body, which
+        :func:`read_object`'s offset sanity check already tolerates.  The
+        recorded byte offsets stay valid: a rename never moves file content.
+        """
         summary = {
             "kind": "summary",
             "objects": self.objects,
@@ -181,10 +193,29 @@ class SnapshotWriter:
             "types": summary["types"],
             "offsets": {str(addr): off for addr, off in self._offsets.items()},
         }
-        with open(index_path(self.path), "w") as handle:
+        index_tmp = index_path(self.path) + ".tmp"
+        with open(index_tmp, "w") as handle:
             json.dump(index, handle)
             handle.write("\n")
+        os.replace(self._tmp_path, self.path)
+        os.replace(index_tmp, index_path(self.path))
         return summary
+
+    def abort(self) -> None:
+        """Discard a partially written snapshot: close and unlink the temps.
+
+        The final ``path``/``.idx.json`` names are untouched — a previous
+        good snapshot at the same path survives a failed rewrite.
+        """
+        try:
+            self._file.close()
+        except Exception:
+            pass
+        for tmp in (self._tmp_path, index_path(self.path) + ".tmp"):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def _parse_lines(path: str) -> Iterator[dict]:

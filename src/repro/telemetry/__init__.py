@@ -37,7 +37,7 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.telemetry.census import ClassCensus, take_census
-from repro.telemetry.events import EventRing, GcEvent, SnapshotEvent
+from repro.telemetry.events import DegradedEvent, EventRing, GcEvent, SnapshotEvent
 from repro.telemetry.histogram import LogHistogram
 from repro.telemetry.sinks import (
     JsonlSink,
@@ -53,6 +53,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "ClassCensus",
+    "DegradedEvent",
     "EventRing",
     "GcEvent",
     "JsonlSink",
@@ -67,6 +68,27 @@ __all__ = [
 
 #: Default number of per-collection events retained on the VM.
 DEFAULT_RING_CAPACITY = 256
+
+#: Circuit breaker: consecutive failed *events* (each already retried once)
+#: before a sink is opened.  Deliberately above the two-event failure window
+#: the basic resilience test exercises.
+_BREAKER_THRESHOLD = 3
+
+#: Events skipped while a breaker is open, doubling per trip up to the cap.
+#: Event counts (not wall clock) keep the backoff deterministic.
+_BREAKER_COOLDOWN_INITIAL = 4
+_BREAKER_COOLDOWN_MAX = 64
+
+
+class _SinkState:
+    """Per-sink circuit-breaker state (keyed by ``id(sink)``)."""
+
+    __slots__ = ("failures", "skip_remaining", "cooldown")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.skip_remaining = 0
+        self.cooldown = _BREAKER_COOLDOWN_INITIAL
 
 
 class _PendingCollection:
@@ -122,6 +144,16 @@ class Telemetry:
         #: purpose: snapshots are rare and each record is a few words).
         self.snapshots: list[SnapshotEvent] = []
         self.sink_errors = 0
+        #: Recovery-path activations by kind ("heap", "engine", "sink",
+        #: "snapshot", "heap_grown") and their event records.
+        self.degradations: dict[str, int] = {}
+        self.degradation_events: list[DegradedEvent] = []
+        #: Circuit-breaker bookkeeping: retries attempted, events skipped
+        #: while a breaker was open, and breaker trips.
+        self.sink_retries = 0
+        self.sink_events_skipped = 0
+        self.sink_breaker_trips = 0
+        self._sink_states: dict[int, _SinkState] = {}
 
     # -- wiring -----------------------------------------------------------------------
 
@@ -135,6 +167,47 @@ class Telemetry:
                 sink.close()
             except Exception:
                 self.sink_errors += 1
+
+    def _emit(self, event) -> None:
+        """Stream one event to every sink, behind a per-sink circuit breaker.
+
+        A failing emit gets one immediate retry; a still-failing event
+        counts a single ``sink_errors`` increment.  After
+        ``_BREAKER_THRESHOLD`` consecutive failed events the sink's breaker
+        opens and events are skipped for a cooldown (doubling per trip, up
+        to a cap) measured in *events*, so behavior stays deterministic.  A
+        successful emit closes the breaker and resets the cooldown.
+        Exporter failures must never propagate into the mutator or a pause.
+        """
+        states = self._sink_states
+        for sink in self.sinks:
+            state = states.get(id(sink))
+            if state is None:
+                state = states[id(sink)] = _SinkState()
+            if state.skip_remaining > 0:
+                state.skip_remaining -= 1
+                self.sink_events_skipped += 1
+                continue
+            try:
+                sink.emit(event)
+            except Exception:
+                self.sink_retries += 1
+                try:
+                    sink.emit(event)
+                except Exception:
+                    self.sink_errors += 1
+                    state.failures += 1
+                    if state.failures >= _BREAKER_THRESHOLD:
+                        state.skip_remaining = state.cooldown
+                        state.cooldown = min(state.cooldown * 2, _BREAKER_COOLDOWN_MAX)
+                        state.failures = 0
+                        self.sink_breaker_trips += 1
+                    continue
+                state.failures = 0
+                state.cooldown = _BREAKER_COOLDOWN_INITIAL
+            else:
+                state.failures = 0
+                state.cooldown = _BREAKER_COOLDOWN_INITIAL
 
     # -- emit path (collectors call these) ----------------------------------------------
 
@@ -177,11 +250,15 @@ class Telemetry:
             duration_s=duration_s,
         )
         self.snapshots.append(event)
-        for sink in self.sinks:
-            try:
-                sink.emit(event)
-            except Exception:
-                self.sink_errors += 1
+        self._emit(event)
+        return event
+
+    def record_degradation(self, kind: str, detail: str, seq: int = 0) -> DegradedEvent:
+        """Record one recovery-path activation and stream it to the sinks."""
+        self.degradations[kind] = self.degradations.get(kind, 0) + 1
+        event = DegradedEvent(event="degraded", kind=kind, seq=seq, detail=detail)
+        self.degradation_events.append(event)
+        self._emit(event)
         return event
 
     def begin_collection(
@@ -239,12 +316,9 @@ class Telemetry:
             take_census(collector.heap, skip=collector.pending_garbage_predicate()),
             gc_number=event.seq,
         )
-        for sink in self.sinks:
-            try:
-                sink.emit(event)
-            except Exception:
-                # Exporter failures must never propagate into a GC pause.
-                self.sink_errors += 1
+        # Exporter failures must never propagate into a GC pause; _emit
+        # contains them behind the per-sink circuit breaker.
+        self._emit(event)
         return event
 
     # -- reporting --------------------------------------------------------------------
@@ -270,6 +344,11 @@ class Telemetry:
             "violations_by_kind": dict(self.violations_by_kind),
             "snapshots": [event.as_dict() for event in self.snapshots],
             "sink_errors": self.sink_errors,
+            "sink_retries": self.sink_retries,
+            "sink_events_skipped": self.sink_events_skipped,
+            "sink_breaker_trips": self.sink_breaker_trips,
+            "degradations": dict(self.degradations),
+            "degradation_events": [event.as_dict() for event in self.degradation_events],
         }
 
     def render(self, census_top: int = 8, recent_events: int = 5) -> str:
@@ -325,6 +404,19 @@ class Telemetry:
             lines.append(f"heap snapshots ({len(self.snapshots)} written):")
             for event in self.snapshots[-3:]:
                 lines.append(f"  {event.render()}")
+        if self.degradations:
+            rendered = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.degradations.items())
+            )
+            lines.append(f"degradations: {rendered}")
+            for event in self.degradation_events[-3:]:
+                lines.append(f"  {event.render()}")
+        if self.sink_breaker_trips:
+            lines.append(
+                f"sink breaker: {self.sink_breaker_trips} trip(s), "
+                f"{self.sink_events_skipped} event(s) skipped, "
+                f"{self.sink_retries} retry(ies)"
+            )
         events = self.events.snapshot()
         if events:
             lines.append(f"recent collections (last {min(recent_events, len(events))}):")

@@ -103,6 +103,29 @@ class SnapshotEvent:
         )
 
 
+@dataclass(frozen=True)
+class DegradedEvent:
+    """One recovery-path activation (``degraded`` in the event stream).
+
+    Emitted when a hardened layer absorbs a fault instead of crashing:
+    heap corruption quarantined (``heap``), assertion engine disabled for
+    one pause (``engine``), a sink circuit breaker tripping (``sink``),
+    snapshot serialization failing (``snapshot``), or the heap growing
+    under OOM pressure (``heap_grown``).
+    """
+
+    event: str               #: always "degraded" (sink discriminator)
+    kind: str                #: "heap" | "engine" | "sink" | "snapshot" | "heap_grown"
+    seq: int                 #: collection ordinal when the fault was absorbed
+    detail: str              #: human-readable cause summary
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return f"degraded[{self.kind}] gc#{self.seq}: {self.detail}"
+
+
 class EventRing:
     """Bounded FIFO of the most recent :class:`GcEvent` records.
 
