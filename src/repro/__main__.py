@@ -25,6 +25,12 @@ Commands:
   piggyback-cost attribution.
 * ``top``       — live terminal view of a running workload: pause
   percentiles, sweep debt, census slopes, hottest GC phases.
+* ``monitor``   — continuous heap-health monitoring: run a workload under
+  MMU/utilization timelines and pause-SLO error budgets with burn-rate
+  alerts (``--serve PORT`` exposes ``/metrics`` ``/health`` ``/slo`` over
+  HTTP, ``--watch`` repaints a live SLO view, ``--chaos-seed`` injects a
+  seeded fault schedule); exits 1 when an alert is firing or a budget is
+  exhausted, 2 on bad monitor configuration.
 * ``chaos``     — fault-injection soak: run a seeded fault schedule
   (header-bit flips, dangling refs, free-list corruption, allocation
   failure, raising reactions/sinks/snapshots) across the
@@ -314,6 +320,88 @@ def cmd_top(args) -> int:
         heap_bytes=args.heap, collector=args.collector, tracing=True
     )
     rc = run_top(vm, runner, interval=args.interval, frames=args.frames)
+    return rc or _violations_exit(vm)
+
+
+def cmd_monitor(args) -> int:
+    """Run a workload under continuous heap-health monitoring."""
+    from repro.errors import ConfigurationError, ReproError
+    from repro.monitor import (
+        MonitorHub,
+        MonitorServer,
+        default_slos,
+        render_monitor_frame,
+        run_monitor,
+    )
+    from repro.runtime.vm import VirtualMachine
+
+    runner, label, rc = _resolve_workload_runner(args)
+    if runner is None:
+        return rc
+
+    chaotic = args.chaos_seed is not None
+    try:
+        slos = default_slos(
+            pause_p99_s=args.pause_slo_ms / 1e3,
+            mmu_floor=args.mmu_floor,
+        )
+        hub = MonitorHub(slos)
+        vm = VirtualMachine(
+            heap_bytes=args.heap,
+            collector=args.collector,
+            # Chaos runs go to the hardened collector with growth headroom,
+            # same contract as `repro chaos` (faults are absorbed, not fatal).
+            hardened=chaotic,
+            max_heap_bytes=args.heap * 2 if chaotic else None,
+            monitor=hub,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        print(f"monitor configuration error: {exc}")
+        return 2
+
+    if chaotic:
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.one_of_each(args.chaos_seed)
+        workload = runner
+
+        def runner(vm):
+            injector = FaultInjector(vm, plan).attach()
+            try:
+                workload(vm)
+                injector.apply_remaining()
+                vm.gc("monitor: post-chaos settle")
+            except ReproError as exc:
+                # Documented degradation outcome, not a monitor failure —
+                # the SLO engine judges it via the degradation stream.
+                print(f"(workload absorbed a fault: {exc})")
+            finally:
+                injector.detach()
+
+    server = None
+    if args.serve is not None:
+        server = MonitorServer(hub, port=args.serve).start()
+        print(f"serving /metrics /health /slo at {server.url}")
+    try:
+        if args.watch:
+            rc = run_monitor(
+                vm, hub, runner, interval=args.interval, frames=args.frames
+            )
+        else:
+            runner(vm)
+            if vm.stats.collections == 0:
+                vm.gc("monitor: final collection")
+            print(f"workload {label!r} on {vm.collector.describe()}")
+            print()
+            print(render_monitor_frame(vm, hub, 1, hub.uptime_s()))
+            rc = hub.slos.exit_code() if hub.slos is not None else 0
+            if rc:
+                firing = [r.objective.name for r in hub.slos.firing()]
+                spent = [r.objective.name for r in hub.slos.exhausted()]
+                print(f"SLO breach: firing={firing} exhausted={spent}")
+    finally:
+        if server is not None:
+            server.stop()
     return rc or _violations_exit(vm)
 
 
@@ -777,6 +865,60 @@ def main(argv=None) -> int:
         help="exit after N frames (for scripting/CI; default: run to completion)",
     )
 
+    monitor = add_command(
+        "monitor",
+        "continuous heap-health monitoring: MMU, SLO budgets, burn-rate alerts",
+        "monitor --workload lusearch --serve 9464 --watch",
+    )
+    add_workload_arguments(monitor)
+    monitor.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics /health /slo on this port while running "
+        "(0 = ephemeral)",
+    )
+    monitor.add_argument(
+        "--watch",
+        action="store_true",
+        help="repaint a live SLO/utilization view while the workload runs",
+    )
+    monitor.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="--watch: seconds between repaints (default: %(default)s)",
+    )
+    monitor.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--watch: exit after N frames (for scripting/CI)",
+    )
+    monitor.add_argument(
+        "--pause-slo-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="p99 pause objective in milliseconds (default: %(default)s)",
+    )
+    monitor.add_argument(
+        "--mmu-floor",
+        type=float,
+        default=0.3,
+        help="MMU(100ms) floor objective (default: %(default)s)",
+    )
+    monitor.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a seeded fault schedule on a hardened VM "
+        "(drives degradation SLOs)",
+    )
+
     chaos = add_command(
         "chaos",
         "fault-injection soak across the collector matrix",
@@ -809,6 +951,7 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "stats": cmd_stats,
         "top": cmd_top,
+        "monitor": cmd_monitor,
         "chaos": cmd_chaos,
         "minij": cmd_minij,
     }

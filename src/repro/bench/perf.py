@@ -434,6 +434,70 @@ def bench_faults(workload: str = "pseudojbb", trials: int = 3) -> dict:
     }
 
 
+# -- continuous-monitoring ablation -----------------------------------------------------
+
+
+def bench_monitor(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """GC time with the continuous-monitoring hub armed vs telemetry alone.
+
+    The monitoring layer's acceptance bar: with a hub and the full stock
+    SLO catalog attached, GC time must stay within ~5% of the same VM
+    running telemetry without a monitor, and every deterministic work
+    counter must be bit-identical — the hub is a sink, it observes
+    collections and must never change them.  Both legs run telemetry so
+    the ratio prices exactly the monitor increment (time-series appends,
+    MMU evaluation, SLO probes per collection), not telemetry itself.
+    Best-of-``trials`` per leg to shave scheduler noise.
+    """
+    from repro.monitor import MonitorHub, default_slos
+
+    suite = build_suite()
+    entry = suite[workload]
+    results: dict[str, dict] = {}
+    alerts_seen = 0
+    for variant in ("off", "armed"):
+        best_gc = float("inf")
+        stats = None
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=entry.heap_bytes, assertions=False, telemetry=True
+            )
+            hub = None
+            if variant == "armed":
+                hub = MonitorHub(default_slos()).attach(vm)
+            entry.run(vm)
+            vm.collector.sweep_all()
+            if vm.stats.gc_seconds < best_gc:
+                best_gc = vm.stats.gc_seconds
+                stats = vm.stats
+            if variant == "armed":
+                alerts_seen = len(hub.alerts)
+        results[variant] = {
+            "best_gc_seconds": best_gc,
+            "collections": stats.collections,
+            "counters": {
+                "objects_traced": stats.objects_traced,
+                "edges_traced": stats.edges_traced,
+                "objects_freed": stats.objects_freed,
+                "bytes_freed": stats.bytes_freed,
+            },
+        }
+    off, armed = results["off"], results["armed"]
+    return {
+        "workload": workload,
+        "trials": trials,
+        "off": off,
+        "armed": armed,
+        "gc_time_ratio": (
+            armed["best_gc_seconds"] / off["best_gc_seconds"]
+            if off["best_gc_seconds"]
+            else 0.0
+        ),
+        "counters_match": off["counters"] == armed["counters"],
+        "alerts_seen": alerts_seen,
+    }
+
+
 # -- eager vs lazy pause comparison -----------------------------------------------------
 
 
@@ -510,6 +574,7 @@ def perf_payload(quick: bool = False) -> dict:
         snapshot = bench_snapshot(trials=2)
         tracing = bench_tracing(trials=2)
         faults = bench_faults(trials=2)
+        monitor = bench_monitor(trials=2)
     else:
         trace = bench_trace()
         alloc = bench_alloc()
@@ -517,11 +582,13 @@ def perf_payload(quick: bool = False) -> dict:
         snapshot = bench_snapshot()
         tracing = bench_tracing()
         faults = bench_faults()
+        monitor = bench_monitor()
     counters_match = (
         trace["counters_match"]
         and snapshot["counters_match"]
         and tracing["counters_match"]
         and faults["counters_match"]
+        and monitor["counters_match"]
         and all(row["counters_match"] for row in pauses.values())
     )
     return {
@@ -535,6 +602,7 @@ def perf_payload(quick: bool = False) -> dict:
         "abl-snapshot": snapshot,
         "abl-tracing": tracing,
         "abl-faults": faults,
+        "abl-monitor": monitor,
         "counters_match": counters_match,
     }
 
@@ -606,6 +674,17 @@ def render_perf(payload: dict) -> str:
             f"({faults['gc_time_ratio']:.2f}x), "
             f"recovery activity {faults['recovery_activity']}, "
             f"counters {'match' if faults['counters_match'] else 'DRIFT'}"
+        )
+    monitor = payload.get("abl-monitor")
+    if monitor is not None:
+        lines.append("monitoring ablation (telemetry-only -> hub + SLO catalog):")
+        lines.append(
+            f"  {monitor['workload']:10} gc time "
+            f"{monitor['off']['best_gc_seconds'] * 1e3:.1f}ms -> "
+            f"{monitor['armed']['best_gc_seconds'] * 1e3:.1f}ms "
+            f"({monitor['gc_time_ratio']:.2f}x), "
+            f"{monitor['alerts_seen']} alert transitions, "
+            f"counters {'match' if monitor['counters_match'] else 'DRIFT'}"
         )
     lines.append(
         "work counters identical across modes: "

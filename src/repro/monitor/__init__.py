@@ -1,0 +1,67 @@
+"""Continuous heap-health monitoring (PR 6).
+
+Turns the repo's event stream into an always-on operational surface:
+bounded time series and MMU/utilization math (:mod:`timeseries`,
+:mod:`mmu`), declarative pause SLOs with error budgets and multi-window
+burn-rate alerts (:mod:`slo`), a composite health report (:mod:`health`),
+a stdlib ``/metrics`` + ``/health`` + ``/slo`` HTTP server
+(:mod:`server`), and the live ``repro monitor`` terminal view
+(:mod:`view`).
+
+The whole subsystem is a telemetry *sink*: arming it adds one sink to
+the fan-out and nothing to allocation or tracing hot paths; a VM built
+without ``monitor=`` carries zero monitoring state.
+"""
+
+from repro.monitor.health import (
+    HEALTH_SCHEMA,
+    health_report,
+    health_score,
+    health_status,
+    validate_health_report,
+)
+from repro.monitor.mmu import (
+    DEFAULT_MMU_WINDOWS,
+    busy_time,
+    merge_intervals,
+    mmu,
+    mmu_curve,
+    utilization_timeline,
+)
+from repro.monitor.server import MonitorServer, render_monitor_metrics
+from repro.monitor.slo import (
+    SLO_SCHEMA,
+    AlertEvent,
+    BurnRateRule,
+    SloObjective,
+    SloSet,
+    default_slos,
+)
+from repro.monitor.timeseries import MonitorHub, TimeSeries
+from repro.monitor.view import render_monitor_frame, run_monitor
+
+__all__ = [
+    "AlertEvent",
+    "BurnRateRule",
+    "DEFAULT_MMU_WINDOWS",
+    "HEALTH_SCHEMA",
+    "MonitorHub",
+    "MonitorServer",
+    "SLO_SCHEMA",
+    "SloObjective",
+    "SloSet",
+    "TimeSeries",
+    "busy_time",
+    "default_slos",
+    "health_report",
+    "health_score",
+    "health_status",
+    "merge_intervals",
+    "mmu",
+    "mmu_curve",
+    "render_monitor_frame",
+    "render_monitor_metrics",
+    "run_monitor",
+    "utilization_timeline",
+    "validate_health_report",
+]

@@ -1,0 +1,148 @@
+"""Minimum mutator utilization (MMU) and utilization timelines.
+
+MMU(w) is the worst-case fraction of any ``w``-second window the mutator
+got to run in, given the stop-the-world pause intervals the collector
+took (Cheng & Blelloch, PLDI 2001).  It is *the* summary of how a GC's
+pauses land on a real-time axis: a 10ms max pause is harmless if pauses
+are rare, and crippling if they arrive back-to-back — MMU tells them
+apart where a pause histogram cannot.
+
+The computation here is **exact**, not sampled.  Busy time
+``busy(s) = Σ overlap(pause, [s, s+w])`` is piecewise linear in the
+window start ``s``: its slope only changes where a window edge crosses a
+pause edge.  The maximum of a piecewise-linear function over a closed
+domain is attained at a breakpoint, so evaluating ``busy`` at every
+pause edge and every ``edge - w`` (clipped to the domain), plus the
+domain endpoints, finds the true worst window.  Tests pin this against a
+brute-force sliding-window oracle with **bit-exact float equality** —
+both sides sum overlaps chronologically, so the floating-point result is
+identical, not merely close.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Window widths (seconds) the monitor reports by default — log-spaced
+#: from "one frame" to "one human attention span".
+DEFAULT_MMU_WINDOWS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Normalize pause intervals: sorted, overlaps coalesced, empties dropped.
+
+    Collectors emit pauses in order and non-overlapping, but the math
+    must not depend on that (ring-buffer eviction, merged streams).
+    """
+    cleaned = sorted((s, e) for s, e in intervals if e > s)
+    merged: list[tuple[float, float]] = []
+    for s, e in cleaned:
+        if merged and s <= merged[-1][1]:
+            if e > merged[-1][1]:
+                merged[-1] = (merged[-1][0], e)
+        else:
+            merged.append((s, e))
+    return merged
+
+
+def busy_time(intervals: Sequence[tuple[float, float]], start: float, end: float) -> float:
+    """Total pause time overlapping ``[start, end]``.
+
+    ``intervals`` must be normalized (:func:`merge_intervals`).  Summation
+    is chronological so any two callers computing the same overlap get the
+    bit-identical float — this is what makes the oracle test exact.
+    """
+    total = 0.0
+    for s, e in intervals:
+        lo = s if s > start else start
+        hi = e if e < end else end
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def mmu(
+    intervals: Iterable[tuple[float, float]],
+    window_s: float,
+    t0: float,
+    t1: float,
+) -> float:
+    """Exact MMU for ``window_s``-wide windows over the span ``[t0, t1]``.
+
+    Returns the minimum over all window placements of
+    ``(window - busy) / window``.  Windows are clipped to the observed
+    span; if the span is shorter than the window, the whole span is the
+    single (shortened) window — by convention the utilization of that
+    span.  An empty span has utilization 1.0 (no time observed, no time
+    stolen).
+    """
+    if window_s <= 0:
+        raise ConfigurationError(f"MMU window must be > 0, got {window_s}")
+    if t1 < t0:
+        raise ConfigurationError(f"bad span: t1={t1} < t0={t0}")
+    merged = merge_intervals(intervals)
+    span = t1 - t0
+    if span == 0.0:
+        return 1.0
+    if span <= window_s:
+        width = span
+        return max(0.0, (width - busy_time(merged, t0, t1)) / width)
+
+    # busy(s) over [s, s+w] is piecewise linear in s; enumerate its
+    # breakpoints: each pause edge as a window start, and each pause
+    # edge minus w (the window *end* touching the edge), clipped.
+    lo, hi = t0, t1 - window_s
+    candidates = {lo, hi}
+    for s, e in merged:
+        for edge in (s, e, s - window_s, e - window_s):
+            if lo <= edge <= hi:
+                candidates.add(edge)
+
+    worst_busy = 0.0
+    for start in sorted(candidates):
+        b = busy_time(merged, start, start + window_s)
+        if b > worst_busy:
+            worst_busy = b
+    return max(0.0, (window_s - worst_busy) / window_s)
+
+
+def mmu_curve(
+    intervals: Iterable[tuple[float, float]],
+    windows: Iterable[float],
+    t0: float,
+    t1: float,
+) -> list[tuple[float, float]]:
+    """``[(window_s, mmu)]`` for each requested window width, sorted."""
+    merged = merge_intervals(intervals)
+    return [(w, mmu(merged, w, t0, t1)) for w in sorted(windows)]
+
+
+def utilization_timeline(
+    intervals: Iterable[tuple[float, float]],
+    t0: float,
+    t1: float,
+    bucket_s: float,
+) -> list[tuple[float, float]]:
+    """Mutator utilization per fixed ``bucket_s`` bucket across ``[t0, t1]``.
+
+    Returns ``[(bucket_start, utilization)]``; the final bucket may be
+    shorter than ``bucket_s`` and is normalized by its true width.  This
+    is the *timeline* view (utilization as a function of when), the
+    complement of the MMU curve (worst case as a function of scale).
+    """
+    if bucket_s <= 0:
+        raise ConfigurationError(f"bucket_s must be > 0, got {bucket_s}")
+    if t1 < t0:
+        raise ConfigurationError(f"bad span: t1={t1} < t0={t0}")
+    merged = merge_intervals(intervals)
+    out: list[tuple[float, float]] = []
+    start = t0
+    while start < t1:
+        end = min(start + bucket_s, t1)
+        width = end - start
+        util = (width - busy_time(merged, start, end)) / width
+        out.append((start, max(0.0, util)))
+        start += bucket_s
+    return out

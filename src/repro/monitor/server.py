@@ -1,0 +1,221 @@
+"""The live serving layer: ``/metrics``, ``/health`` and ``/slo`` over HTTP.
+
+A :class:`MonitorServer` wraps a stdlib ``ThreadingHTTPServer`` on a
+daemon thread — no framework, no new dependency — and serves the pull
+side of the monitor:
+
+* ``/metrics`` — Prometheus text exposition: the PR-1 telemetry exporter
+  verbatim, with the monitor's own families (MMU curve, utilization,
+  health score, alert/budget state) appended in the same format.
+* ``/health`` — the machine-readable health report as JSON; HTTP 200
+  while within SLO, 503 while any alert fires or a budget is exhausted.
+* ``/slo`` — the full SLO status document as JSON (always 200; the
+  *content* says what is burning).
+
+Handlers only read hub state that is appended from the GC's emit path,
+so a scrape races at worst against one in-flight append — both the
+deques and the handler snapshots tolerate that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Optional
+
+from repro.monitor.health import health_report, health_score
+from repro.monitor.mmu import DEFAULT_MMU_WINDOWS
+from repro.telemetry.sinks import _escape_label, _fmt, render_prometheus
+
+if TYPE_CHECKING:
+    from repro.monitor.timeseries import MonitorHub
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_monitor_metrics(hub: "MonitorHub", namespace: str = "repro") -> str:
+    """The monitor's own metric families, exposition-format text.
+
+    Appended after the telemetry exporter's output on ``/metrics``;
+    family names are disjoint from the telemetry exporter's, so the
+    combined document has no duplicate TYPE declarations.
+    """
+    lines: list[str] = []
+
+    def metric(name: str, mtype: str, help_text: str) -> str:
+        full = f"{namespace}_{name}"
+        escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {full} {escaped}")
+        lines.append(f"# TYPE {full} {mtype}")
+        return full
+
+    def sample(full: str, value, labels: Optional[dict] = None) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
+            )
+            lines.append(f"{full}{{{rendered}}} {_fmt(value)}")
+        else:
+            lines.append(f"{full} {_fmt(value)}")
+
+    full = metric("mutator_utilization_ratio", "gauge",
+                  "Mutator utilization over the trailing 1s window.")
+    sample(full, hub.utilization_now())
+
+    full = metric("mmu_ratio", "gauge",
+                  "Minimum mutator utilization per window width.")
+    for window_s, value in hub.mmu_points(DEFAULT_MMU_WINDOWS):
+        sample(full, value, {"window": f"{window_s:g}s"})
+
+    full = metric("monitor_gc_events_total", "counter",
+                  "GC events the monitor hub has ingested.")
+    sample(full, hub.gc_events_seen)
+
+    full = metric("monitor_degradations_total", "counter",
+                  "Recovery-path activations observed, by kind.")
+    for kind, count in sorted(hub.degradations_by_kind.items()):
+        sample(full, count, {"kind": kind})
+
+    full = metric("monitor_alerts_total", "counter",
+                  "Burn-rate alert transitions observed, by state.")
+    firing = sum(1 for a in hub.alerts if a.state == "firing")
+    resolved = sum(1 for a in hub.alerts if a.state == "resolved")
+    sample(full, firing, {"state": "firing"})
+    sample(full, resolved, {"state": "resolved"})
+
+    if hub.slos is not None:
+        full = metric("slo_budget_remaining_ratio", "gauge",
+                      "Error budget remaining per objective (1 = untouched).")
+        for rule in hub.slos.rules:
+            sample(full, rule.budget_remaining(),
+                   {"objective": rule.objective.name})
+        full = metric("slo_firing", "gauge",
+                      "1 while the objective's burn-rate alert is firing.")
+        for rule in hub.slos.rules:
+            sample(full, 1 if rule.firing else 0,
+                   {"objective": rule.objective.name})
+
+    full = metric("heap_health_score", "gauge",
+                  "Composite heap health (0-100; 100 is perfectly healthy).")
+    sample(full, health_score(hub))
+
+    return "\n".join(lines) + "\n"
+
+
+class _MonitorHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; everything else is 404 JSON."""
+
+    server_version = "repro-monitor/1"
+    hub: "MonitorHub"  # set by MonitorServer via the handler subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            self._serve_metrics()
+        elif path == "/health":
+            self._serve_health()
+        elif path == "/slo":
+            self._serve_slo()
+        elif path == "/":
+            self._send_json(200, {
+                "service": "repro-monitor",
+                "endpoints": ["/metrics", "/health", "/slo"],
+            })
+        else:
+            self._send_json(404, {"error": f"no such endpoint {path!r}"})
+
+    def _serve_metrics(self) -> None:
+        hub = self.hub
+        body = ""
+        vm = hub.vm
+        if vm is not None and vm.telemetry is not None and vm.telemetry.enabled:
+            body += render_prometheus(vm.telemetry)
+        body += render_monitor_metrics(hub)
+        payload = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _serve_health(self) -> None:
+        report = health_report(self.hub)
+        self._send_json(report["http_code"], report)
+
+    def _serve_slo(self) -> None:
+        hub = self.hub
+        if hub.slos is None:
+            self._send_json(200, {"schema": "repro-slo/1", "healthy": True,
+                                  "firing": [], "exhausted": [],
+                                  "objectives": []})
+        else:
+            self._send_json(200, hub.slos.status())
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr chatter (the CLI owns the terminal)."""
+
+
+class MonitorServer:
+    """Daemon-threaded HTTP server over a monitor hub.
+
+    ``port=0`` binds an ephemeral port (tests, CI); the bound port is
+    ``server.port`` after :meth:`start`.  The serving thread is a daemon,
+    so a crashing workload never hangs on the exporter.
+    """
+
+    def __init__(self, hub: "MonitorHub", port: int = 0, host: str = "127.0.0.1"):
+        self.hub = hub
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MonitorServer":
+        if self._httpd is not None:
+            return self
+        handler = type("BoundMonitorHandler", (_MonitorHandler,), {"hub": self.hub})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-monitor-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MonitorServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -27,7 +27,7 @@ Example::
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Union
 
 from repro.core.api import GcAssertions
 from repro.core.engine import AssertionEngine
@@ -45,6 +45,9 @@ from repro.runtime.handles import Handle, HandleScope
 from repro.runtime.threads import MutatorThread, StaticRoots
 from repro.telemetry import Telemetry
 from repro.tracing.spans import SpanTracer
+
+if TYPE_CHECKING:
+    from repro.monitor.timeseries import MonitorHub
 
 #: Default heap budget: generous for unit tests, overridden by benchmarks
 #: (which size heaps at 2x the workload minimum, like the paper).
@@ -76,6 +79,7 @@ class VirtualMachine:
         tracing: Union[bool, "SpanTracer"] = False,
         hardened: bool = False,
         max_heap_bytes: Optional[int] = None,
+        monitor: Union[bool, "MonitorHub"] = False,
     ):
         self.classes = ClassRegistry()
         self.engine: Optional[AssertionEngine] = (
@@ -133,6 +137,22 @@ class VirtualMachine:
         else:
             self.span_tracer = SpanTracer() if tracing else None
         self.collector.span_tracer = self.span_tracer
+
+        #: Continuous-monitoring hub (``None`` when built with
+        #: ``monitor=False``, the default — then no monitor object exists
+        #: anywhere and the telemetry fan-out has no extra sink; see
+        #: :mod:`repro.monitor` for the zero-overhead contract).
+        #: ``monitor=True`` arms a hub with the stock SLO catalog; pass a
+        #: pre-built :class:`~repro.monitor.timeseries.MonitorHub` to
+        #: choose objectives.  Requires telemetry (lazy import keeps the
+        #: monitor package off the common construction path).
+        self.monitor: Optional["MonitorHub"] = None
+        if monitor:
+            from repro.monitor.slo import default_slos
+            from repro.monitor.timeseries import MonitorHub as _Hub
+
+            hub = monitor if isinstance(monitor, _Hub) else _Hub(default_slos())
+            hub.attach(self)
 
         self.statics = StaticRoots()
         self.threads: list[MutatorThread] = []

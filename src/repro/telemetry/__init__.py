@@ -37,13 +37,20 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.telemetry.census import ClassCensus, take_census
-from repro.telemetry.events import DegradedEvent, EventRing, GcEvent, SnapshotEvent
+from repro.telemetry.events import (
+    EVENT_SCHEMA,
+    DegradedEvent,
+    EventRing,
+    GcEvent,
+    SnapshotEvent,
+)
 from repro.telemetry.histogram import LogHistogram
 from repro.telemetry.sinks import (
     JsonlSink,
     MemorySink,
     TelemetrySink,
     render_prometheus,
+    validate_exposition,
 )
 
 if TYPE_CHECKING:
@@ -54,6 +61,7 @@ if TYPE_CHECKING:
 __all__ = [
     "ClassCensus",
     "DegradedEvent",
+    "EVENT_SCHEMA",
     "EventRing",
     "GcEvent",
     "JsonlSink",
@@ -64,6 +72,7 @@ __all__ = [
     "TelemetrySink",
     "render_prometheus",
     "take_census",
+    "validate_exposition",
 ]
 
 #: Default number of per-collection events retained on the VM.
@@ -253,10 +262,20 @@ class Telemetry:
         self._emit(event)
         return event
 
+    def broadcast(self, event) -> None:
+        """Stream a typed out-of-band event (e.g. a monitor ``AlertEvent``)
+        to every sink, behind the same per-sink circuit breakers the GC
+        event stream uses.  The event must expose ``as_dict()``/``render()``
+        like the other sink payloads."""
+        self._emit(event)
+
     def record_degradation(self, kind: str, detail: str, seq: int = 0) -> DegradedEvent:
         """Record one recovery-path activation and stream it to the sinks."""
         self.degradations[kind] = self.degradations.get(kind, 0) + 1
-        event = DegradedEvent(event="degraded", kind=kind, seq=seq, detail=detail)
+        event = DegradedEvent(
+            event="degraded", kind=kind, seq=seq, detail=detail,
+            wall_time=time.time(),
+        )
         self.degradation_events.append(event)
         self._emit(event)
         return event
@@ -275,7 +294,8 @@ class Telemetry:
     def finish_collection(
         self, pending: _PendingCollection, collector: "Collector"
     ) -> GcEvent:
-        pause = time.perf_counter() - pending.start
+        end_mono = time.perf_counter()
+        pause = end_mono - pending.start
         stats = collector.stats
         delta = stats.diff(pending.stats_before)
         event = GcEvent(
@@ -302,6 +322,8 @@ class Telemetry:
             ownees_checked=delta.ownees_checked,
             violations=delta.violations_detected,
             sweep_debt_chunks=collector.sweep_debt(),
+            wall_time=time.time(),
+            mono_time=end_mono,
         )
         self.events.append(event)
         self.collections_by_kind[event.kind] = (

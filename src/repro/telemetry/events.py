@@ -12,8 +12,13 @@ it is produced.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Iterator, Optional
+
+#: GC-event row schema, stamped into every JSONL row.  Version 2 added the
+#: wall-clock/monotonic timestamp pair; version-1 rows (no ``schema`` key,
+#: no timestamps) still load through :meth:`GcEvent.from_row`.
+EVENT_SCHEMA = "repro-gc-event/2"
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,15 @@ class GcEvent:
     #: reclamation was exact when the event was emitted).  Defaulted so
     #: pre-existing constructors stay valid.
     sweep_debt_chunks: int = 0
+    #: Wall-clock epoch seconds (``time.time()``) at pause end.  The
+    #: monotonic clock below is the one to do arithmetic on; this one is
+    #: the one that correlates across processes and with external logs.
+    #: Defaulted so version-1 constructors (and rows) stay valid.
+    wall_time: float = 0.0
+    #: ``time.perf_counter()`` at pause end, on the same clock as every
+    #: other timer in the system.  ``(mono_time - pause_s, mono_time)`` is
+    #: the stop-the-world interval MMU/utilization math consumes.
+    mono_time: float = 0.0
 
     @property
     def occupancy_before(self) -> float:
@@ -55,11 +69,28 @@ class GcEvent:
     def occupancy_after(self) -> float:
         return self.bytes_after / self.heap_bytes if self.heap_bytes else 0.0
 
+    @property
+    def pause_interval(self) -> tuple[float, float]:
+        """The stop-the-world interval on the monotonic clock."""
+        return (self.mono_time - self.pause_s, self.mono_time)
+
     def as_dict(self) -> dict:
         row = asdict(self)
+        row["schema"] = EVENT_SCHEMA
         row["occupancy_before"] = self.occupancy_before
         row["occupancy_after"] = self.occupancy_after
         return row
+
+    @classmethod
+    def from_row(cls, row: dict) -> "GcEvent":
+        """Rebuild an event from a JSONL sink row, any schema version.
+
+        Version-1 rows carry no ``schema`` key and no timestamps; their
+        defaults fill in as 0.0.  Derived keys (``occupancy_*``) and any
+        future unknown keys are ignored, so newer rows also load.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in row.items() if k in known})
 
     def render(self) -> str:
         return (
@@ -118,6 +149,8 @@ class DegradedEvent:
     kind: str                #: "heap" | "engine" | "sink" | "snapshot" | "heap_grown"
     seq: int                 #: collection ordinal when the fault was absorbed
     detail: str              #: human-readable cause summary
+    #: Wall-clock epoch seconds at absorption time (0.0 on version-1 rows).
+    wall_time: float = 0.0
 
     def as_dict(self) -> dict:
         return asdict(self)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import io
 import json
+import re
 from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.telemetry.events import GcEvent
@@ -91,7 +92,15 @@ def _fmt(value: float) -> str:
 
 
 def _escape_label(value: str) -> str:
+    """Escape a label *value* per the exposition format: backslash first,
+    then double-quote and newline (the three characters the format names)."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text: the format requires ``\\`` and newline escaping
+    (quotes are legal in HELP, so they stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
@@ -100,7 +109,7 @@ def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
 
     def metric(name: str, mtype: str, help_text: str) -> str:
         full = f"{namespace}_{name}"
-        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# HELP {full} {_escape_help(help_text)}")
         lines.append(f"# TYPE {full} {mtype}")
         return full
 
@@ -167,3 +176,120 @@ def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
             sample(full, count, {"kind": kind})
 
     return "\n".join(lines) + "\n"
+
+
+# -- exposition-format conformance ------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _scan_label_value(line: str, pos: int) -> Optional[int]:
+    """Scan a quoted label value starting at ``line[pos] == '"'``; returns
+    the index just past the closing quote, or None on a malformed escape
+    or an unterminated value.  Only ``\\\\``, ``\\"`` and ``\\n`` escapes
+    are legal in the exposition format."""
+    i = pos + 1
+    while i < len(line):
+        ch = line[i]
+        if ch == "\\":
+            if i + 1 >= len(line) or line[i + 1] not in ('\\', '"', 'n'):
+                return None
+            i += 2
+        elif ch == '"':
+            return i + 1
+        else:
+            i += 1
+    return None
+
+
+def _validate_sample_line(line: str) -> Optional[str]:
+    """One sample line; returns a problem description or None."""
+    match = _METRIC_NAME_RE.match(line)
+    if match is None:
+        return "does not start with a metric name"
+    i = match.end()
+    if i < len(line) and line[i] == "{":
+        i += 1
+        while True:
+            if i >= len(line):
+                return "unterminated label set"
+            if line[i] == "}":
+                i += 1
+                break
+            name = _LABEL_NAME_RE.match(line, i)
+            if name is None:
+                return f"bad label name at column {i}"
+            i = name.end()
+            if i >= len(line) or line[i] != "=":
+                return f"label {name.group()!r} missing '='"
+            if i + 1 >= len(line) or line[i + 1] != '"':
+                return f"label {name.group()!r} value is not quoted"
+            end = _scan_label_value(line, i + 1)
+            if end is None:
+                return f"label {name.group()!r} value is unterminated or has a bad escape"
+            i = end
+            if i < len(line) and line[i] == ",":
+                i += 1
+    rest = line[i:]
+    if not rest.startswith(" "):
+        return "no space between name/labels and value"
+    parts = rest.strip().split()
+    if not parts or len(parts) > 2:
+        return "expected '<value> [timestamp]' after the metric"
+    value = parts[0]
+    if value not in ("+Inf", "-Inf", "NaN"):
+        try:
+            float(value)
+        except ValueError:
+            return f"unparseable sample value {value!r}"
+    if len(parts) == 2 and not parts[1].lstrip("-").isdigit():
+        return f"unparseable timestamp {parts[1]!r}"
+    return None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Conformance-check Prometheus text exposition format (version 0.0.4).
+
+    Returns a list of problem strings (empty = conformant).  Checks line
+    shapes, metric/label name charsets, label-value escaping, TYPE
+    declarations, and that every sample's name matches a declared metric
+    family (histograms may append ``_bucket``/``_sum``/``_count``).
+    """
+    problems: list[str] = []
+    declared: dict[str, str] = {}
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment, legal
+            name = parts[2]
+            if not _METRIC_NAME_RE.fullmatch(name):
+                problems.append(f"line {lineno}: bad metric name {name!r}")
+            elif parts[1] == "TYPE":
+                mtype = parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in _TYPES:
+                    problems.append(f"line {lineno}: unknown TYPE {mtype!r}")
+                elif name in declared:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                else:
+                    declared[name] = mtype
+            continue
+        problem = _validate_sample_line(line)
+        if problem is not None:
+            problems.append(f"line {lineno}: {problem} in {line!r}")
+            continue
+        name = _METRIC_NAME_RE.match(line).group()
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+                break
+        if declared and family not in declared:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+    return problems

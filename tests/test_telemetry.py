@@ -7,6 +7,7 @@ import pytest
 from repro.heap.object_model import FieldKind
 from repro.runtime.vm import VirtualMachine
 from repro.telemetry import (
+    EVENT_SCHEMA,
     EventRing,
     GcEvent,
     JsonlSink,
@@ -15,6 +16,7 @@ from repro.telemetry import (
     Telemetry,
     render_prometheus,
     take_census,
+    validate_exposition,
 )
 from repro.telemetry.census import ClassCensus
 from tests.conftest import ALL_COLLECTORS, build_chain, make_node_class
@@ -96,6 +98,44 @@ class TestEventStream:
             vm.new_array(FieldKind.INT, 64)
         assert vm.telemetry.alloc_hist.count == before + 2
         assert vm.telemetry.alloc_hist.max_value >= 64 * 8
+
+    def test_wall_and_mono_timestamps_stamped(self, vm, node_class):
+        import time
+
+        wall_before = time.time()
+        _churn(vm, rounds=2)
+        wall_after = time.time()
+        for event in vm.telemetry.events:
+            assert wall_before <= event.wall_time <= wall_after
+            assert event.mono_time > 0.0
+            start, end = event.pause_interval
+            assert end == event.mono_time
+            assert end - start == pytest.approx(event.pause_s)
+        # Events are chronological on the monotonic clock.
+        monos = [e.mono_time for e in vm.telemetry.events]
+        assert monos == sorted(monos)
+
+    def test_rows_are_schema_versioned(self, vm, node_class):
+        _churn(vm, rounds=1)
+        row = vm.telemetry.events.latest.as_dict()
+        assert row["schema"] == EVENT_SCHEMA == "repro-gc-event/2"
+        assert "wall_time" in row and "mono_time" in row
+
+    def test_from_row_loads_current_and_v1_rows(self, vm, node_class):
+        _churn(vm, rounds=1)
+        event = vm.telemetry.events.latest
+        row = json.loads(json.dumps(event.as_dict()))
+        assert GcEvent.from_row(row) == event
+        # A version-1 row: no schema key, no timestamps, no derived keys.
+        v1 = {
+            k: v for k, v in row.items()
+            if k not in ("schema", "wall_time", "mono_time",
+                         "occupancy_before", "occupancy_after")
+        }
+        loaded = GcEvent.from_row(v1)
+        assert loaded.seq == event.seq
+        assert loaded.pause_s == event.pause_s
+        assert loaded.wall_time == 0.0 and loaded.mono_time == 0.0
 
 
 class TestDisabledMode:
@@ -330,3 +370,45 @@ class TestExportFormats:
         assert "collections: 1" in text
         assert "p99=" in text
         assert "Node" in text
+
+    def test_exposition_conformance(self, vm, node_class):
+        build_chain(vm, node_class, 5)
+        vm.gc()
+        assert validate_exposition(render_prometheus(vm.telemetry)) == []
+
+    def test_exposition_escapes_hostile_class_names(self, vm):
+        # Label values carrying the format's three special characters
+        # (backslash, double quote, newline) must be escaped, and HELP
+        # text must survive too — the conformance checker sees both.
+        hostile = vm.define_class(
+            'Weird"Cls\\\nX',
+            [("next", FieldKind.REF), ("value", FieldKind.INT)],
+        )
+        build_chain(vm, hostile, 3, root_name="hostile")
+        vm.gc()
+        text = render_prometheus(vm.telemetry)
+        assert validate_exposition(text) == []
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # The raw specials never appear inside a rendered label value.
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_validator_flags_format_violations(self):
+        assert validate_exposition("") == []
+        cases = {
+            "no trailing newline": "metric 1",
+            "bad escape": 'm{l="a\\q"} 1\n',
+            "unquoted label": "m{l=a} 1\n",
+            "bad value": "m one\n",
+            "unknown type": "# TYPE m flavor\nm 1\n",
+            "undeclared family": "# TYPE a counter\na 1\nb 2\n",
+            "duplicate type": "# TYPE m counter\n# TYPE m gauge\nm 1\n",
+        }
+        for label, text in cases.items():
+            assert validate_exposition(text), f"{label!r} passed validation"
+        # Histogram suffixes bind samples to their declared family.
+        ok = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\nh_sum 1.5\nh_count 3\n'
+        )
+        assert validate_exposition(ok) == []
