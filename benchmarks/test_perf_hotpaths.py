@@ -16,7 +16,14 @@ counter-identity assertions are exact — those are the correctness gate.
 from __future__ import annotations
 
 from benchmarks.conftest import full_scale
-from repro.bench import bench_alloc, bench_pauses, bench_trace, dump_perf, perf_payload
+from repro.bench import (
+    bench_alloc,
+    bench_par_mark,
+    bench_pauses,
+    bench_trace,
+    dump_perf,
+    perf_payload,
+)
 
 
 def test_trace_specialization_speedup(once):
@@ -46,6 +53,20 @@ def test_lazy_sweep_shrinks_pauses_with_identical_work(once):
     assert row["pause_p99_ratio"] < 1.1
     # The sweep work did not vanish — it moved out of the pause.
     assert row["lazy"]["lazy_sweep_seconds"] > 0
+
+
+def test_parallel_mark_scaling_curve(once):
+    result = once(bench_par_mark)
+    assert result["counters_match"], "parallel marking changed what was traced"
+    curve = result["curve"]
+    sequential = result["sequential"]["counters"]
+    for workers, leg in curve.items():
+        assert leg["counters"] == sequential, f"workers={workers} drifted"
+    # The deterministic bound must scale with worker count; measured
+    # wall-clock speedup is recorded but never gated here (GIL, 1-core CI).
+    assert curve["2"]["zone_balance_speedup"] > 1.0
+    assert curve["4"]["zone_balance_speedup"] >= curve["2"]["zone_balance_speedup"]
+    assert result["machine"]["cores"]
 
 
 def test_regenerate_bench_perf_json(once):

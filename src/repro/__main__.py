@@ -58,6 +58,22 @@ def _violations_exit(vm) -> int:
     return 0
 
 
+def _build_vm(**kwargs):
+    """VM construction with option-mismatch faults mapped to usage errors.
+
+    Returns ``None`` after printing the complaint (e.g. ``--gc-workers``
+    with a collector that has no parallel mark phase); callers exit 2.
+    """
+    from repro.errors import RuntimeFault
+    from repro.runtime.vm import VirtualMachine
+
+    try:
+        return VirtualMachine(**kwargs)
+    except RuntimeFault as exc:
+        print(f"configuration error: {exc}")
+        return None
+
+
 def cmd_info(_args) -> int:
     import repro
     from repro.workloads.suite import build_suite
@@ -146,9 +162,13 @@ def cmd_stats(args) -> int:
     except KeyError:
         print(f"unknown workload {args.workload!r}; pick from {sorted(suite)}")
         return 2
-    vm = VirtualMachine(
-        heap_bytes=args.heap or entry.heap_bytes, collector=args.collector
+    vm = _build_vm(
+        heap_bytes=args.heap or entry.heap_bytes,
+        collector=args.collector,
+        gc_workers=args.gc_workers,
     )
+    if vm is None:
+        return 2
     if args.jsonl:
         vm.telemetry.add_sink(JsonlSink(args.jsonl))
     runner = entry.run
@@ -254,9 +274,14 @@ def cmd_trace_run(args) -> int:
     # Mark attribution walks the heap after every mark phase; only pay for
     # it when a flamegraph was requested.
     tracer = SpanTracer(attribute_marks=bool(args.flame))
-    vm = VirtualMachine(
-        heap_bytes=args.heap, collector=args.collector, tracing=tracer
+    vm = _build_vm(
+        heap_bytes=args.heap,
+        collector=args.collector,
+        tracing=tracer,
+        gc_workers=args.gc_workers,
     )
+    if vm is None:
+        return 2
     runner(vm)
     if vm.stats.collections == 0:
         vm.gc("trace: final collection")
@@ -292,9 +317,14 @@ def cmd_trace_report(args) -> int:
     runner, label, rc = _resolve_workload_runner(args)
     if runner is None:
         return rc
-    vm = VirtualMachine(
-        heap_bytes=args.heap, collector=args.collector, tracing=True
+    vm = _build_vm(
+        heap_bytes=args.heap,
+        collector=args.collector,
+        tracing=True,
+        gc_workers=args.gc_workers,
     )
+    if vm is None:
+        return 2
     runner(vm)
     if vm.stats.collections == 0:
         vm.gc("trace: final collection")
@@ -316,16 +346,21 @@ def cmd_top(args) -> int:
     runner, label, rc = _resolve_workload_runner(args)
     if runner is None:
         return rc
-    vm = VirtualMachine(
-        heap_bytes=args.heap, collector=args.collector, tracing=True
+    vm = _build_vm(
+        heap_bytes=args.heap,
+        collector=args.collector,
+        tracing=True,
+        gc_workers=args.gc_workers,
     )
+    if vm is None:
+        return 2
     rc = run_top(vm, runner, interval=args.interval, frames=args.frames)
     return rc or _violations_exit(vm)
 
 
 def cmd_monitor(args) -> int:
     """Run a workload under continuous heap-health monitoring."""
-    from repro.errors import ConfigurationError, ReproError
+    from repro.errors import ConfigurationError, ReproError, RuntimeFault
     from repro.monitor import (
         MonitorHub,
         MonitorServer,
@@ -354,8 +389,9 @@ def cmd_monitor(args) -> int:
             hardened=chaotic,
             max_heap_bytes=args.heap * 2 if chaotic else None,
             monitor=hub,
+            gc_workers=args.gc_workers,
         )
-    except (ConfigurationError, ValueError) as exc:
+    except (ConfigurationError, RuntimeFault, ValueError) as exc:
         print(f"monitor configuration error: {exc}")
         return 2
 
@@ -640,6 +676,14 @@ def main(argv=None) -> int:
     )
     stats.add_argument("--heap", type=int, default=None, help="heap bytes override")
     stats.add_argument(
+        "--gc-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mark with N parallel workers on a zone-sharded heap "
+        "(marksweep/generational; default: sequential unsharded heap)",
+    )
+    stats.add_argument(
         "--assertions",
         action="store_true",
         help="use the benchmark's asserted variant when it has one",
@@ -774,6 +818,14 @@ def main(argv=None) -> int:
             "--assertions",
             action="store_true",
             help="use the workload's asserted variant when it has one",
+        )
+        target.add_argument(
+            "--gc-workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="mark with N parallel workers on a zone-sharded heap "
+            "(marksweep/generational; default: sequential unsharded heap)",
         )
         target.add_argument(
             "--swaps", type=int, default=64, help="swapleak: swap count"
