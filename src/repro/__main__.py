@@ -441,6 +441,79 @@ def cmd_monitor(args) -> int:
     return rc or _violations_exit(vm)
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant assertion service until interrupted."""
+    import signal
+    import threading
+
+    from repro.service import AssertionService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        heap_budget_bytes=args.heap_budget,
+        max_sessions=args.max_sessions,
+        executor_workers=args.workers,
+        hardened=not args.no_hardened,
+    )
+    service = AssertionService(config).start()
+    print(f"serving repro-wire/1 on {config.host}:{service.port}", flush=True)
+    if service.http is not None:
+        print(f"serving /metrics /health /slo at {service.http.url}", flush=True)
+    print(
+        f"admission budget: {config.heap_budget_bytes} heap bytes"
+        + (f", {config.max_sessions} sessions max" if config.max_sessions else ""),
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _graceful)
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        service.stop()
+        snap = service.admission.snapshot()
+        print(
+            f"shutdown: {snap['admitted_total']} session(s) admitted, "
+            f"{snap['rejected_total']} rejected, peak {snap['peak_sessions']} "
+            f"concurrent"
+        )
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive open-loop load at an assertion service."""
+    from repro.service import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        sessions=args.sessions,
+        rate=args.rate,
+        seed=args.seed,
+        mode=args.mode,
+        quick=args.quick,
+        host=args.host,
+        port=args.port,
+        heap_budget_bytes=args.heap_budget,
+    )
+    report = run_loadgen(config)
+    print(report.render())
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args) -> int:
     from repro.faults import run_chaos
 
@@ -971,6 +1044,74 @@ def main(argv=None) -> int:
         "(drives degradation SLOs)",
     )
 
+    serve = add_command(
+        "serve",
+        "multi-tenant assertion service: async session server + HTTP sidecar",
+        "serve --port 9700 --heap-budget 16777216",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="wire-protocol TCP port (default: ephemeral)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0, metavar="PORT",
+        help="/metrics /health /slo sidecar port (default: ephemeral)",
+    )
+    serve.add_argument(
+        "--heap-budget", type=int, default=8 << 20, metavar="BYTES",
+        help="aggregate committed-heap admission budget (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="hard cap on concurrent sessions (default: budget-limited only)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8,
+        help="executor threads running tenant GC work (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--no-hardened", action="store_true",
+        help="tenant VMs without the PR-5 OOM ladder (halves committed bytes)",
+    )
+
+    loadgen = add_command(
+        "loadgen",
+        "open-loop Poisson load generator for the assertion service",
+        "loadgen --sessions 100 --rate 200 --mode ramp",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument(
+        "--port", type=int, default=None,
+        help="target service port (default: self-host an in-process service)",
+    )
+    loadgen.add_argument(
+        "--sessions", type=int, default=50,
+        help="total sessions to run (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0,
+        help="Poisson arrival rate, sessions/s (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=("flow", "ramp"), default="flow",
+        help="flow: open-loop arrivals; ramp: all sessions open first "
+        "(drives admission to the budget limit)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--heap-budget", type=int, default=8 << 20, metavar="BYTES",
+        help="self-hosted service budget (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: at most 12 sessions",
+    )
+    loadgen.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the report as JSON",
+    )
+
     chaos = add_command(
         "chaos",
         "fault-injection soak across the collector matrix",
@@ -1004,6 +1145,8 @@ def main(argv=None) -> int:
         "stats": cmd_stats,
         "top": cmd_top,
         "monitor": cmd_monitor,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
         "chaos": cmd_chaos,
         "minij": cmd_minij,
     }

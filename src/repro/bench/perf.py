@@ -504,6 +504,108 @@ def bench_monitor(workload: str = "pseudojbb", trials: int = 3) -> dict:
     }
 
 
+def bench_service(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """One tenant through the session server vs the same VM run directly.
+
+    The serving layer's acceptance bar: a workload submitted over the
+    ``repro-wire/1`` protocol must produce **bit-identical** GC/assertion
+    counters and violation sets to a direct VM run with the same
+    configuration — the server adds transport and streaming, never GC
+    work.  Both legs use the hardened tenant configuration (OOM ladder,
+    2× growth ceiling) so the comparison prices exactly the service
+    increment: session bookkeeping, the telemetry fan-in sink, and the
+    violation-streaming reaction handler.  Best-of-``trials`` per leg.
+    """
+    from repro.service import AssertionService, ServiceClient, ServiceConfig
+    from repro.service.session import resolve_workload
+
+    heap_bytes, runner = resolve_workload(workload, asserted=True)
+
+    def direct_leg() -> dict:
+        best = None
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=heap_bytes,
+                assertions=True,
+                telemetry=True,
+                hardened=True,
+                max_heap_bytes=heap_bytes * 2,
+            )
+            runner(vm)
+            vm.collector.sweep_all()
+            if best is None or vm.stats.gc_seconds < best["best_gc_seconds"]:
+                best = {
+                    "best_gc_seconds": vm.stats.gc_seconds,
+                    "collections": vm.stats.collections,
+                    "counters": vm.stats.snapshot()["counters"],
+                    "violations": len(vm.violation_lines()),
+                    "violation_lines": vm.violation_lines(),
+                }
+        return best
+
+    def server_leg() -> dict:
+        best = None
+        with AssertionService(ServiceConfig(http_port=None)) as service:
+            for _ in range(trials):
+                with ServiceClient("127.0.0.1", service.port) as client:
+                    client.hello()
+                    opened = client.open("bench", workload)
+                    streamed: list = []
+                    result = client.submit(opened["session"], collect=streamed)
+                    client.close_session(opened["session"], collect=streamed)
+                if best is None or result["gc_seconds"] < best["best_gc_seconds"]:
+                    best = {
+                        "best_gc_seconds": result["gc_seconds"],
+                        "collections": result["counters"]["collections"],
+                        "counters": result["counters"],
+                        "violations": len(result["violations"]),
+                        "violation_lines": result["violations"],
+                        "violation_frames_streamed": sum(
+                            1 for f in streamed if f.get("type") == "violation"
+                        ),
+                    }
+        return best
+
+    direct = direct_leg()
+    served = server_leg()
+    counters_match = (
+        direct["counters"] == served["counters"]
+        and direct["violation_lines"] == served["violation_lines"]
+    )
+    # The line sets are compared, then dropped from the payload: hundreds
+    # of rendered reports would dwarf the record.
+    direct.pop("violation_lines")
+    served.pop("violation_lines")
+    return {
+        "workload": workload,
+        "trials": trials,
+        "direct": direct,
+        "served": served,
+        "gc_time_ratio": (
+            served["best_gc_seconds"] / direct["best_gc_seconds"]
+            if direct["best_gc_seconds"]
+            else 0.0
+        ),
+        "counters_match": counters_match,
+    }
+
+
+def bench_loadgen(sessions: int = 50, rate: float = 200.0, seed: int = 0) -> dict:
+    """The serving top line: open-loop load against a self-hosted service.
+
+    Poisson arrivals at ``rate`` sessions/s over the default workload
+    mix; the committed record carries completion counts, admission peaks,
+    and the client-observed latency percentiles (open latency, session
+    duration) that make serving regressions visible in review diffs.
+    """
+    from repro.service import LoadgenConfig, run_loadgen
+
+    report = run_loadgen(LoadgenConfig(sessions=sessions, rate=rate, seed=seed))
+    payload = report.as_dict()
+    payload["ok"] = report.ok
+    return payload
+
+
 # -- parallel-mark scaling curve --------------------------------------------------------
 
 
@@ -666,6 +768,8 @@ def perf_payload(quick: bool = False) -> dict:
         faults = bench_faults(trials=2)
         monitor = bench_monitor(trials=2)
         par_mark = bench_par_mark(worker_counts=(1, 2, 4, 8))
+        service = bench_service(trials=2)
+        loadgen = bench_loadgen(sessions=12)
     else:
         trace = bench_trace()
         alloc = bench_alloc()
@@ -675,6 +779,8 @@ def perf_payload(quick: bool = False) -> dict:
         faults = bench_faults()
         monitor = bench_monitor()
         par_mark = bench_par_mark()
+        service = bench_service()
+        loadgen = bench_loadgen()
     counters_match = (
         trace["counters_match"]
         and snapshot["counters_match"]
@@ -682,6 +788,7 @@ def perf_payload(quick: bool = False) -> dict:
         and faults["counters_match"]
         and monitor["counters_match"]
         and par_mark["counters_match"]
+        and service["counters_match"]
         and all(row["counters_match"] for row in pauses.values())
     )
     return {
@@ -696,7 +803,9 @@ def perf_payload(quick: bool = False) -> dict:
         "abl-tracing": tracing,
         "abl-faults": faults,
         "abl-monitor": monitor,
+        "abl-service": service,
         "par-mark": par_mark,
+        "service-loadgen": loadgen,
         "counters_match": counters_match,
     }
 
@@ -779,6 +888,33 @@ def render_perf(payload: dict) -> str:
             f"({monitor['gc_time_ratio']:.2f}x), "
             f"{monitor['alerts_seen']} alert transitions, "
             f"counters {'match' if monitor['counters_match'] else 'DRIFT'}"
+        )
+    service = payload.get("abl-service")
+    if service is not None:
+        lines.append("service ablation (direct VM -> through the session server):")
+        lines.append(
+            f"  {service['workload']:10} gc time "
+            f"{service['direct']['best_gc_seconds'] * 1e3:.1f}ms -> "
+            f"{service['served']['best_gc_seconds'] * 1e3:.1f}ms "
+            f"({service['gc_time_ratio']:.2f}x), "
+            f"{service['served']['violations']} violations "
+            f"({service['served'].get('violation_frames_streamed', 0)} streamed), "
+            f"counters {'match' if service['counters_match'] else 'DRIFT'}"
+        )
+    loadgen = payload.get("service-loadgen")
+    if loadgen is not None:
+        lines.append("service load generator (open-loop Poisson arrivals):")
+        lines.append(
+            f"  {loadgen['completed']}/{loadgen['sessions']} sessions completed, "
+            f"{loadgen['rejected']} rejected, peak {loadgen['peak_concurrent']} "
+            f"concurrent in {loadgen['wall_s']:.2f}s"
+        )
+        lines.append(
+            f"  open p50/p99 {loadgen['open_latency_s']['p50'] * 1e3:.2f}/"
+            f"{loadgen['open_latency_s']['p99'] * 1e3:.2f}ms, "
+            f"session p50/p99 {loadgen['session_duration_s']['p50'] * 1e3:.2f}/"
+            f"{loadgen['session_duration_s']['p99'] * 1e3:.2f}ms, "
+            f"{loadgen['violation_frames']} violation frames streamed"
         )
     par = payload.get("par-mark")
     if par is not None:

@@ -150,6 +150,45 @@ class AssertionViolationHalt(ReproError):
         super().__init__(str(violation))
 
 
+class ServiceError(ReproError):
+    """Base class for multi-tenant assertion-service faults."""
+
+
+class WireProtocolError(ServiceError):
+    """Raised on malformed ``repro-wire/1`` traffic.
+
+    Covers framing faults (truncated stream, zero-length or oversized
+    frames, non-JSON payloads) and semantic faults (missing required
+    keys, unknown frame types).  Unknown *keys* inside a known frame are
+    never an error — the wire protocol follows the GcEvent v1→v2
+    discipline: readers ignore what they do not understand.
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """Raised (or framed) when admission control declines a session.
+
+    Carries ``retry_after_s`` — the server's hint for when capacity is
+    likely to exist again (Retry-After semantics).
+    """
+
+    def __init__(self, message: str, *, reason: str = "budget", retry_after_s: float = 0.0):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class SessionKilled(ServiceError):
+    """Raised inside a tenant session's workload when the session is killed.
+
+    The ``session-kill`` fault kind (and an operator eviction) raise this
+    from the victim VM's own collection path; the session manager catches
+    it, moves the session to ``evicted``, and releases its heap budget.
+    Other tenants never observe it — that isolation is what the service
+    chaos cell proves.
+    """
+
+
 class MiniJError(ReproError):
     """Base class for MiniJ language errors."""
 

@@ -248,6 +248,101 @@ def run_cell(
     return result
 
 
+def run_tenant_isolation_cell(seed: int = 0) -> CellResult:
+    """The service-layer chaos cell: a killed tenant perturbs nobody.
+
+    Three tenant sessions run the same seeded workload side by side; the
+    middle one gets the service fault kinds (``conn-drop`` at GC 1,
+    ``session-kill`` at GC 2) injected into its VM.  The contract:
+
+    * the victim ends ``killed`` — a session outcome, never an escape;
+    * the bystanders' GC counters and violation sets are **bit-identical**
+      to a solo baseline run of the same workload (the isolation claim);
+    * every committed heap byte returns to the admission budget.
+    """
+    from repro.service.admission import AdmissionController
+    from repro.service.session import TenantSession, resolve_workload
+
+    result = CellResult("service", None, "tenant-isolation", seed)
+    overrides = {"swaps": 32}
+
+    # Solo baseline: what an unperturbed run of the workload looks like.
+    heap_bytes, runner = resolve_workload("swapleak", overrides=overrides)
+    baseline_vm = VirtualMachine(
+        heap_bytes=heap_bytes, assertions=True, hardened=True,
+        max_heap_bytes=heap_bytes * 2,
+    )
+    runner(baseline_vm)
+    baseline_vm.collector.sweep_all()
+    base_counters = baseline_vm.stats.snapshot()["counters"]
+    base_violations = baseline_vm.violation_lines()
+
+    admission = AdmissionController(budget_bytes=heap_bytes * 2 * 3)
+    sessions: list[TenantSession] = []
+    for tenant in ("tenant-a", "tenant-b", "tenant-c"):
+        _heap, tenant_runner = resolve_workload("swapleak", overrides=overrides)
+        session = TenantSession(f"chaos-{tenant}", tenant, heap_bytes)
+        decision = admission.try_admit(session.committed_bytes)
+        if not decision.admitted:
+            result.failures.append(f"{tenant} unexpectedly rejected: {decision.reason}")
+        session.runner = tenant_runner
+        sessions.append(session)
+
+    victim = sessions[1]
+    plan = FaultPlan(seed)
+    plan.add("conn-drop", at_gc=1)
+    plan.add("session-kill", at_gc=2)
+    injector = FaultInjector(victim.vm, plan).attach()
+
+    for session in sessions:
+        try:
+            session.run(session.runner)
+        except Exception as exc:  # session.run absorbs all tenant outcomes
+            result.outcome = f"untyped:{type(exc).__name__}: {exc}"
+            result.failures.append(f"untyped exception escaped: {result.outcome}")
+        session.evict()
+        admission.release(session.committed_bytes)
+
+    result.kinds_applied = injector.kinds_applied()
+    injector.detach()
+    result.collections = sum(s.vm.stats.collections for s in sessions)
+    result.violations = sum(len(s.vm.violation_lines()) for s in sessions)
+
+    if victim.outcome != "killed":
+        result.failures.append(
+            f"victim session ended {victim.outcome!r}, expected 'killed'"
+        )
+    if not victim.connection_dropped:
+        result.failures.append("conn-drop never severed the victim's stream")
+    missing = plan.kinds() - result.kinds_applied
+    if missing:
+        result.failures.append(f"fault kinds never applied: {sorted(missing)}")
+    for bystander in (sessions[0], sessions[2]):
+        counters = bystander.vm.stats.snapshot()["counters"]
+        if counters != base_counters:
+            drift = sorted(
+                k for k in counters if counters[k] != base_counters[k]
+            )
+            result.failures.append(
+                f"{bystander.tenant} GC counters perturbed by the kill: {drift}"
+            )
+        if bystander.vm.violation_lines() != base_violations:
+            result.failures.append(
+                f"{bystander.tenant} violation set perturbed by the kill"
+            )
+        if bystander.outcome != "completed":
+            result.failures.append(
+                f"{bystander.tenant} ended {bystander.outcome!r}, expected 'completed'"
+            )
+    snap = admission.snapshot()
+    if snap["committed_bytes"] != 0 or snap["active_sessions"] != 0:
+        result.failures.append(
+            f"admission budget leaked: {snap['committed_bytes']} bytes, "
+            f"{snap['active_sessions']} session(s) still committed"
+        )
+    return result
+
+
 def run_chaos(quick: bool = False, seed: int = 0) -> ChaosReport:
     """Run the whole matrix; quick mode is one seed × the CI smoke pair."""
     seeds = (seed,) if quick else (seed, seed + 1)
@@ -267,4 +362,6 @@ def run_chaos(quick: bool = False, seed: int = 0) -> ChaosReport:
                         gc_workers,
                     )
                 )
+    for cell_seed in seeds:
+        report.cells.append(run_tenant_isolation_cell(cell_seed))
     return report

@@ -56,6 +56,8 @@ FAULT_KINDS = (
     "raise-reaction",
     "raise-sink",
     "raise-snapshot",
+    "conn-drop",
+    "session-kill",
 )
 
 
@@ -159,6 +161,11 @@ class FaultPlan:
         plan.add("raise-snapshot", at_gc=2)
         plan.add("corrupt-freelist", at_gc=3)
         plan.add("alloc-fail", at_alloc=100, arg=1)
+        # Service-layer kinds: inert on bare VMs (no session attached), so
+        # the heap-only chaos cells keep their seeded fault sequences; the
+        # tenant-isolation cell attaches sessions and makes them bite.
+        plan.add("conn-drop", at_gc=3)
+        plan.add("session-kill", at_gc=4)
         return plan
 
     @classmethod
@@ -459,6 +466,36 @@ class FaultInjector:
         space = self._alloc_space()
         space.deny_next(count)
         return f"next {count} allocation(s) in {space.name} will be refused"
+
+    def _fault_conn_drop(self, fault: Fault) -> str:
+        """Sever a tenant session's outbound stream (dead TCP peer).
+
+        Consumes no rng, so scheduling it alongside heap faults leaves
+        their seeded victim choices untouched.
+        """
+        hook = getattr(self.vm, "service_hooks", {}).get("conn-drop")
+        if hook is None:
+            return "inert: no tenant session attached to this VM"
+        return str(hook())
+
+    def _fault_session_kill(self, fault: Fault) -> str:
+        """Kill the tenant session owning this VM at the current GC.
+
+        The hook raises :class:`~repro.errors.SessionKilled` out of the
+        collection, so the record is appended *before* the call — a
+        raising handler would otherwise never reach ``_apply``'s append.
+        Consumes no rng (see :meth:`_fault_conn_drop`).
+        """
+        hook = getattr(self.vm, "service_hooks", {}).get("session-kill")
+        if hook is None:
+            return "inert: no tenant session attached to this VM"
+        detail = "session kill raised into the tenant workload"
+        self.applied.append((fault.kind, detail))
+        hook()
+        # Contractually unreachable: the hook raises.  If a custom hook
+        # returns instead, un-append so _apply records exactly once.
+        self.applied.pop()
+        return detail
 
     def _fault_raise_reaction(self, fault: Fault) -> str:
         engine = self.vm.engine

@@ -1,0 +1,146 @@
+"""Shared stdlib HTTP serving: the one ThreadingHTTPServer wrapper.
+
+Both serving layers — the monitor's ``/metrics`` ``/health`` ``/slo``
+exporter and the assertion service's ``/metrics`` ``/health`` sidecar —
+need the same five lines of plumbing: a ``ThreadingHTTPServer`` on a
+daemon thread, an ephemeral-port option for tests, GET routing with a
+JSON 404, and silenced per-request logging.  :class:`EndpointServer`
+is that plumbing, extracted so neither layer duplicates it.
+
+A route is ``path -> handler`` where the handler takes no arguments and
+returns ``(status_code, content_type, body)``; ``body`` may be ``bytes``,
+``str`` (encoded UTF-8), or a ``dict`` (serialized as indented JSON).
+Handlers run on the serving thread — they must only *read* shared state,
+the same scrape-vs-append race contract the monitor server has always
+had.  A handler that raises serves a 500 JSON body rather than killing
+the connection thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Union
+
+#: The content type Prometheus scrapers expect from a /metrics endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+RouteResult = tuple[int, str, Union[bytes, str, dict]]
+RouteHandler = Callable[[], RouteResult]
+
+
+class _EndpointHandler(BaseHTTPRequestHandler):
+    """GET-routes over a route table; everything else is 404 JSON."""
+
+    server_version = "repro-http/1"  # overridden per EndpointServer
+    routes: dict[str, RouteHandler]  # set via the bound subclass
+    index_name: str
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        handler = self.routes.get(path)
+        if handler is None:
+            if path == "/":
+                self._respond(200, JSON_CONTENT_TYPE, {
+                    "service": self.index_name,
+                    "endpoints": sorted(self.routes),
+                })
+            else:
+                self._respond(
+                    404, JSON_CONTENT_TYPE, {"error": f"no such endpoint {path!r}"}
+                )
+            return
+        try:
+            code, content_type, body = handler()
+        except Exception as exc:  # a broken probe must not kill the thread
+            self._respond(
+                500, JSON_CONTENT_TYPE,
+                {"error": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        self._respond(code, content_type, body)
+
+    def _respond(self, code: int, content_type: str, body) -> None:
+        if isinstance(body, dict):
+            body = json.dumps(body, indent=2)
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr chatter (the CLI owns the terminal)."""
+
+
+class EndpointServer:
+    """Daemon-threaded HTTP server over a static GET route table.
+
+    ``port=0`` binds an ephemeral port (tests, CI); the bound port is
+    ``server.port`` after :meth:`start`.  The serving thread is a daemon,
+    so a crashing workload never hangs on the exporter.
+    """
+
+    def __init__(
+        self,
+        routes: dict[str, RouteHandler],
+        port: int = 0,
+        host: str = "127.0.0.1",
+        name: str = "repro",
+        server_version: str = "repro-http/1",
+    ):
+        self.routes = dict(routes)
+        self.host = host
+        self.name = name
+        self.server_version = server_version
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "EndpointServer":
+        if self._httpd is not None:
+            return self
+        handler = type("BoundEndpointHandler", (_EndpointHandler,), {
+            "routes": self.routes,
+            "index_name": self.name,
+            "server_version": self.server_version,
+        })
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"{self.name}-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "EndpointServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

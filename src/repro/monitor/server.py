@@ -1,8 +1,8 @@
 """The live serving layer: ``/metrics``, ``/health`` and ``/slo`` over HTTP.
 
-A :class:`MonitorServer` wraps a stdlib ``ThreadingHTTPServer`` on a
-daemon thread — no framework, no new dependency — and serves the pull
-side of the monitor:
+A :class:`MonitorServer` wraps the shared :class:`repro.httpd.EndpointServer`
+— a stdlib ``ThreadingHTTPServer`` on a daemon thread, no framework, no new
+dependency — and serves the pull side of the monitor:
 
 * ``/metrics`` — Prometheus text exposition: the PR-1 telemetry exporter
   verbatim, with the monitor's own families (MMU curve, utilization,
@@ -19,19 +19,17 @@ deques and the handler snapshots tolerate that.
 
 from __future__ import annotations
 
-import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Optional
 
+from repro.httpd import JSON_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE, EndpointServer
 from repro.monitor.health import health_report, health_score
 from repro.monitor.mmu import DEFAULT_MMU_WINDOWS
-from repro.telemetry.sinks import _escape_label, _fmt, render_prometheus
+from repro.telemetry.sinks import ExpositionWriter, render_prometheus
 
 if TYPE_CHECKING:
     from repro.monitor.timeseries import MonitorHub
 
-PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+__all__ = ["MonitorServer", "PROMETHEUS_CONTENT_TYPE", "render_monitor_metrics"]
 
 
 def render_monitor_metrics(hub: "MonitorHub", namespace: str = "repro") -> str:
@@ -41,23 +39,8 @@ def render_monitor_metrics(hub: "MonitorHub", namespace: str = "repro") -> str:
     family names are disjoint from the telemetry exporter's, so the
     combined document has no duplicate TYPE declarations.
     """
-    lines: list[str] = []
-
-    def metric(name: str, mtype: str, help_text: str) -> str:
-        full = f"{namespace}_{name}"
-        escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
-        lines.append(f"# HELP {full} {escaped}")
-        lines.append(f"# TYPE {full} {mtype}")
-        return full
-
-    def sample(full: str, value, labels: Optional[dict] = None) -> None:
-        if labels:
-            rendered = ",".join(
-                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
-            )
-            lines.append(f"{full}{{{rendered}}} {_fmt(value)}")
-        else:
-            lines.append(f"{full} {_fmt(value)}")
+    writer = ExpositionWriter(namespace)
+    metric, sample = writer.metric, writer.sample
 
     full = metric("mutator_utilization_ratio", "gauge",
                   "Mutator utilization over the trailing 1s window.")
@@ -100,68 +83,7 @@ def render_monitor_metrics(hub: "MonitorHub", namespace: str = "repro") -> str:
                   "Composite heap health (0-100; 100 is perfectly healthy).")
     sample(full, health_score(hub))
 
-    return "\n".join(lines) + "\n"
-
-
-class _MonitorHandler(BaseHTTPRequestHandler):
-    """Routes the three endpoints; everything else is 404 JSON."""
-
-    server_version = "repro-monitor/1"
-    hub: "MonitorHub"  # set by MonitorServer via the handler subclass
-
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/metrics":
-            self._serve_metrics()
-        elif path == "/health":
-            self._serve_health()
-        elif path == "/slo":
-            self._serve_slo()
-        elif path == "/":
-            self._send_json(200, {
-                "service": "repro-monitor",
-                "endpoints": ["/metrics", "/health", "/slo"],
-            })
-        else:
-            self._send_json(404, {"error": f"no such endpoint {path!r}"})
-
-    def _serve_metrics(self) -> None:
-        hub = self.hub
-        body = ""
-        vm = hub.vm
-        if vm is not None and vm.telemetry is not None and vm.telemetry.enabled:
-            body += render_prometheus(vm.telemetry)
-        body += render_monitor_metrics(hub)
-        payload = body.encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _serve_health(self) -> None:
-        report = health_report(self.hub)
-        self._send_json(report["http_code"], report)
-
-    def _serve_slo(self) -> None:
-        hub = self.hub
-        if hub.slos is None:
-            self._send_json(200, {"schema": "repro-slo/1", "healthy": True,
-                                  "firing": [], "exhausted": [],
-                                  "objectives": []})
-        else:
-            self._send_json(200, hub.slos.status())
-
-    def _send_json(self, code: int, payload: dict) -> None:
-        body = json.dumps(payload, indent=2).encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def log_message(self, format: str, *args) -> None:
-        """Silence per-request stderr chatter (the CLI owns the terminal)."""
+    return writer.render()
 
 
 class MonitorServer:
@@ -175,44 +97,58 @@ class MonitorServer:
     def __init__(self, hub: "MonitorHub", port: int = 0, host: str = "127.0.0.1"):
         self.hub = hub
         self.host = host
-        self._requested_port = port
-        self._httpd: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
+        self._endpoint: Optional[EndpointServer] = EndpointServer(
+            {
+                "/metrics": self._serve_metrics,
+                "/health": self._serve_health,
+                "/slo": self._serve_slo,
+            },
+            port=port,
+            host=host,
+            name="repro-monitor",
+            server_version="repro-monitor/1",
+        )
+
+    # -- route handlers (run on the serving thread; read-only) --------------------------
+
+    def _serve_metrics(self):
+        hub = self.hub
+        body = ""
+        vm = hub.vm
+        if vm is not None and vm.telemetry is not None and vm.telemetry.enabled:
+            body += render_prometheus(vm.telemetry)
+        body += render_monitor_metrics(hub)
+        return 200, PROMETHEUS_CONTENT_TYPE, body
+
+    def _serve_health(self):
+        report = health_report(self.hub)
+        return report["http_code"], JSON_CONTENT_TYPE, report
+
+    def _serve_slo(self):
+        hub = self.hub
+        if hub.slos is None:
+            return 200, JSON_CONTENT_TYPE, {
+                "schema": "repro-slo/1", "healthy": True,
+                "firing": [], "exhausted": [], "objectives": [],
+            }
+        return 200, JSON_CONTENT_TYPE, hub.slos.status()
+
+    # -- lifecycle (delegates to the shared EndpointServer) -----------------------------
 
     @property
     def port(self) -> int:
-        if self._httpd is None:
-            return self._requested_port
-        return self._httpd.server_address[1]
+        return self._endpoint.port
 
     @property
     def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+        return self._endpoint.url
 
     def start(self) -> "MonitorServer":
-        if self._httpd is not None:
-            return self
-        handler = type("BoundMonitorHandler", (_MonitorHandler,), {"hub": self.hub})
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self._requested_port), handler
-        )
-        self._httpd.daemon_threads = True
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-monitor-http",
-            daemon=True,
-        )
-        self._thread.start()
+        self._endpoint.start()
         return self
 
     def stop(self) -> None:
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
-            self._httpd = None
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        self._endpoint.stop()
 
     def __enter__(self) -> "MonitorServer":
         return self.start()

@@ -184,6 +184,11 @@ class VirtualMachine:
         #: Snapshot policy (see :mod:`repro.snapshot.capture`); None means
         #: the capture machinery is completely inert.
         self.snapshot_policy = None
+        #: Service attachment points, keyed by fault kind ("session-kill",
+        #: "conn-drop").  A :class:`~repro.service.session.TenantSession`
+        #: registers its hooks here; the fault injector's session faults
+        #: look them up and stay inert on VMs with no session attached.
+        self.service_hooks: dict = {}
         #: Current allocation-site tag; stamped onto objects allocated while
         #: an :meth:`alloc_site` scope is open, None otherwise.
         self._alloc_site: Optional[str] = None

@@ -1,0 +1,57 @@
+"""Multi-tenant assertion service.
+
+A long-running asyncio server that hosts many concurrent *tenant
+sessions*, each an isolated :class:`~repro.runtime.vm.VirtualMachine`
+with its own heap, assertion engine, and telemetry — the serving-side
+answer to "GC assertions as a service".  The pieces:
+
+* :mod:`repro.service.wire` — the length-prefixed JSON wire protocol
+  (``repro-wire/1``): session open/close, program submission, assertion
+  registration, and streamed violation / GC-event frames.
+* :mod:`repro.service.admission` — admission control over an aggregate
+  heap budget: sessions are admitted, queued, or rejected with
+  Retry-After semantics, never crashed.
+* :mod:`repro.service.session` — the tenant session lifecycle
+  (admitted → running → draining → evicted), per-session bounded
+  outbound queues with slow-consumer drop accounting, and the
+  fault-injection hooks (``session-kill`` / ``conn-drop``).
+* :mod:`repro.service.metrics` — per-tenant telemetry aggregation into
+  a shared :class:`~repro.monitor.timeseries.MonitorHub`, plus
+  service-level SLOs (admission latency, violation-delivery lag)
+  tracked by the burn-rate machinery.
+* :mod:`repro.service.server` — the asyncio session server and its
+  ``/metrics`` ``/health`` HTTP sidecar.
+* :mod:`repro.service.loadgen` — the open-loop Poisson load generator
+  behind ``python -m repro loadgen``.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.client import ServiceClient
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import AssertionService, ServiceConfig
+from repro.service.session import FrameQueue, TenantSession, resolve_workload
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_SCHEMA,
+    FrameDecoder,
+    encode_frame,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AssertionService",
+    "FrameDecoder",
+    "FrameQueue",
+    "LoadgenConfig",
+    "MAX_FRAME_BYTES",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "TenantSession",
+    "WIRE_SCHEMA",
+    "encode_frame",
+    "resolve_workload",
+    "run_loadgen",
+]

@@ -1,0 +1,261 @@
+"""Service-level telemetry: per-tenant aggregation and serving SLOs.
+
+Every tenant session fans its GC events and violations into one
+:class:`ServiceMetrics` aggregator, which
+
+* keeps per-tenant counters (sessions, collections, violations, drops)
+  rendered as ``tenant``-labelled Prometheus families,
+* forwards GC events into a shared :class:`~repro.monitor.timeseries.MonitorHub`
+  so the PR-6 MMU/utilization timelines see cross-tenant load, and
+* tracks two *service-level* objectives through the burn-rate machinery:
+  **admission latency** (open-frame receipt to admission decision) and
+  **violation-delivery lag** (violation enqueued to bytes written).
+
+The serving SLOs reuse :class:`~repro.monitor.slo.BurnRateRule` directly
+— its ``observe(good, seq, wall_time)`` state machine is event-source
+agnostic; only :class:`~repro.monitor.slo.SloSet` couples it to GC
+events, so the service feeds rules itself rather than going through a
+hub-attached SloSet.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.monitor.slo import BurnRateRule, SloObjective
+from repro.monitor.timeseries import MonitorHub
+from repro.telemetry.events import GcEvent
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.sinks import ExpositionWriter
+
+
+class TenantStats:
+    """Deterministic per-tenant counters (everything the label fans over)."""
+
+    __slots__ = (
+        "sessions_opened", "sessions_completed", "sessions_evicted",
+        "sessions_killed", "collections", "violations",
+        "frames_dropped", "frames_discarded",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+
+def _service_slos(
+    admission_latency_slo_s: float, delivery_lag_slo_s: float
+) -> tuple[BurnRateRule, BurnRateRule]:
+    """The two serving objectives, budgeted at 1-in-100 (p99-shaped).
+
+    The probes are placeholders — the service scores good/bad itself and
+    calls ``rule.observe`` directly, so the probe is never consulted.
+    """
+    def _unused_probe(hub, event) -> bool:
+        raise AssertionError("service SLO probes are fed directly, never probed")
+
+    admission = BurnRateRule(
+        SloObjective(
+            name="admission-latency",
+            description=(
+                f"Session admission decided within "
+                f"{admission_latency_slo_s * 1e3:.0f}ms of the open frame."
+            ),
+            budget=0.01,
+            probe=_unused_probe,
+            severity="page",
+        ),
+        long_window=200, short_window=40,
+    )
+    delivery = BurnRateRule(
+        SloObjective(
+            name="violation-delivery-lag",
+            description=(
+                f"Violation frames written to the client within "
+                f"{delivery_lag_slo_s * 1e3:.0f}ms of detection."
+            ),
+            budget=0.01,
+            probe=_unused_probe,
+            severity="ticket",
+        ),
+        long_window=200, short_window=40,
+    )
+    return admission, delivery
+
+
+class ServiceMetrics:
+    """One lock, every cross-tenant aggregate."""
+
+    def __init__(
+        self,
+        admission_latency_slo_s: float = 0.050,
+        delivery_lag_slo_s: float = 0.200,
+        hub: Optional[MonitorHub] = None,
+    ):
+        self.admission_latency_slo_s = admission_latency_slo_s
+        self.delivery_lag_slo_s = delivery_lag_slo_s
+        #: Shared monitor hub (``hub.vm`` stays None: it aggregates every
+        #: tenant's events rather than attaching to one VM).
+        self.hub = hub or MonitorHub(slos=None)
+        self.tenants: dict[str, TenantStats] = {}
+        self.admission_latency = LogHistogram(1e-6, 10.0)
+        self.delivery_lag = LogHistogram(1e-6, 10.0)
+        self.slo_admission, self.slo_delivery = _service_slos(
+            admission_latency_slo_s, delivery_lag_slo_s
+        )
+        self.alerts: list = []
+        self._slo_seq = 0
+        self._lock = threading.Lock()
+
+    def _tenant(self, tenant: str) -> TenantStats:
+        # Caller holds the lock.
+        stats = self.tenants.get(tenant)
+        if stats is None:
+            stats = self.tenants[tenant] = TenantStats()
+        return stats
+
+    # -- ingestion ----------------------------------------------------------------------
+
+    def observe_event(self, tenant: str, event) -> None:
+        """Fan one tenant VM's telemetry event into the shared hub."""
+        with self._lock:
+            if isinstance(event, GcEvent):
+                self._tenant(tenant).collections += 1
+            self.hub.emit(event)
+
+    def observe_violation(self, tenant: str, violation) -> None:
+        with self._lock:
+            self._tenant(tenant).violations += 1
+
+    def aggregate(self, tenant: str, item: tuple) -> None:
+        """Session-sink callback: ``("event", ev)`` or ``("violation", v)``."""
+        what, payload = item
+        if what == "event":
+            self.observe_event(tenant, payload)
+        elif what == "violation":
+            self.observe_violation(tenant, payload)
+
+    def session_opened(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).sessions_opened += 1
+
+    def session_evicted(self, tenant: str, session) -> None:
+        with self._lock:
+            stats = self._tenant(tenant)
+            stats.sessions_evicted += 1
+            if session.outcome == "completed":
+                stats.sessions_completed += 1
+            elif session.outcome == "killed":
+                stats.sessions_killed += 1
+            stats.frames_dropped += session.queue.dropped_frames
+            stats.frames_discarded += session.discarded_frames
+
+    def observe_admission_latency(self, seconds: float, wall_time: float) -> None:
+        with self._lock:
+            self.admission_latency.record(seconds)
+            self._slo_seq += 1
+            alert = self.slo_admission.observe(
+                seconds <= self.admission_latency_slo_s, self._slo_seq, wall_time
+            )
+            if alert is not None:
+                self.alerts.append(alert)
+
+    def observe_delivery_lag(self, seconds: float, wall_time: float) -> None:
+        with self._lock:
+            self.delivery_lag.record(seconds)
+            self._slo_seq += 1
+            alert = self.slo_delivery.observe(
+                seconds <= self.delivery_lag_slo_s, self._slo_seq, wall_time
+            )
+            if alert is not None:
+                self.alerts.append(alert)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def slo_status(self) -> dict:
+        with self._lock:
+            rules = (self.slo_admission, self.slo_delivery)
+            return {
+                "schema": "repro-slo/1",
+                "healthy": not any(r.firing for r in rules),
+                "firing": [r.objective.name for r in rules if r.firing],
+                "objectives": [
+                    {
+                        "name": r.objective.name,
+                        "description": r.objective.description,
+                        "observations": r.total,
+                        "bad": r.bad,
+                        "budget_remaining": r.budget_remaining(),
+                        "firing": r.firing,
+                    }
+                    for r in rules
+                ],
+            }
+
+    def render(self, admission, namespace: str = "repro") -> str:
+        """The service's Prometheus families (``admission`` = the controller)."""
+        snap = admission.snapshot()
+        with self._lock:
+            writer = ExpositionWriter(namespace)
+            metric, sample = writer.metric, writer.sample
+
+            full = metric("service_sessions_active", "gauge",
+                          "Tenant sessions currently admitted or running.")
+            sample(full, snap["active_sessions"])
+            full = metric("service_sessions_peak", "gauge",
+                          "High-water mark of concurrent tenant sessions.")
+            sample(full, snap["peak_sessions"])
+            full = metric("service_heap_committed_bytes", "gauge",
+                          "Heap bytes committed against the admission budget.")
+            sample(full, snap["committed_bytes"])
+            full = metric("service_heap_budget_bytes", "gauge",
+                          "Configured aggregate heap budget.")
+            sample(full, snap["budget_bytes"])
+
+            full = metric("service_admission_total", "counter",
+                          "Admission decisions, by outcome.")
+            sample(full, snap["admitted_total"], {"decision": "admitted"})
+            for reason, count in sorted(snap["rejected_by_reason"].items()):
+                sample(full, count, {"decision": f"rejected-{reason}"})
+
+            full = metric("service_tenant_sessions_total", "counter",
+                          "Sessions per tenant, by lifecycle outcome.")
+            for tenant, stats in sorted(self.tenants.items()):
+                sample(full, stats.sessions_opened,
+                       {"tenant": tenant, "outcome": "opened"})
+                sample(full, stats.sessions_completed,
+                       {"tenant": tenant, "outcome": "completed"})
+                sample(full, stats.sessions_killed,
+                       {"tenant": tenant, "outcome": "killed"})
+                sample(full, stats.sessions_evicted,
+                       {"tenant": tenant, "outcome": "evicted"})
+            full = metric("service_tenant_gc_collections_total", "counter",
+                          "GC collections observed per tenant.")
+            for tenant, stats in sorted(self.tenants.items()):
+                sample(full, stats.collections, {"tenant": tenant})
+            full = metric("service_tenant_violations_total", "counter",
+                          "Assertion violations streamed per tenant.")
+            for tenant, stats in sorted(self.tenants.items()):
+                sample(full, stats.violations, {"tenant": tenant})
+            full = metric("service_tenant_frames_dropped_total", "counter",
+                          "Outbound frames shed per tenant (slow consumer + "
+                          "severed connections).")
+            for tenant, stats in sorted(self.tenants.items()):
+                sample(full, stats.frames_dropped + stats.frames_discarded,
+                       {"tenant": tenant})
+
+            full = metric("service_admission_latency_seconds", "histogram",
+                          "Open-frame receipt to admission decision.")
+            writer.histogram(full, self.admission_latency)
+            full = metric("service_delivery_lag_seconds", "histogram",
+                          "Violation detection to client write.")
+            writer.histogram(full, self.delivery_lag)
+
+            full = metric("service_slo_firing", "gauge",
+                          "1 while the serving objective's burn-rate alert fires.")
+            for rule in (self.slo_admission, self.slo_delivery):
+                sample(full, 1 if rule.firing else 0,
+                       {"objective": rule.objective.name})
+
+            return writer.render()

@@ -1,0 +1,423 @@
+"""The asyncio session server: ``repro-wire/1`` over TCP.
+
+One :class:`AssertionService` hosts many concurrent tenant sessions.
+The event loop owns framing, admission, and streaming; tenant workloads
+(CPU-bound GC work) run on a thread-pool executor so a long collection
+in one tenant never stalls another tenant's frame delivery.  Each
+connection gets a writer task that drains its sessions' bounded
+:class:`~repro.service.session.FrameQueue`\\ s to the socket — the only
+place bytes are written, so frame boundaries are never interleaved.
+
+The server runs its event loop on a background thread, which gives the
+CLI, the load generator, and the tests one lifecycle: ``start()`` blocks
+until the port is bound, ``stop()`` drains and joins.  An optional HTTP
+sidecar (the shared :class:`~repro.httpd.EndpointServer`) serves
+``/metrics``, ``/health`` and ``/slo`` for scrapers.
+
+Frame vocabulary (client -> server): ``hello``, ``open``, ``assert``,
+``submit``, ``gc``, ``stats``, ``close``, ``ping``.  Server -> client:
+``welcome``, ``opened``, ``rejected``, ``ok``, ``violation``,
+``gc-event``, ``result``, ``closed``, ``stats``, ``pong``, ``error``.
+Unknown keys in any frame are ignored (forward compatibility); unknown
+frame *types* get an ``error`` reply rather than a dropped connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError, WireProtocolError
+from repro.httpd import JSON_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE, EndpointServer
+from repro.monitor.server import render_monitor_metrics
+from repro.service.admission import AdmissionController
+from repro.service.metrics import ServiceMetrics
+from repro.service.session import TenantSession, resolve_workload
+from repro.service.wire import MAX_FRAME_BYTES, WIRE_SCHEMA, FrameDecoder, encode_frame
+
+SERVER_VERSION = "repro-service/1"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything an operator tunes on the service."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      #: 0 = ephemeral (tests, CI)
+    http_port: Optional[int] = 0       #: None disables the HTTP sidecar
+    heap_budget_bytes: int = 8 << 20   #: aggregate committed-heap budget
+    max_sessions: Optional[int] = None
+    outbound_queue_frames: int = 256
+    executor_workers: int = 8
+    hardened: bool = True              #: tenant VMs get the PR-5 OOM ladder
+    admission_latency_slo_s: float = 0.050
+    delivery_lag_slo_s: float = 0.200
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    wait_timeout_s: float = 2.0        #: cap on queued (``"wait": true``) opens
+
+
+class _Connection:
+    """Per-connection state owned by the event loop."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.sessions: dict[str, TenantSession] = {}
+        self.wake = asyncio.Event()
+        self.writer_task: Optional[asyncio.Task] = None
+        self.protocol_errors = 0
+
+
+class AssertionService:
+    """Multi-tenant assertion service over a background event loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.admission = AdmissionController(
+            self.config.heap_budget_bytes, self.config.max_sessions
+        )
+        self.metrics = ServiceMetrics(
+            admission_latency_slo_s=self.config.admission_latency_slo_s,
+            delivery_lag_slo_s=self.config.delivery_lag_slo_s,
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-session",
+        )
+        self.http: Optional[EndpointServer] = None
+        self.sessions_opened = 0
+        self._session_seq = 0
+        self._seq_lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._bound_port: Optional[int] = None
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._bound_port if self._bound_port is not None else self.config.port
+
+    def start(self) -> "AssertionService":
+        """Bind, spin up the loop thread, and (optionally) the HTTP sidecar."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("assertion service failed to start within 10s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.config.http_port is not None:
+            self.http = EndpointServer(
+                {
+                    "/metrics": self._serve_metrics,
+                    "/health": self._serve_health,
+                    "/slo": self._serve_slo,
+                },
+                port=self.config.http_port,
+                host=self.config.host,
+                name="repro-service",
+                server_version=SERVER_VERSION,
+            ).start()
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.executor.shutdown(wait=False)
+        if self.http is not None:
+            self.http.stop()
+            self.http = None
+
+    def __enter__(self) -> "AssertionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve_forever())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+
+    async def _serve_forever(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port, backlog=256
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with self._server:
+            await self._stop_event.wait()
+
+    # -- HTTP sidecar routes ------------------------------------------------------------
+
+    def _serve_metrics(self):
+        body = render_monitor_metrics(self.metrics.hub)
+        body += self.metrics.render(self.admission)
+        return 200, PROMETHEUS_CONTENT_TYPE, body
+
+    def _serve_health(self):
+        status = self.metrics.slo_status()
+        snap = self.admission.snapshot()
+        code = 200 if status["healthy"] else 503
+        return code, JSON_CONTENT_TYPE, {
+            "healthy": status["healthy"],
+            "firing": status["firing"],
+            "active_sessions": snap["active_sessions"],
+            "committed_bytes": snap["committed_bytes"],
+            "budget_bytes": snap["budget_bytes"],
+        }
+
+    def _serve_slo(self):
+        return 200, JSON_CONTENT_TYPE, self.metrics.slo_status()
+
+    # -- wire handling (event loop) -----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        conn.writer_task = asyncio.ensure_future(self._drain_frames(conn))
+        decoder = FrameDecoder(self.config.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(1 << 16)
+                if not data:
+                    decoder.finish()
+                    break
+                for frame in decoder.feed(data):
+                    await self._dispatch(conn, frame)
+        except WireProtocolError as exc:
+            conn.protocol_errors += 1
+            await self._reply(conn, {"type": "error", "error": str(exc)})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # Evict whatever the peer abandoned: budget must never leak.
+            for session in list(conn.sessions.values()):
+                self._evict(conn, session)
+            conn.writer_task.cancel()
+            # No await here: the handler may itself be mid-cancellation
+            # (service shutdown), and awaiting wait_closed() in a
+            # cancelled task re-raises into the event loop's logger.
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _reply(self, conn: _Connection, frame: dict) -> None:
+        try:
+            async with conn.write_lock:
+                conn.writer.write(encode_frame(frame, self.config.max_frame_bytes))
+                await conn.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _drain_frames(self, conn: _Connection) -> None:
+        """Writer task: pump every session queue of this connection."""
+        while True:
+            await conn.wake.wait()
+            conn.wake.clear()
+            for session in list(conn.sessions.values()):
+                for frame, enqueued_at in session.queue.drain():
+                    await self._reply(conn, frame)
+                    if frame.get("type") == "violation":
+                        self.metrics.observe_delivery_lag(
+                            time.perf_counter() - enqueued_at, time.time()
+                        )
+
+    async def _dispatch(self, conn: _Connection, frame: dict) -> None:
+        ftype = frame.get("type")
+        if ftype == "hello":
+            await self._reply(conn, {
+                "type": "welcome", "schema": WIRE_SCHEMA, "server": SERVER_VERSION,
+            })
+        elif ftype == "open":
+            await self._open_session(conn, frame)
+        elif ftype == "assert":
+            await self._register_assertion(conn, frame)
+        elif ftype == "submit":
+            await self._submit(conn, frame)
+        elif ftype == "gc":
+            await self._explicit_gc(conn, frame)
+        elif ftype == "stats":
+            await self._reply(conn, {
+                "type": "stats",
+                "admission": self.admission.snapshot(),
+                "slo": self.metrics.slo_status(),
+            })
+        elif ftype == "close":
+            await self._close_session(conn, frame)
+        elif ftype == "ping":
+            await self._reply(conn, {"type": "pong"})
+        else:
+            conn.protocol_errors += 1
+            await self._reply(conn, {
+                "type": "error", "error": f"unknown frame type {ftype!r}",
+            })
+
+    def _session_for(self, conn: _Connection, frame: dict) -> Optional[TenantSession]:
+        session = conn.sessions.get(frame.get("session"))
+        return session
+
+    async def _open_session(self, conn: _Connection, frame: dict) -> None:
+        received = time.perf_counter()
+        tenant = str(frame.get("tenant", "anonymous"))
+        try:
+            heap_bytes, runner = resolve_workload(
+                str(frame.get("workload", "swapleak")),
+                asserted=bool(frame.get("asserted", True)),
+                overrides=frame.get("overrides") or {},
+            )
+        except WireProtocolError as exc:
+            conn.protocol_errors += 1
+            await self._reply(conn, {"type": "error", "error": str(exc)})
+            return
+        committed = heap_bytes * 2 if self.config.hardened else heap_bytes
+
+        decision = self.admission.try_admit(committed)
+        if not decision.admitted and frame.get("wait"):
+            # Queued admission: hold the open (bounded by wait_timeout_s)
+            # and retry on the Retry-After cadence.
+            deadline = self._loop.time() + self.config.wait_timeout_s
+            while not decision.admitted and self._loop.time() < deadline:
+                await asyncio.sleep(decision.retry_after_s or 0.05)
+                decision = self.admission.try_admit(committed)
+        latency = time.perf_counter() - received
+        self.metrics.observe_admission_latency(latency, time.time())
+        if not decision.admitted:
+            await self._reply(conn, {
+                "type": "rejected",
+                "tenant": tenant,
+                "reason": decision.reason,
+                "retry_after_s": decision.retry_after_s,
+            })
+            return
+
+        with self._seq_lock:
+            self._session_seq += 1
+            session_id = f"s{self._session_seq}"
+        loop = self._loop
+        session = TenantSession(
+            session_id=session_id,
+            tenant=tenant,
+            heap_bytes=heap_bytes,
+            collector=str(frame.get("collector", "marksweep")),
+            hardened=self.config.hardened,
+            queue_frames=self.config.outbound_queue_frames,
+            notify=lambda: loop.call_soon_threadsafe(conn.wake.set),
+            aggregate=self.metrics.aggregate,
+        )
+        session.runner = runner
+        conn.sessions[session_id] = session
+        self.sessions_opened += 1
+        self.metrics.session_opened(tenant)
+        await self._reply(conn, {
+            "type": "opened",
+            "session": session_id,
+            "tenant": tenant,
+            "heap_bytes": heap_bytes,
+            "committed_bytes": committed,
+            "admission_latency_s": latency,
+        })
+
+    async def _register_assertion(self, conn: _Connection, frame: dict) -> None:
+        session = self._session_for(conn, frame)
+        if session is None:
+            await self._reply(conn, {"type": "error", "error": "no such session"})
+            return
+        try:
+            session.register_assertion(frame.get("assertion") or {})
+        except (WireProtocolError, ReproError) as exc:
+            conn.protocol_errors += 1
+            await self._reply(conn, {
+                "type": "error", "session": session.session_id, "error": str(exc),
+            })
+            return
+        await self._reply(conn, {
+            "type": "ok", "session": session.session_id, "re": "assert",
+        })
+
+    async def _submit(self, conn: _Connection, frame: dict) -> None:
+        session = self._session_for(conn, frame)
+        if session is None:
+            await self._reply(conn, {"type": "error", "error": "no such session"})
+            return
+        if session.state != "admitted":
+            await self._reply(conn, {
+                "type": "error", "session": session.session_id,
+                "error": f"cannot submit in state {session.state!r}",
+            })
+            return
+        runner = session.runner
+        if "program" in frame:
+            source = str(frame["program"])
+            entry = str(frame.get("entry", "main"))
+
+            def runner(vm, _source=source, _entry=entry):
+                from repro.interp.interpreter import Interpreter
+                interp = Interpreter(vm)
+                interp.load(_source)
+                return interp.run(_entry)
+
+        # The GC work runs off-loop; violation/gc-event frames stream from
+        # the worker thread through the queue while this await is pending.
+        await self._loop.run_in_executor(self.executor, session.run, runner)
+
+    async def _explicit_gc(self, conn: _Connection, frame: dict) -> None:
+        session = self._session_for(conn, frame)
+        if session is None:
+            await self._reply(conn, {"type": "error", "error": "no such session"})
+            return
+        reason = str(frame.get("reason", "wire-explicit"))
+        await self._loop.run_in_executor(self.executor, session.vm.gc, reason)
+        await self._reply(conn, {
+            "type": "ok", "session": session.session_id, "re": "gc",
+        })
+
+    async def _close_session(self, conn: _Connection, frame: dict) -> None:
+        session = self._session_for(conn, frame)
+        if session is None:
+            await self._reply(conn, {"type": "error", "error": "no such session"})
+            return
+        # Flush anything still queued before the terminal frame.
+        for queued, enqueued_at in session.queue.drain():
+            await self._reply(conn, queued)
+            if queued.get("type") == "violation":
+                self.metrics.observe_delivery_lag(
+                    time.perf_counter() - enqueued_at, time.time()
+                )
+        self._evict(conn, session)
+        await self._reply(conn, {
+            "type": "closed",
+            "session": session.session_id,
+            "outcome": session.outcome,
+            "dropped_frames": session.queue.dropped_frames,
+            "discarded_frames": session.discarded_frames,
+        })
+
+    def _evict(self, conn: _Connection, session: TenantSession) -> None:
+        if session.state == "evicted":
+            return
+        session.evict()
+        conn.sessions.pop(session.session_id, None)
+        self.admission.release(session.committed_bytes)
+        self.metrics.session_evicted(session.tenant, session)

@@ -1,0 +1,110 @@
+"""The ``repro-wire/1`` protocol: length-prefixed JSON frames.
+
+Every frame on the wire is a 4-byte big-endian length followed by that
+many bytes of UTF-8 JSON encoding one object.  Length-prefixing makes
+framing trivial to implement in any client language and makes the two
+failure modes *explicit* rather than silent: a truncated stream leaves
+bytes in the decoder (rejected at EOF), and an oversized length prefix
+is rejected before a single payload byte is buffered — a malicious or
+confused client cannot make the server allocate unboundedly.
+
+Forward compatibility follows the same discipline as the telemetry
+schema's ``gc-event`` v1 → v2 evolution: *unknown keys in a frame are
+preserved, never rejected*, so a newer client can attach fields an older
+server ignores.  Only structural violations (bad JSON, non-object
+payload, oversize, truncation) are protocol errors.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import WireProtocolError
+
+#: Wire schema identifier, exchanged in the hello/welcome handshake.
+WIRE_SCHEMA = "repro-wire/1"
+
+#: Hard ceiling on a single frame's payload, prefix excluded.  Generous
+#: for any legitimate frame (programs, stats documents) while bounding
+#: what one client can force the peer to buffer.
+MAX_FRAME_BYTES = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(payload: dict, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one frame: 4-byte big-endian length + UTF-8 JSON body."""
+    if not isinstance(payload, dict):
+        raise WireProtocolError(
+            f"frame payload must be a JSON object, not {type(payload).__name__}"
+        )
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise WireProtocolError(
+            f"encoded frame is {len(body)} bytes, over the {max_frame_bytes}-byte limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary byte chunks, get whole frames.
+
+    Stream-safe by construction — ``feed`` buffers partial prefixes and
+    partial bodies across calls, so TCP segmentation never corrupts
+    framing.  Three structural faults raise :class:`WireProtocolError`:
+
+    * a length prefix over ``max_frame_bytes`` (oversized frame),
+    * a zero-length frame (no legal frame is empty),
+    * a body that is not a JSON object.
+
+    Call :meth:`finish` at EOF: leftover buffered bytes mean the peer
+    truncated a frame mid-stream, which is also a protocol error.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self.frames_decoded = 0
+        self.bytes_consumed = 0
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Consume a chunk; return every complete frame it finishes."""
+        self._buffer.extend(data)
+        self.bytes_consumed += len(data)
+        frames: list[dict] = []
+        while len(self._buffer) >= _LEN.size:
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length == 0:
+                raise WireProtocolError("zero-length frame")
+            if length > self.max_frame_bytes:
+                raise WireProtocolError(
+                    f"frame length {length} exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if len(self._buffer) < _LEN.size + length:
+                break
+            body = bytes(self._buffer[_LEN.size:_LEN.size + length])
+            del self._buffer[:_LEN.size + length]
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WireProtocolError(f"undecodable frame body: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise WireProtocolError(
+                    f"frame body must be a JSON object, got {type(payload).__name__}"
+                )
+            self.frames_decoded += 1
+            frames.append(payload)
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def finish(self) -> None:
+        """Assert stream closure landed on a frame boundary."""
+        if self._buffer:
+            raise WireProtocolError(
+                f"stream truncated mid-frame with {len(self._buffer)} bytes buffered"
+            )

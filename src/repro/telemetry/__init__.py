@@ -46,6 +46,7 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.histogram import LogHistogram
 from repro.telemetry.sinks import (
+    ExpositionWriter,
     JsonlSink,
     MemorySink,
     TelemetrySink,
@@ -63,6 +64,7 @@ __all__ = [
     "DegradedEvent",
     "EVENT_SCHEMA",
     "EventRing",
+    "ExpositionWriter",
     "GcEvent",
     "JsonlSink",
     "LogHistogram",

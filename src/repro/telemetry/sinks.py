@@ -103,24 +103,59 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
-def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
-    """Serialize the hub's current state in Prometheus text exposition format."""
-    lines: list[str] = []
+class ExpositionWriter:
+    """Incremental Prometheus text-exposition builder.
 
-    def metric(name: str, mtype: str, help_text: str) -> str:
-        full = f"{namespace}_{name}"
-        lines.append(f"# HELP {full} {_escape_help(help_text)}")
-        lines.append(f"# TYPE {full} {mtype}")
+    The ``metric``/``sample`` closure pair used to be copy-pasted by every
+    exposition producer (telemetry, monitor, service); this is that pair as
+    a class, so new metric families — including label-heavy ones like the
+    service's per-``tenant`` families — are written once.  ``metric``
+    declares a family (HELP + TYPE) and returns the namespaced name;
+    ``sample`` appends one sample line; ``histogram`` expands a
+    :class:`~repro.telemetry.histogram.LogHistogram` into the cumulative
+    ``_bucket``/``_sum``/``_count`` triple.
+    """
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self.lines: list[str] = []
+
+    def metric(self, name: str, mtype: str, help_text: str) -> str:
+        full = f"{self.namespace}_{name}"
+        self.lines.append(f"# HELP {full} {_escape_help(help_text)}")
+        self.lines.append(f"# TYPE {full} {mtype}")
         return full
 
-    def sample(full: str, value, labels: Optional[dict] = None) -> None:
+    def sample(self, full: str, value, labels: Optional[dict] = None) -> None:
         if labels:
             rendered = ",".join(
                 f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
             )
-            lines.append(f"{full}{{{rendered}}} {_fmt(value)}")
+            self.lines.append(f"{full}{{{rendered}}} {_fmt(value)}")
         else:
-            lines.append(f"{full} {_fmt(value)}")
+            self.lines.append(f"{full} {_fmt(value)}")
+
+    def histogram(
+        self, full: str, hist, labels: Optional[dict] = None
+    ) -> None:
+        """Expand a LogHistogram: cumulative buckets, +Inf, sum, count."""
+        labels = dict(labels or {})
+        cumulative = 0
+        for upper, count in hist.nonzero_buckets():
+            cumulative += count
+            self.sample(f"{full}_bucket", cumulative, {**labels, "le": _fmt(upper)})
+        self.sample(f"{full}_bucket", hist.count, {**labels, "le": "+Inf"})
+        self.sample(f"{full}_sum", hist.total, labels or None)
+        self.sample(f"{full}_count", hist.count, labels or None)
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
+    """Serialize the hub's current state in Prometheus text exposition format."""
+    writer = ExpositionWriter(namespace)
+    metric, sample = writer.metric, writer.sample
 
     latest = telemetry.events.latest
     collector = latest.collector if latest is not None else "none"
@@ -139,13 +174,7 @@ def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
         ("gc_ownees_checked", telemetry.ownees_hist, "Ownees checked per collection"),
     ):
         full = metric(name, "histogram", f"{unit} (log-scale buckets).")
-        cumulative = 0
-        for upper, count in hist.nonzero_buckets():
-            cumulative += count
-            sample(f"{full}_bucket", cumulative, {"le": _fmt(upper)})
-        sample(f"{full}_bucket", hist.count, {"le": "+Inf"})
-        sample(f"{full}_sum", hist.total)
-        sample(f"{full}_count", hist.count)
+        writer.histogram(full, hist)
 
     if latest is not None:
         full = metric("heap_live_bytes", "gauge", "Live heap bytes after the last GC.")
@@ -175,7 +204,7 @@ def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
         for kind, count in sorted(telemetry.violations_by_kind.items()):
             sample(full, count, {"kind": kind})
 
-    return "\n".join(lines) + "\n"
+    return writer.render()
 
 
 # -- exposition-format conformance ------------------------------------------------------

@@ -1,0 +1,486 @@
+"""The multi-tenant assertion service: wire protocol, admission, sessions.
+
+Coverage map:
+
+* framing — round-trip across arbitrary chunk boundaries, truncated and
+  oversized frames rejected, unknown keys preserved (the same forward-
+  compatibility discipline as the gc-event schema);
+* admission — budget ledger, session cap, Retry-After rejections, and
+  the acceptance-criteria ramp: 100+ concurrent sessions under budget
+  with overflow rejected, never crashed;
+* isolation — a session run through the server is **bit-identical** (GC
+  counters + violation sets) to the same workload run directly on a VM,
+  and a killed tenant perturbs nobody (the chaos cell);
+* backpressure — bounded outbound queues shed gc-event frames and count
+  them; critical frames always deliver;
+* serving — /metrics carries tenant-labelled families that pass the
+  exposition conformance checker.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import SessionKilled, WireProtocolError
+from repro.runtime.vm import VirtualMachine
+from repro.service import (
+    AdmissionController,
+    AssertionService,
+    FrameDecoder,
+    FrameQueue,
+    LoadgenConfig,
+    ServiceClient,
+    ServiceConfig,
+    TenantSession,
+    encode_frame,
+    resolve_workload,
+    run_loadgen,
+)
+from repro.service.wire import MAX_FRAME_BYTES
+
+
+# -- wire protocol ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frames = [
+            {"type": "hello", "schema": "repro-wire/1"},
+            {"type": "open", "tenant": "acme", "workload": "swapleak"},
+            {"type": "violation", "message": "x" * 500, "gc_number": 3},
+        ]
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        assert decoder.feed(blob) == frames
+        decoder.finish()  # clean boundary
+
+    def test_round_trip_one_byte_chunks(self):
+        frames = [{"type": "ping", "n": i} for i in range(5)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i:i + 1]))
+        assert out == frames
+        assert decoder.frames_decoded == 5
+
+    def test_truncated_frame_rejected_at_eof(self):
+        blob = encode_frame({"type": "open", "tenant": "t"})
+        decoder = FrameDecoder()
+        assert decoder.feed(blob[:-3]) == []
+        assert decoder.pending_bytes > 0
+        with pytest.raises(WireProtocolError, match="truncated"):
+            decoder.finish()
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        # A hostile length prefix is refused from the 4-byte header alone.
+        prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        decoder = FrameDecoder()
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            decoder.feed(prefix)
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(WireProtocolError, match="over the"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 10)})
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(WireProtocolError, match="zero-length"):
+            FrameDecoder().feed(struct.pack(">I", 0))
+
+    def test_non_object_payload_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        blob = struct.pack(">I", len(body)) + body
+        with pytest.raises(WireProtocolError, match="JSON object"):
+            FrameDecoder().feed(blob)
+
+    def test_undecodable_body_rejected(self):
+        body = b"\xff\xfe{not json"
+        blob = struct.pack(">I", len(body)) + body
+        with pytest.raises(WireProtocolError, match="undecodable"):
+            FrameDecoder().feed(blob)
+
+    def test_unknown_keys_preserved(self):
+        """Forward compatibility: a newer peer's extra keys survive the
+        decode untouched — the gc-event v1 -> v2 discipline on the wire."""
+        frame = {"type": "open", "tenant": "t", "future_field": {"nested": 1}}
+        (decoded,) = FrameDecoder().feed(encode_frame(frame))
+        assert decoded["future_field"] == {"nested": 1}
+
+
+# -- admission control ------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_budget_ledger(self):
+        ctl = AdmissionController(budget_bytes=1000)
+        assert ctl.try_admit(600).admitted
+        decision = ctl.try_admit(600)
+        assert not decision.admitted
+        assert decision.reason == "budget"
+        assert decision.retry_after_s > 0
+        ctl.release(600)
+        assert ctl.try_admit(600).admitted
+        snap = ctl.snapshot()
+        assert snap["admitted_total"] == 2
+        assert snap["rejected_total"] == 1
+        assert snap["rejected_by_reason"] == {"budget": 1}
+
+    def test_session_cap(self):
+        ctl = AdmissionController(budget_bytes=10_000, max_sessions=2)
+        assert ctl.try_admit(10).admitted
+        assert ctl.try_admit(10).admitted
+        decision = ctl.try_admit(10)
+        assert not decision.admitted and decision.reason == "sessions"
+
+    def test_peak_tracking(self):
+        ctl = AdmissionController(budget_bytes=1000)
+        ctl.try_admit(100)
+        ctl.try_admit(100)
+        ctl.release(100)
+        ctl.try_admit(50)
+        assert ctl.snapshot()["peak_sessions"] == 2
+        assert ctl.snapshot()["peak_committed_bytes"] == 200
+
+    def test_unbalanced_release_is_a_bug(self):
+        ctl = AdmissionController(budget_bytes=1000)
+        with pytest.raises(AssertionError, match="ledger"):
+            ctl.release(10)
+
+
+# -- frame queue backpressure -----------------------------------------------------------
+
+
+class TestFrameQueue:
+    def test_sheds_gc_events_when_full(self):
+        queue = FrameQueue(max_frames=2)
+        assert queue.push({"type": "gc-event", "seq": 1})
+        assert queue.push({"type": "gc-event", "seq": 2})
+        assert not queue.push({"type": "gc-event", "seq": 3})
+        assert queue.dropped_frames == 1
+
+    def test_critical_frames_never_shed(self):
+        queue = FrameQueue(max_frames=1)
+        queue.push({"type": "gc-event", "seq": 1})
+        assert queue.push({"type": "violation", "message": "m"})
+        assert queue.push({"type": "result", "outcome": "completed"})
+        assert queue.dropped_frames == 0
+        kinds = [frame["type"] for frame, _t in queue.drain()]
+        assert kinds == ["gc-event", "violation", "result"]
+        assert len(queue) == 0
+
+
+# -- tenant sessions --------------------------------------------------------------------
+
+
+def _run_direct(workload: str, overrides=None) -> tuple[dict, list[str]]:
+    """The baseline leg: same workload, same VM configuration, no service."""
+    heap_bytes, runner = resolve_workload(workload, overrides=overrides)
+    vm = VirtualMachine(
+        heap_bytes=heap_bytes, assertions=True, telemetry=True,
+        hardened=True, max_heap_bytes=heap_bytes * 2,
+    )
+    runner(vm)
+    vm.collector.sweep_all()
+    return vm.stats.snapshot()["counters"], vm.violation_lines()
+
+
+class TestTenantSession:
+    def test_lifecycle_and_bit_identity(self):
+        overrides = {"swaps": 24}
+        heap_bytes, runner = resolve_workload("swapleak", overrides=overrides)
+        session = TenantSession("s1", "acme", heap_bytes)
+        assert session.state == "admitted"
+        frame = session.run(runner)
+        assert session.state == "draining"
+        assert session.outcome == "completed"
+        session.evict()
+        assert session.state == "evicted"
+
+        counters, violations = _run_direct("swapleak", overrides)
+        assert frame["counters"] == counters
+        assert frame["violations"] == violations
+        assert session.violation_frames == len(violations)
+
+    def test_streams_violations_and_gc_events(self):
+        heap_bytes, runner = resolve_workload("swapleak", overrides={"swaps": 16})
+        session = TenantSession("s1", "acme", heap_bytes, queue_frames=10_000)
+        session.run(runner)
+        frames = [frame for frame, _t in session.queue.drain()]
+        kinds = {frame["type"] for frame in frames}
+        assert "violation" in kinds and "gc-event" in kinds and "result" in kinds
+        violation = next(f for f in frames if f["type"] == "violation")
+        assert violation["kind"] == "assert-dead"
+        assert violation["session"] == "s1"
+
+    def test_slow_consumer_sheds_only_gc_events(self):
+        heap_bytes, runner = resolve_workload("swapleak", overrides={"swaps": 24})
+        session = TenantSession("s1", "acme", heap_bytes, queue_frames=2)
+        frame = session.run(runner)
+        assert session.queue.dropped_frames > 0
+        assert frame["dropped_frames"] == session.queue.dropped_frames
+        # The critical result frame rode over the full queue regardless.
+        kinds = [f["type"] for f, _t in session.queue.drain()]
+        assert "result" in kinds
+
+    def test_conn_drop_discards_but_completes(self):
+        heap_bytes, runner = resolve_workload("swapleak", overrides={"swaps": 16})
+        session = TenantSession("s1", "acme", heap_bytes)
+        session.drop_connection()
+        frame = session.run(runner)
+        assert session.outcome == "completed"
+        assert session.discarded_frames > 0
+        assert len(session.queue) == 0  # nothing reached the queue
+        assert frame["counters"]["collections"] > 0
+
+    def test_kill_hook_raises_session_killed(self):
+        heap_bytes, _runner = resolve_workload("swapleak")
+        session = TenantSession("s1", "acme", heap_bytes)
+        with pytest.raises(SessionKilled):
+            session.vm.service_hooks["session-kill"]()
+
+    def test_killed_session_is_an_outcome_not_an_escape(self):
+        heap_bytes, _runner = resolve_workload("swapleak", overrides={"swaps": 16})
+        session = TenantSession("s1", "acme", heap_bytes)
+
+        def killed_runner(vm):
+            raise SessionKilled("injected mid-workload")
+
+        frame = session.run(killed_runner)
+        assert session.outcome == "killed"
+        assert frame["outcome"] == "killed"
+
+    def test_register_assertion_instances(self):
+        heap_bytes, runner = resolve_workload("swapleak", overrides={"swaps": 8})
+        session = TenantSession("s1", "acme", heap_bytes)
+        session.register_assertion(
+            {"kind": "instances", "class": "SObject", "limit": 2}
+        )
+        session.run(runner)
+        assert any(
+            "instances" in line.lower() or "SObject" in line
+            for line in session.vm.violation_lines()
+        )
+
+    def test_register_assertion_rejects_unknown_kind(self):
+        heap_bytes, _runner = resolve_workload("swapleak")
+        session = TenantSession("s1", "acme", heap_bytes)
+        with pytest.raises(WireProtocolError, match="unknown wire assertion"):
+            session.register_assertion({"kind": "mystery"})
+        with pytest.raises(WireProtocolError, match="'class' string"):
+            session.register_assertion({"kind": "instances", "class": 3, "limit": "x"})
+
+    def test_resolve_workload_unknown_name(self):
+        with pytest.raises(WireProtocolError, match="unknown workload"):
+            resolve_workload("not-a-workload")
+
+
+# -- the server, end to end -------------------------------------------------------------
+
+
+@pytest.fixture
+def service():
+    with AssertionService(ServiceConfig(http_port=None)) as svc:
+        yield svc
+
+
+class TestServerEndToEnd:
+    def test_hello_welcome(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            welcome = client.hello()
+            assert welcome["schema"] == "repro-wire/1"
+
+    def test_session_through_server_is_bit_identical(self, service):
+        overrides = {"swaps": 24}
+        with ServiceClient("127.0.0.1", service.port) as client:
+            client.hello()
+            opened = client.open("acme", "swapleak", overrides=overrides)
+            assert opened["type"] == "opened"
+            streamed = []
+            result = client.submit(opened["session"], collect=streamed)
+            closed = client.close_session(opened["session"], collect=streamed)
+        assert result["outcome"] == "completed"
+        assert closed["type"] == "closed"
+
+        counters, violations = _run_direct("swapleak", overrides)
+        assert result["counters"] == counters
+        assert result["violations"] == violations
+        assert sum(1 for f in streamed if f["type"] == "violation") == len(violations)
+        assert any(f["type"] == "gc-event" for f in streamed)
+
+    def test_program_submission(self, service):
+        source = """
+        class Node { var next: Node; }
+        def main(): int {
+          var n: Node = new Node();
+          n = null;
+          gc();
+          return 0;
+        }
+        """
+        with ServiceClient("127.0.0.1", service.port) as client:
+            client.hello()
+            opened = client.open("lab", "swapleak")
+            result = client.submit(opened["session"], program=source)
+            client.close_session(opened["session"])
+        assert result["outcome"] == "completed"
+        assert result["counters"]["collections"] >= 1
+
+    def test_explicit_gc_and_stats_frames(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            client.hello()
+            opened = client.open("acme", "swapleak")
+            client.send({"type": "gc", "session": opened["session"]})
+            ok = client.recv_until("ok")
+            assert ok["re"] == "gc"
+            stats = client.stats()
+            assert stats["admission"]["active_sessions"] == 1
+            client.close_session(opened["session"])
+
+    def test_unknown_frame_type_gets_error_not_disconnect(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            error = (client.send({"type": "frobnicate"}), client.recv())[1]
+            assert error["type"] == "error"
+            # Still alive afterwards:
+            client.send({"type": "ping"})
+            assert client.recv()["type"] == "pong"
+
+    def test_double_submit_rejected(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            client.hello()
+            opened = client.open("acme", "swapleak", overrides={"swaps": 8})
+            client.submit(opened["session"])
+            second = client.submit(opened["session"])
+            assert second["type"] == "error"
+            assert "draining" in second["error"]
+
+    def test_admission_rejection_has_retry_after(self):
+        config = ServiceConfig(http_port=None, heap_budget_bytes=1)
+        with AssertionService(config) as svc:
+            with ServiceClient("127.0.0.1", svc.port) as client:
+                client.hello()
+                rejected = client.open("acme", "swapleak")
+                assert rejected["type"] == "rejected"
+                assert rejected["reason"] == "budget"
+                assert rejected["retry_after_s"] > 0
+
+    def test_abandoned_connection_releases_budget(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            client.hello()
+            client.open("acme", "swapleak")
+            # Vanish without closing the session.
+        deadline = __import__("time").monotonic() + 5.0
+        while __import__("time").monotonic() < deadline:
+            if service.admission.snapshot()["committed_bytes"] == 0:
+                break
+            __import__("time").sleep(0.02)
+        snap = service.admission.snapshot()
+        assert snap["committed_bytes"] == 0
+        assert snap["active_sessions"] == 0
+
+
+# -- service-level metrics and SLOs -----------------------------------------------------
+
+
+class TestServing:
+    def test_metrics_endpoint_has_tenant_families(self):
+        with AssertionService(ServiceConfig()) as svc:
+            with ServiceClient("127.0.0.1", svc.port) as client:
+                client.hello()
+                opened = client.open("acme", "swapleak", overrides={"swaps": 16})
+                client.submit(opened["session"])
+                client.close_session(opened["session"])
+            import urllib.request
+
+            body = urllib.request.urlopen(f"{svc.http.url}/metrics").read().decode()
+            health = json.loads(
+                urllib.request.urlopen(f"{svc.http.url}/health").read().decode()
+            )
+        from repro.telemetry.sinks import validate_exposition
+
+        assert validate_exposition(body) == []
+        assert 'tenant="acme"' in body
+        assert "repro_service_sessions_active" in body
+        assert "repro_service_admission_latency_seconds_count" in body
+        assert "repro_mmu_ratio" in body  # shared hub families ride along
+        assert health["healthy"] is True
+
+    def test_admission_latency_slo_fires_on_sustained_breach(self):
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics(admission_latency_slo_s=0.010)
+        for i in range(300):
+            metrics.observe_admission_latency(0.5, wall_time=float(i))
+        status = metrics.slo_status()
+        assert status["healthy"] is False
+        assert "admission-latency" in status["firing"]
+        assert metrics.alerts  # the transition was recorded
+
+    def test_delivery_lag_slo_stays_healthy_under_fast_delivery(self):
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics(delivery_lag_slo_s=0.200)
+        for i in range(300):
+            metrics.observe_delivery_lag(0.001, wall_time=float(i))
+        assert metrics.slo_status()["healthy"] is True
+
+
+# -- tenant isolation (the chaos contract) ----------------------------------------------
+
+
+class TestTenantIsolation:
+    def test_killed_tenant_perturbs_nobody(self):
+        from repro.faults.chaos import run_tenant_isolation_cell
+
+        cell = run_tenant_isolation_cell(seed=0)
+        assert cell.ok, cell.render()
+        assert cell.kinds_applied == {"conn-drop", "session-kill"}
+
+
+# -- load generator ---------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_quick_flow_run(self):
+        report = run_loadgen(LoadgenConfig(quick=True, sessions=6, seed=5))
+        assert report.ok, report.render()
+        assert report.completed == 6
+        assert report.errors == 0
+        assert report.violation_frames > 0  # swapleak guarantees these
+        assert report.open_latency.count == 6
+
+    def test_ramp_drives_admission_to_the_limit(self):
+        """The acceptance shape in miniature: more sessions than budget,
+        peak pinned at capacity, overflow rejected — never crashed."""
+        heap_bytes, _runner = resolve_workload("swapleak")
+        capacity = 4
+        report = run_loadgen(LoadgenConfig(
+            sessions=capacity + 3,
+            mode="ramp",
+            seed=1,
+            heap_budget_bytes=capacity * heap_bytes * 2,
+            mix=(("swapleak", 1),),
+        ))
+        assert report.errors == 0
+        assert report.peak_concurrent == capacity
+        assert report.rejected == 3
+        assert report.completed == capacity
+
+    def test_hundred_concurrent_sessions(self):
+        """Acceptance criteria: >=100 concurrent sessions under the heap
+        budget, with admission rejections (not crashes) past the budget."""
+        heap_bytes, _runner = resolve_workload("xalan")
+        capacity = 100
+        report = run_loadgen(LoadgenConfig(
+            sessions=capacity + 10,
+            mode="ramp",
+            seed=0,
+            heap_budget_bytes=capacity * heap_bytes * 2,
+            mix=(("xalan", 1),),
+        ))
+        assert report.errors == 0
+        assert report.peak_concurrent >= 100
+        assert report.rejected == 10
+        assert report.completed == capacity
