@@ -339,6 +339,45 @@ def cmd_trace_report(args) -> int:
     return _violations_exit(vm)
 
 
+def cmd_trace_serve(args) -> int:
+    """Traced mini-load against a self-hosted service + request breakdown."""
+    from repro.errors import ConfigurationError
+    from repro.service import LoadgenConfig, run_loadgen
+    from repro.tracing import render_request_report
+
+    config = LoadgenConfig(
+        sessions=args.sessions,
+        rate=args.rate,
+        seed=args.seed,
+        quick=args.quick,
+        heap_budget_bytes=args.heap_budget,
+        tracing=True,
+        trace_out=args.out,
+        delivery_lag_slo_s=(
+            args.delivery_lag_slo_ms / 1e3
+            if args.delivery_lag_slo_ms is not None else None
+        ),
+    )
+    try:
+        report = run_loadgen(config)
+    except ConfigurationError as exc:
+        print(f"trace serve: {exc}")
+        return 2
+    print(report.render())
+    print()
+    print(render_request_report(report.requests))
+    if report.trace is not None:
+        print()
+        print(
+            f"merged trace: {report.trace['path']} "
+            f"({report.trace['events']} events, "
+            f"{report.trace['tenant_tracks']} tenant tracks, "
+            f"{report.trace['request_lanes']} request lanes)"
+        )
+        print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0 if report.ok else 1
+
+
 def cmd_top(args) -> int:
     from repro.runtime.vm import VirtualMachine
     from repro.tracing import run_top
@@ -490,6 +529,7 @@ def cmd_serve(args) -> int:
 
 def cmd_loadgen(args) -> int:
     """Drive open-loop load at an assertion service."""
+    from repro.errors import ConfigurationError
     from repro.service import LoadgenConfig, run_loadgen
 
     config = LoadgenConfig(
@@ -501,8 +541,17 @@ def cmd_loadgen(args) -> int:
         host=args.host,
         port=args.port,
         heap_budget_bytes=args.heap_budget,
+        trace_out=args.trace_out,
+        delivery_lag_slo_s=(
+            args.delivery_lag_slo_ms / 1e3
+            if args.delivery_lag_slo_ms is not None else None
+        ),
     )
-    report = run_loadgen(config)
+    try:
+        report = run_loadgen(config)
+    except ConfigurationError as exc:
+        print(f"loadgen: {exc}")
+        return 2
     print(report.render())
     if args.json_out:
         import json
@@ -970,6 +1019,38 @@ def main(argv=None) -> int:
     )
     add_workload_arguments(trace_report)
 
+    trace_serve = add_trace_command(
+        "serve",
+        "distributed tracing: traced multi-tenant load + per-request breakdown",
+        "serve --sessions 8 --out dtrace.json",
+    )
+    trace_serve.add_argument(
+        "--sessions", type=int, default=8,
+        help="sessions to drive through the traced service (default: %(default)s)",
+    )
+    trace_serve.add_argument(
+        "--rate", type=float, default=200.0,
+        help="Poisson arrival rate, sessions/s (default: %(default)s)",
+    )
+    trace_serve.add_argument("--seed", type=int, default=0)
+    trace_serve.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: at most 12 sessions",
+    )
+    trace_serve.add_argument(
+        "--heap-budget", type=int, default=8 << 20, metavar="BYTES",
+        help="self-hosted service budget (default: %(default)s)",
+    )
+    trace_serve.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the merged multi-tenant Chrome/Perfetto trace here",
+    )
+    trace_serve.add_argument(
+        "--delivery-lag-slo-ms", type=float, default=None, metavar="MS",
+        help="override the violation-delivery SLO (tight values force the "
+        "burn-rate alert, for drills)",
+    )
+
     top = add_command(
         "top",
         "live terminal view: pauses, sweep debt, census slopes, hottest phases",
@@ -1111,6 +1192,16 @@ def main(argv=None) -> int:
         "--json-out", default=None, metavar="PATH",
         help="write the report as JSON",
     )
+    loadgen.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="distributed tracing: write the merged multi-tenant "
+        "Chrome/Perfetto trace here (implies a self-hosted service)",
+    )
+    loadgen.add_argument(
+        "--delivery-lag-slo-ms", type=float, default=None, metavar="MS",
+        help="override the self-hosted service's violation-delivery SLO "
+        "(tight values force the burn-rate alert, for drills/CI)",
+    )
 
     chaos = add_command(
         "chaos",
@@ -1154,6 +1245,7 @@ def main(argv=None) -> int:
         trace_handlers = {
             "run": cmd_trace_run,
             "report": cmd_trace_report,
+            "serve": cmd_trace_serve,
         }
         return trace_handlers[args.trace_command](args)
     if args.command == "snapshot":

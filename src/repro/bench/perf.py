@@ -28,6 +28,11 @@ machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
   without; the injector's standing cost is one allocation-counter
   increment plus a list check, so the ratio must sit at ~1.00 with
   bit-identical work counters and zero recovery activity.
+* **abl-dtrace** — the end-to-end tracing increment: one tenant run
+  through a tracing-enabled server (trace context on every frame,
+  request-lifecycle spans, merged multi-track export) vs a direct VM with
+  tracing off; the counters must be bit-identical and the export must
+  validate as a Chrome trace.
 * **par-mark** — the zone-sharded parallel-mark scaling curve: one
   workload run sequentially and at 1/2/4/8 mark workers; reported as
   mark-phase edges/s, p99 pause, the deterministic zone-balance speedup
@@ -590,6 +595,94 @@ def bench_service(workload: str = "pseudojbb", trials: int = 3) -> dict:
     }
 
 
+def bench_dtrace(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """One tenant through the server with end-to-end tracing on vs direct.
+
+    The distributed-tracing acceptance bar: a *traced* served run — trace
+    context stamped on every wire frame, request-lifecycle spans recorded
+    around admission and execution, the tenant VM's span stream
+    re-parented under the request — must stay **bit-identical** in
+    GC/assertion counters and violation lines to a direct VM run with
+    tracing off entirely.  The merged multi-track export must also pass
+    :func:`~repro.tracing.export.validate_chrome_trace`; a malformed
+    artifact fails the cell even when the counters agree.
+    """
+    from repro.service import AssertionService, ServiceClient, ServiceConfig
+    from repro.service.session import resolve_workload
+    from repro.tracing.distributed import TraceContext, request_rows
+    from repro.tracing.export import validate_chrome_trace
+
+    heap_bytes, runner = resolve_workload(workload, asserted=True)
+
+    def direct_leg() -> dict:
+        best = None
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=heap_bytes,
+                assertions=True,
+                telemetry=True,
+                hardened=True,
+                max_heap_bytes=heap_bytes * 2,
+            )
+            runner(vm)
+            vm.collector.sweep_all()
+            if best is None or vm.stats.gc_seconds < best["best_gc_seconds"]:
+                best = {
+                    "best_gc_seconds": vm.stats.gc_seconds,
+                    "counters": vm.stats.snapshot()["counters"],
+                    "violation_lines": vm.violation_lines(),
+                }
+        return best
+
+    def traced_leg() -> tuple[dict, dict, list]:
+        best = None
+        with AssertionService(ServiceConfig(http_port=None, tracing=True)) as service:
+            for _ in range(trials):
+                ctx = TraceContext.new()
+                with ServiceClient("127.0.0.1", service.port, trace=ctx) as client:
+                    client.hello()
+                    opened = client.open("bench", workload)
+                    result = client.submit(opened["session"])
+                    client.close_session(opened["session"])
+                if best is None or result["gc_seconds"] < best["best_gc_seconds"]:
+                    best = {
+                        "best_gc_seconds": result["gc_seconds"],
+                        "counters": result["counters"],
+                        "violation_lines": result["violations"],
+                        "trace_id": opened["trace_id"],
+                    }
+            payload = service.merged_trace_payload()
+            rows = request_rows(service.tracer)
+        return best, payload, rows
+
+    direct = direct_leg()
+    traced, payload, rows = traced_leg()
+    counters_match = (
+        direct["counters"] == traced["counters"]
+        and direct["violation_lines"] == traced["violation_lines"]
+    )
+    direct.pop("violation_lines")
+    traced.pop("violation_lines")
+    return {
+        "workload": workload,
+        "trials": trials,
+        "direct": direct,
+        "traced": traced,
+        "gc_time_ratio": (
+            traced["best_gc_seconds"] / direct["best_gc_seconds"]
+            if direct["best_gc_seconds"]
+            else 0.0
+        ),
+        "counters_match": counters_match,
+        "trace_valid": validate_chrome_trace(payload) == [],
+        "trace_events": len(payload["traceEvents"]),
+        "request_spans": len(rows),
+        "max_delivery_lag_ms": max(
+            [row["max_delivery_lag_s"] * 1e3 for row in rows] or [0.0]
+        ),
+    }
+
+
 def bench_loadgen(sessions: int = 50, rate: float = 200.0, seed: int = 0) -> dict:
     """The serving top line: open-loop load against a self-hosted service.
 
@@ -769,6 +862,7 @@ def perf_payload(quick: bool = False) -> dict:
         monitor = bench_monitor(trials=2)
         par_mark = bench_par_mark(worker_counts=(1, 2, 4, 8))
         service = bench_service(trials=2)
+        dtrace = bench_dtrace(trials=2)
         loadgen = bench_loadgen(sessions=12)
     else:
         trace = bench_trace()
@@ -780,6 +874,7 @@ def perf_payload(quick: bool = False) -> dict:
         monitor = bench_monitor()
         par_mark = bench_par_mark()
         service = bench_service()
+        dtrace = bench_dtrace()
         loadgen = bench_loadgen()
     counters_match = (
         trace["counters_match"]
@@ -789,6 +884,8 @@ def perf_payload(quick: bool = False) -> dict:
         and monitor["counters_match"]
         and par_mark["counters_match"]
         and service["counters_match"]
+        and dtrace["counters_match"]
+        and dtrace["trace_valid"]
         and all(row["counters_match"] for row in pauses.values())
     )
     return {
@@ -804,6 +901,7 @@ def perf_payload(quick: bool = False) -> dict:
         "abl-faults": faults,
         "abl-monitor": monitor,
         "abl-service": service,
+        "abl-dtrace": dtrace,
         "par-mark": par_mark,
         "service-loadgen": loadgen,
         "counters_match": counters_match,
@@ -900,6 +998,19 @@ def render_perf(payload: dict) -> str:
             f"{service['served']['violations']} violations "
             f"({service['served'].get('violation_frames_streamed', 0)} streamed), "
             f"counters {'match' if service['counters_match'] else 'DRIFT'}"
+        )
+    dtrace = payload.get("abl-dtrace")
+    if dtrace is not None:
+        lines.append("distributed-tracing ablation (direct VM -> traced server):")
+        lines.append(
+            f"  {dtrace['workload']:10} gc time "
+            f"{dtrace['direct']['best_gc_seconds'] * 1e3:.1f}ms -> "
+            f"{dtrace['traced']['best_gc_seconds'] * 1e3:.1f}ms "
+            f"({dtrace['gc_time_ratio']:.2f}x), "
+            f"{dtrace['trace_events']} events / {dtrace['request_spans']} request "
+            f"spans exported ({'valid' if dtrace['trace_valid'] else 'INVALID'}), "
+            f"max delivery lag {dtrace['max_delivery_lag_ms']:.2f}ms, "
+            f"counters {'match' if dtrace['counters_match'] else 'DRIFT'}"
         )
     loadgen = payload.get("service-loadgen")
     if loadgen is not None:

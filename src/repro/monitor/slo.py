@@ -51,16 +51,23 @@ class AlertEvent:
     seq: int                 #: GC ordinal that caused the transition
     wall_time: float         #: epoch seconds at transition
     detail: str              #: human-readable cause summary
+    #: Exemplar: the distributed trace_id of a recent bad observation,
+    #: so a firing alert names an exact request trace to open (None when
+    #: the caller does not propagate trace context, e.g. GC-event SLOs).
+    exemplar: Optional[str] = None
 
     def as_dict(self) -> dict:
         return asdict(self)
 
     def render(self) -> str:
-        return (
+        line = (
             f"alert[{self.objective}] {self.state} ({self.severity}) "
             f"burn={self.burn_rate:.2f}x/{self.short_burn_rate:.2f}x "
             f"budget={self.budget_remaining:.0%}: {self.detail}"
         )
+        if self.exemplar is not None:
+            line += f" exemplar={self.exemplar}"
+        return line
 
 
 @dataclass
@@ -121,6 +128,9 @@ class BurnRateRule:
     total: int = field(default=0, init=False)
     bad: int = field(default=0, init=False)
     transitions: int = field(default=0, init=False)
+    #: trace_id of the most recent bad observation (attached to firing
+    #: alerts as the exemplar; None until a caller propagates one).
+    last_bad_exemplar: Optional[str] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.short_window > self.long_window:
@@ -157,14 +167,27 @@ class BurnRateRule:
             return 1.0 if bad_frac == 0.0 else 0.0
         return 1.0 - bad_frac / self.objective.budget
 
-    def observe(self, good: bool, seq: int, wall_time: float) -> Optional[AlertEvent]:
-        """Feed one observation; returns an alert on a state transition."""
+    def observe(
+        self,
+        good: bool,
+        seq: int,
+        wall_time: float,
+        exemplar: Optional[str] = None,
+    ) -> Optional[AlertEvent]:
+        """Feed one observation; returns an alert on a state transition.
+
+        ``exemplar`` is an optional distributed trace_id for this
+        observation; the most recent *bad* one rides along on firing
+        alerts so the operator can jump straight to the guilty request.
+        """
         self.total += 1
         if good:
             self.consecutive_good += 1
         else:
             self.bad += 1
             self.consecutive_good = 0
+            if exemplar is not None:
+                self.last_bad_exemplar = exemplar
         self._long.append(0 if good else 1)
         self._short.append(0 if good else 1)
         long_rate, short_rate = self.burn_rates()
@@ -211,6 +234,7 @@ class BurnRateRule:
             seq=seq,
             wall_time=wall_time,
             detail=detail,
+            exemplar=self.last_bad_exemplar if state == "firing" else None,
         )
 
 
@@ -280,6 +304,7 @@ class SloSet:
                 "observations": rule.total,
                 "bad_observations": rule.bad,
                 "transitions": rule.transitions,
+                "exemplar": rule.last_bad_exemplar if rule.firing else None,
             })
         return {
             "schema": SLO_SCHEMA,

@@ -35,6 +35,7 @@ from repro.service.wire import (
     MAX_FRAME_BYTES,
     WIRE_SCHEMA,
     FrameDecoder,
+    SequenceTracker,
     encode_frame,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "FrameQueue",
     "LoadgenConfig",
     "MAX_FRAME_BYTES",
+    "SequenceTracker",
     "ServiceClient",
     "ServiceConfig",
     "ServiceMetrics",

@@ -15,6 +15,7 @@ asyncio callbacks and workload threads.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -33,6 +34,10 @@ class AdmissionDecision:
     reason: str
     #: Seconds the client should wait before retrying (0 when admitted).
     retry_after_s: float = 0.0
+    #: Time spent acquiring and mutating the ledger for this decision —
+    #: lock wait included, so contention on the admission mutex shows up
+    #: as a wide ``admission_commit`` span in the distributed trace.
+    commit_seconds: float = 0.0
 
 
 class AdmissionController:
@@ -59,14 +64,15 @@ class AdmissionController:
 
     def try_admit(self, heap_bytes: int) -> AdmissionDecision:
         """Commit ``heap_bytes`` if the budget allows; else reject."""
+        attempt_start = time.perf_counter()
         with self._lock:
             if (
                 self.max_sessions is not None
                 and self.active_sessions >= self.max_sessions
             ):
-                return self._reject("sessions")
+                return self._reject("sessions", attempt_start)
             if self.committed_bytes + heap_bytes > self.budget_bytes:
-                return self._reject("budget")
+                return self._reject("budget", attempt_start)
             self.committed_bytes += heap_bytes
             self.active_sessions += 1
             self.admitted_total += 1
@@ -74,14 +80,21 @@ class AdmissionController:
             self.peak_committed_bytes = max(
                 self.peak_committed_bytes, self.committed_bytes
             )
-            return AdmissionDecision(admitted=True, reason="admitted")
+            return AdmissionDecision(
+                admitted=True,
+                reason="admitted",
+                commit_seconds=time.perf_counter() - attempt_start,
+            )
 
-    def _reject(self, reason: str) -> AdmissionDecision:
+    def _reject(self, reason: str, attempt_start: float) -> AdmissionDecision:
         # Caller holds the lock.
         self.rejected_total += 1
         self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
         return AdmissionDecision(
-            admitted=False, reason=reason, retry_after_s=self.retry_after_s
+            admitted=False,
+            reason=reason,
+            retry_after_s=self.retry_after_s,
+            commit_seconds=time.perf_counter() - attempt_start,
         )
 
     def release(self, heap_bytes: int) -> None:

@@ -6,24 +6,43 @@ A thin socket wrapper: :meth:`send` frames out, :meth:`recv` frames in
 frames while waiting for a terminal frame type.  Deliberately
 synchronous — each load-generator session is one thread driving one
 connection, the same shape as a real client library.
+
+The client is also the origin of distributed traces: construct it with
+``trace=TraceContext.new()`` (or ``trace=True`` for a random root) and
+every ``open``/``submit`` frame is stamped with ``trace_id`` /
+``parent_span_id``, which the server parents its request span under.
+Inbound session frames run through a
+:class:`~repro.service.wire.SequenceTracker`, so frames the server shed
+under backpressure show up in :attr:`seq_gaps` rather than vanishing.
 """
 
 from __future__ import annotations
 
 import socket
 from collections import deque
-from typing import Optional
+from typing import Optional, Union
 
 from repro.errors import WireProtocolError
-from repro.service.wire import FrameDecoder, encode_frame
+from repro.service.wire import FrameDecoder, SequenceTracker, encode_frame
+from repro.tracing.distributed import TraceContext
 
 
 class ServiceClient:
     """One connection to an assertion service."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        trace: Union[None, bool, TraceContext] = None,
+    ):
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.decoder = FrameDecoder()
+        if trace is True:
+            trace = TraceContext.new()
+        self.trace: Optional[TraceContext] = trace or None
+        self.seq = SequenceTracker()
         self._pending: deque = deque()
 
     def send(self, frame: dict) -> None:
@@ -36,8 +55,19 @@ class ServiceClient:
             if not data:
                 self.decoder.finish()
                 raise WireProtocolError("server closed the connection")
-            self._pending.extend(self.decoder.feed(data))
+            for frame in self.decoder.feed(data):
+                self.seq.observe(frame)
+                self._pending.append(frame)
         return self._pending.popleft()
+
+    @property
+    def seq_gaps(self) -> dict:
+        """Per-session count of frames the server numbered but never delivered."""
+        return dict(self.seq.gaps)
+
+    @property
+    def frames_missed(self) -> int:
+        return self.seq.total_gaps
 
     def recv_until(
         self, *types: str, collect: Optional[list] = None
@@ -66,16 +96,22 @@ class ServiceClient:
         wait: bool = False,
     ) -> dict:
         """Open a session; returns the ``opened`` or ``rejected`` frame."""
-        self.send({
+        frame = {
             "type": "open", "tenant": tenant, "workload": workload,
             "asserted": asserted, "overrides": overrides or {},
             "collector": collector, "wait": wait,
-        })
+        }
+        if self.trace is not None:
+            self.trace.stamp(frame)
+        self.send(frame)
         return self.recv_until("opened", "rejected", "error")
 
     def submit(self, session: str, collect: Optional[list] = None, **extra) -> dict:
         """Submit the session's workload; returns the ``result`` frame."""
-        self.send({"type": "submit", "session": session, **extra})
+        frame = {"type": "submit", "session": session, **extra}
+        if self.trace is not None:
+            self.trace.stamp(frame)
+        self.send(frame)
         return self.recv_until("result", "error", collect=collect)
 
     def close_session(self, session: str, collect: Optional[list] = None) -> dict:

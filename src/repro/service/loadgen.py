@@ -28,10 +28,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ReproError, WireProtocolError
+from repro.errors import ConfigurationError, ReproError, WireProtocolError
 from repro.service.client import ServiceClient
 from repro.service.server import AssertionService, ServiceConfig
 from repro.telemetry.histogram import LogHistogram
+from repro.tracing.distributed import TraceContext, request_rows
 
 #: Default session mix: weighted toward small synthetics so a quick run
 #: stays fast, with swapleak guaranteeing assertion-violation traffic.
@@ -55,11 +56,23 @@ class LoadgenConfig:
     port: Optional[int] = None     #: None = self-host an in-process service
     heap_budget_bytes: int = 8 << 20
     max_workers: int = 64          #: client-side thread cap
+    #: Distributed tracing: each session carries a seeded TraceContext
+    #: and the self-hosted service records request spans.  Implied by
+    #: ``trace_out``; requires self-hosting (the merge layer reads the
+    #: server's tracer in-process).
+    tracing: bool = False
+    trace_out: Optional[str] = None
+    #: Override the self-hosted service's delivery-lag SLO.  A very
+    #: tight value (microseconds) makes the burn-rate alert fire
+    #: deterministically — the CI path for exemplar-bearing alerts.
+    delivery_lag_slo_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.quick:
             self.sessions = min(self.sessions, 12)
             self.rate = min(self.rate, 400.0)
+        if self.trace_out is not None:
+            self.tracing = True
 
 
 @dataclass
@@ -75,6 +88,16 @@ class LoadgenReport:
     admitted_total: int = 0
     rejected_total: int = 0
     wall_s: float = 0.0
+    #: Client-observed seq gaps: frames the server numbered but shed.
+    frames_missed: int = 0
+    #: AlertEvent dicts from the self-hosted service's SLO rules
+    #: (exemplar trace ids included), in firing order.
+    alerts: list = field(default_factory=list)
+    #: Per-request lifecycle rows from the server's DistributedTracer
+    #: (tracing runs only; the ``repro trace serve`` table).
+    requests: list = field(default_factory=list)
+    #: Merged-export summary from ``write_merged_trace`` (trace_out runs).
+    trace: Optional[dict] = None
     open_latency: LogHistogram = field(
         default_factory=lambda: LogHistogram(1e-6, 30.0)
     )
@@ -95,7 +118,11 @@ class LoadgenReport:
             "violation_frames": self.violation_frames,
             "gc_event_frames": self.gc_event_frames,
             "dropped_frames": self.dropped_frames,
+            "frames_missed": self.frames_missed,
             "peak_concurrent": self.peak_concurrent,
+            "alerts": list(self.alerts),
+            "requests": list(self.requests),
+            "trace": self.trace,
             "wall_s": self.wall_s,
             "open_latency_s": {
                 "p50": self.open_latency.percentile(50),
@@ -128,6 +155,25 @@ class LoadgenReport:
             f"{d['session_duration_s']['p90'] * 1e3:.2f} / "
             f"{d['session_duration_s']['p99'] * 1e3:.2f} ms",
         ]
+        if self.frames_missed:
+            lines.append(
+                f"  seq gaps observed        : {self.frames_missed} "
+                f"(shed frames counted client-side)"
+            )
+        if self.trace is not None:
+            lines.append(
+                f"  merged trace             : {self.trace['path']} "
+                f"({self.trace['events']} events, "
+                f"{self.trace['tenant_tracks']} tenant tracks)"
+            )
+        for alert in self.alerts:
+            line = (
+                f"  alert[{alert['objective']}] {alert['state']} "
+                f"({alert['severity']}): {alert['detail']}"
+            )
+            if alert.get("exemplar"):
+                line += f" exemplar={alert['exemplar']}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -159,14 +205,16 @@ class _Wave:
 def _run_session(
     config: LoadgenConfig,
     port: int,
+    index: int,
     workload: str,
     report: LoadgenReport,
     lock: threading.Lock,
     wave: Optional[_Wave],
+    trace_ctx: Optional[TraceContext],
 ) -> None:
     started = time.perf_counter()
     try:
-        client = ServiceClient(config.host, port, timeout=60.0)
+        client = ServiceClient(config.host, port, timeout=60.0, trace=trace_ctx)
     except OSError:
         with lock:
             report.errors += 1
@@ -176,8 +224,12 @@ def _run_session(
     try:
         client.hello()
         overrides = {"swaps": 32} if workload == "swapleak" else None
+        # Distinct tenant per session, so multi-tenant artifacts (the
+        # merged trace's tenant tracks, the tenant-labelled metrics)
+        # genuinely fan out rather than collapsing onto one label.
         opened = client.open(
-            "tenant-" + workload, workload, wait=(config.mode == "flow"),
+            f"tenant-{workload}-{index}", workload,
+            wait=(config.mode == "flow"),
             overrides=overrides,
         )
         open_latency = time.perf_counter() - started
@@ -213,6 +265,7 @@ def _run_session(
                 1 for f in streamed if f.get("type") == "gc-event"
             )
             report.dropped_frames += int(closed.get("dropped_frames", 0) or 0)
+            report.frames_missed += client.frames_missed
             report.session_duration.record(time.perf_counter() - started)
     except (WireProtocolError, ReproError, OSError):
         with lock:
@@ -225,18 +278,33 @@ def run_loadgen(
     config: LoadgenConfig, service: Optional[AssertionService] = None
 ) -> LoadgenReport:
     """Drive the configured load; self-hosts a service when no port given."""
+    if config.tracing and config.port is not None and service is None:
+        raise ConfigurationError(
+            "loadgen tracing requires a self-hosted service (drop --port): "
+            "the merged trace is read from the server's tracer in-process"
+        )
     own_service = None
     if config.port is None and service is None:
-        own_service = AssertionService(ServiceConfig(
+        server_config = ServiceConfig(
             host=config.host,
             heap_budget_bytes=config.heap_budget_bytes,
             http_port=None,
-        )).start()
+            tracing=config.tracing,
+        )
+        if config.delivery_lag_slo_s is not None:
+            server_config.delivery_lag_slo_s = config.delivery_lag_slo_s
+        own_service = AssertionService(server_config).start()
         service = own_service
     port = service.port if service is not None else config.port
 
     rng = random.Random(config.seed)
     workloads = [_draw_mix(rng, config.mix) for _ in range(config.sessions)]
+    # Pre-draw the trace roots on the arrival loop's rng so session
+    # threads never race on it: one deterministic trace id per session.
+    contexts: list = [
+        TraceContext.new(rng) if config.tracing else None
+        for _ in range(config.sessions)
+    ]
     report = LoadgenReport(sessions=config.sessions)
     lock = threading.Lock()
     wave = _Wave(config.sessions) if config.mode == "ramp" else None
@@ -247,7 +315,7 @@ def run_loadgen(
         for i, workload in enumerate(workloads):
             thread = threading.Thread(
                 target=_run_session,
-                args=(config, port, workload, report, lock, wave),
+                args=(config, port, i, workload, report, lock, wave, contexts[i]),
                 name=f"loadgen-{i}",
                 daemon=True,
             )
@@ -266,6 +334,14 @@ def run_loadgen(
             report.peak_concurrent = snap["peak_sessions"]
             report.admitted_total = snap["admitted_total"]
             report.rejected_total = snap["rejected_total"]
+            report.alerts = [alert.as_dict() for alert in service.metrics.alerts]
+            if service.tracer is not None:
+                report.requests = request_rows(service.tracer)
+                if config.trace_out is not None:
+                    report.trace = service.write_merged_trace(
+                        config.trace_out,
+                        meta={"generator": "repro-loadgen", "seed": config.seed},
+                    )
         if own_service is not None:
             own_service.stop()
     return report

@@ -16,6 +16,14 @@ The serving SLOs reuse :class:`~repro.monitor.slo.BurnRateRule` directly
 agnostic; only :class:`~repro.monitor.slo.SloSet` couples it to GC
 events, so the service feeds rules itself rather than going through a
 hub-attached SloSet.
+
+Both SLO observers take *monotonic span stamps* — a pair of
+``time.perf_counter()`` readings bracketing the measured interval — and
+compute the latency themselves.  Wall-clock time never enters the
+measurement (an NTP step or DST jump cannot burn the error budget); the
+``wall_time`` argument is carried on alerts for display only.  Each
+observation may also carry the request's distributed ``trace_id``,
+which the burn-rate rule attaches to firing alerts as the exemplar.
 """
 
 from __future__ import annotations
@@ -151,22 +159,40 @@ class ServiceMetrics:
             stats.frames_dropped += session.queue.dropped_frames
             stats.frames_discarded += session.discarded_frames
 
-    def observe_admission_latency(self, seconds: float, wall_time: float) -> None:
+    def observe_admission_latency(
+        self,
+        received_mono: float,
+        decided_mono: float,
+        wall_time: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Score one open→decision interval from perf_counter stamps."""
+        seconds = max(0.0, decided_mono - received_mono)
         with self._lock:
             self.admission_latency.record(seconds)
             self._slo_seq += 1
             alert = self.slo_admission.observe(
-                seconds <= self.admission_latency_slo_s, self._slo_seq, wall_time
+                seconds <= self.admission_latency_slo_s,
+                self._slo_seq, wall_time, exemplar=trace_id,
             )
             if alert is not None:
                 self.alerts.append(alert)
 
-    def observe_delivery_lag(self, seconds: float, wall_time: float) -> None:
+    def observe_delivery_lag(
+        self,
+        enqueued_mono: float,
+        written_mono: float,
+        wall_time: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Score one violation enqueue→write interval from perf_counter stamps."""
+        seconds = max(0.0, written_mono - enqueued_mono)
         with self._lock:
             self.delivery_lag.record(seconds)
             self._slo_seq += 1
             alert = self.slo_delivery.observe(
-                seconds <= self.delivery_lag_slo_s, self._slo_seq, wall_time
+                seconds <= self.delivery_lag_slo_s,
+                self._slo_seq, wall_time, exemplar=trace_id,
             )
             if alert is not None:
                 self.alerts.append(alert)
@@ -188,6 +214,7 @@ class ServiceMetrics:
                         "bad": r.bad,
                         "budget_remaining": r.budget_remaining(),
                         "firing": r.firing,
+                        "exemplar": r.last_bad_exemplar if r.firing else None,
                     }
                     for r in rules
                 ],

@@ -38,6 +38,13 @@ from repro.service.admission import AdmissionController
 from repro.service.metrics import ServiceMetrics
 from repro.service.session import TenantSession, resolve_workload
 from repro.service.wire import MAX_FRAME_BYTES, WIRE_SCHEMA, FrameDecoder, encode_frame
+from repro.tracing.distributed import (
+    DistributedTracer,
+    TraceContext,
+    merge_service_trace,
+    request_rows,
+    write_merged_trace,
+)
 
 SERVER_VERSION = "repro-service/1"
 
@@ -58,6 +65,14 @@ class ServiceConfig:
     delivery_lag_slo_s: float = 0.200
     max_frame_bytes: int = MAX_FRAME_BYTES
     wait_timeout_s: float = 2.0        #: cap on queued (``"wait": true``) opens
+    #: Distributed request tracing: server-side lifecycle spans plus a
+    #: SpanTracer per tenant VM, merged into one Perfetto export.  Off by
+    #: default — the zero-overhead-when-off discipline is a None-test on
+    #: ``AssertionService.tracer``, same as the VM's ``span_tracer``.
+    tracing: bool = False
+    #: Cap on retained traced-session records (oldest beyond the cap are
+    #: dropped from the merged export, never from serving).
+    max_traced_sessions: int = 512
 
 
 class _Connection:
@@ -89,6 +104,15 @@ class AssertionService:
             thread_name_prefix="repro-session",
         )
         self.http: Optional[EndpointServer] = None
+        #: None when tracing is off — every tracing hook is behind this
+        #: None-test, so the traced-off request path is byte-identical.
+        self.tracer: Optional[DistributedTracer] = (
+            DistributedTracer() if self.config.tracing else None
+        )
+        #: Evicted sessions whose VM SpanTracers feed the merged export:
+        #: ``{tenant, session, tracer, trace_id, request_span_id}``.
+        self.traced_sessions: list[dict] = []
+        self.traced_sessions_dropped = 0
         self.sessions_opened = 0
         self._session_seq = 0
         self._seq_lock = threading.Lock()
@@ -239,10 +263,29 @@ class AssertionService:
             for session in list(conn.sessions.values()):
                 for frame, enqueued_at in session.queue.drain():
                     await self._reply(conn, frame)
-                    if frame.get("type") == "violation":
-                        self.metrics.observe_delivery_lag(
-                            time.perf_counter() - enqueued_at, time.time()
-                        )
+                    self._observe_delivery(session, frame, enqueued_at)
+
+    def _observe_delivery(
+        self, session: TenantSession, frame: dict, enqueued_at: float
+    ) -> None:
+        """Score (and trace) one delivered violation frame's queue residency."""
+        if frame.get("type") != "violation":
+            return
+        written = time.perf_counter()
+        trace = session.trace
+        self.metrics.observe_delivery_lag(
+            enqueued_at, written, time.time(),
+            trace_id=trace.trace_id if trace is not None else None,
+        )
+        if self.tracer is not None and trace is not None:
+            self.tracer.record(
+                "violation_delivery", enqueued_at, written,
+                lane=session.request_lane,
+                trace_id=trace.trace_id,
+                parent_span_id=session.request_span_id,
+                cat="delivery",
+                args={"seq": frame.get("seq"), "gc_number": frame.get("gc_number")},
+            )
 
     async def _dispatch(self, conn: _Connection, frame: dict) -> None:
         ftype = frame.get("type")
@@ -281,9 +324,17 @@ class AssertionService:
     async def _open_session(self, conn: _Connection, frame: dict) -> None:
         received = time.perf_counter()
         tenant = str(frame.get("tenant", "anonymous"))
+        workload = str(frame.get("workload", "swapleak"))
+        tracer = self.tracer
+        ctx: Optional[TraceContext] = None
+        if tracer is not None:
+            # A stamped open joins the client's trace; an unstamped one
+            # (old client) gets a fresh server-rooted trace — tracing
+            # never depends on the peer's protocol vintage.
+            ctx = TraceContext.from_frame(frame) or TraceContext.new()
         try:
             heap_bytes, runner = resolve_workload(
-                str(frame.get("workload", "swapleak")),
+                workload,
                 asserted=bool(frame.get("asserted", True)),
                 overrides=frame.get("overrides") or {},
             )
@@ -293,6 +344,7 @@ class AssertionService:
             return
         committed = heap_bytes * 2 if self.config.hardened else heap_bytes
 
+        retries = 0
         decision = self.admission.try_admit(committed)
         if not decision.admitted and frame.get("wait"):
             # Queued admission: hold the open (bounded by wait_timeout_s)
@@ -300,21 +352,42 @@ class AssertionService:
             deadline = self._loop.time() + self.config.wait_timeout_s
             while not decision.admitted and self._loop.time() < deadline:
                 await asyncio.sleep(decision.retry_after_s or 0.05)
+                retries += 1
                 decision = self.admission.try_admit(committed)
-        latency = time.perf_counter() - received
-        self.metrics.observe_admission_latency(latency, time.time())
+        decided = time.perf_counter()
+        latency = decided - received
+        self.metrics.observe_admission_latency(
+            received, decided, time.time(),
+            trace_id=ctx.trace_id if ctx is not None else None,
+        )
+
         if not decision.admitted:
+            if tracer is not None:
+                self._trace_open(
+                    tracer, ctx, received, decided, decision, retries,
+                    tenant, workload, label=f"request rejected ({tenant})",
+                    outcome="rejected",
+                )
             await self._reply(conn, {
                 "type": "rejected",
                 "tenant": tenant,
                 "reason": decision.reason,
                 "retry_after_s": decision.retry_after_s,
+                **({"trace_id": ctx.trace_id} if ctx is not None else {}),
             })
             return
 
         with self._seq_lock:
             self._session_seq += 1
             session_id = f"s{self._session_seq}"
+        request_span_id = None
+        lane = None
+        if tracer is not None:
+            request_span_id, lane = self._trace_open(
+                tracer, ctx, received, decided, decision, retries,
+                tenant, workload, label=f"request {session_id} ({tenant})",
+                outcome=None, session_id=session_id,
+            )
         loop = self._loop
         session = TenantSession(
             session_id=session_id,
@@ -325,7 +398,11 @@ class AssertionService:
             queue_frames=self.config.outbound_queue_frames,
             notify=lambda: loop.call_soon_threadsafe(conn.wake.set),
             aggregate=self.metrics.aggregate,
+            tracing=tracer is not None,
+            trace=ctx,
+            request_span_id=request_span_id,
         )
+        session.request_lane = lane
         session.runner = runner
         conn.sessions[session_id] = session
         self.sessions_opened += 1
@@ -337,7 +414,42 @@ class AssertionService:
             "heap_bytes": heap_bytes,
             "committed_bytes": committed,
             "admission_latency_s": latency,
+            **({"trace_id": ctx.trace_id} if ctx is not None else {}),
         })
+
+    def _trace_open(
+        self, tracer, ctx, received, decided, decision, retries,
+        tenant, workload, label, outcome, session_id=None,
+    ):
+        """Record the admission-side spans of one open (event loop only)."""
+        request_span_id = tracer.new_span_id()
+        lane = tracer.lane(request_span_id, label)
+        args = {"tenant": tenant, "workload": workload}
+        if session_id is not None:
+            args["session"] = session_id
+        tracer.begin(
+            "request", start=received, lane=lane,
+            trace_id=ctx.trace_id, parent_span_id=ctx.span_id,
+            span_id=request_span_id, args=args,
+        )
+        tracer.record(
+            "admission_wait", received, decided, lane=lane,
+            trace_id=ctx.trace_id, parent_span_id=request_span_id,
+            cat="admission",
+            args={"decision": decision.reason, "retries": retries},
+        )
+        tracer.record(
+            "admission_commit",
+            decided - decision.commit_seconds, decided, lane=lane,
+            trace_id=ctx.trace_id, parent_span_id=request_span_id,
+            cat="admission",
+        )
+        if outcome is not None:
+            tracer.end(
+                request_span_id, time.perf_counter(),
+                args={"outcome": outcome, "reason": decision.reason},
+            )
+        return request_span_id, lane
 
     async def _register_assertion(self, conn: _Connection, frame: dict) -> None:
         session = self._session_for(conn, frame)
@@ -380,7 +492,31 @@ class AssertionService:
 
         # The GC work runs off-loop; violation/gc-event frames stream from
         # the worker thread through the queue while this await is pending.
-        await self._loop.run_in_executor(self.executor, session.run, runner)
+        tracer = self.tracer
+        if tracer is not None and session.trace is not None:
+            dispatched = time.perf_counter()
+
+            def traced_run(session=session, runner=runner, dispatched=dispatched):
+                started = time.perf_counter()
+                trace = session.trace
+                tracer.record(
+                    "executor_wait", dispatched, started,
+                    lane=session.request_lane, trace_id=trace.trace_id,
+                    parent_span_id=session.request_span_id, cat="executor",
+                )
+                try:
+                    return session.run(runner)
+                finally:
+                    tracer.record(
+                        "workload_execution", started, time.perf_counter(),
+                        lane=session.request_lane, trace_id=trace.trace_id,
+                        parent_span_id=session.request_span_id, cat="executor",
+                        args={"outcome": session.outcome},
+                    )
+
+            await self._loop.run_in_executor(self.executor, traced_run)
+        else:
+            await self._loop.run_in_executor(self.executor, session.run, runner)
 
     async def _explicit_gc(self, conn: _Connection, frame: dict) -> None:
         session = self._session_for(conn, frame)
@@ -401,10 +537,7 @@ class AssertionService:
         # Flush anything still queued before the terminal frame.
         for queued, enqueued_at in session.queue.drain():
             await self._reply(conn, queued)
-            if queued.get("type") == "violation":
-                self.metrics.observe_delivery_lag(
-                    time.perf_counter() - enqueued_at, time.time()
-                )
+            self._observe_delivery(session, queued, enqueued_at)
         self._evict(conn, session)
         await self._reply(conn, {
             "type": "closed",
@@ -421,3 +554,38 @@ class AssertionService:
         conn.sessions.pop(session.session_id, None)
         self.admission.release(session.committed_bytes)
         self.metrics.session_evicted(session.tenant, session)
+        if self.tracer is not None and session.request_span_id is not None:
+            self.tracer.end(
+                session.request_span_id, time.perf_counter(),
+                args={"outcome": session.outcome},
+            )
+            if session.vm.span_tracer is not None and session.trace is not None:
+                if len(self.traced_sessions) < self.config.max_traced_sessions:
+                    self.traced_sessions.append({
+                        "tenant": session.tenant,
+                        "session": session.session_id,
+                        "tracer": session.vm.span_tracer,
+                        "trace_id": session.trace.trace_id,
+                        "request_span_id": session.request_span_id,
+                    })
+                else:
+                    self.traced_sessions_dropped += 1
+
+    # -- merged-trace export ------------------------------------------------------------
+
+    def merged_trace_payload(self, meta: Optional[dict] = None) -> dict:
+        """The multi-track Chrome/Perfetto payload (requires tracing on)."""
+        if self.tracer is None:
+            raise RuntimeError("service was not started with tracing enabled")
+        return merge_service_trace(self.tracer, self.traced_sessions, meta)
+
+    def write_merged_trace(self, path: str, meta: Optional[dict] = None) -> dict:
+        if self.tracer is None:
+            raise RuntimeError("service was not started with tracing enabled")
+        return write_merged_trace(self.tracer, self.traced_sessions, path, meta)
+
+    def request_rows(self) -> list[dict]:
+        """Per-request lifecycle breakdown (requires tracing on)."""
+        if self.tracer is None:
+            raise RuntimeError("service was not started with tracing enabled")
+        return request_rows(self.tracer)

@@ -16,7 +16,16 @@ tenant-isolation cell pins.
 Outbound traffic flows through a bounded :class:`FrameQueue`.  GC-event
 frames are load-sheddable (a slow consumer drops telemetry, counted,
 rather than stalling the collector); violation, result, and lifecycle
-frames are critical and always enqueue.
+frames are critical and always enqueue.  Every outbound frame is
+stamped with a monotonic per-session ``seq`` *before* the shedding
+decision, so a dropped frame leaves an observable gap the client's
+:class:`~repro.service.wire.SequenceTracker` can count.
+
+When the service runs with distributed tracing on, the session's VM
+gets its own :class:`~repro.tracing.spans.SpanTracer` and the session
+carries the requester's :class:`~repro.tracing.distributed.TraceContext`
+— outbound frames echo the ``trace_id``, and the merge layer re-parents
+the VM's GC/assertion spans under the owning request span.
 
 Fault hooks: the session registers ``session-kill`` and ``conn-drop``
 callables in ``vm.service_hooks`` so :mod:`repro.faults` can inject
@@ -145,6 +154,9 @@ class TenantSession:
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
         notify: Optional[Callable[[], None]] = None,
         aggregate: Optional[Callable[[str, object], None]] = None,
+        tracing: bool = False,
+        trace=None,
+        request_span_id: Optional[str] = None,
     ):
         self.session_id = session_id
         self.tenant = tenant
@@ -159,6 +171,14 @@ class TenantSession:
         self.discarded_frames = 0
         self.violation_frames = 0
         self.gc_event_frames = 0
+        #: Monotonic stamp for the next outbound frame.  Single producer
+        #: (the workload thread owns all sends for a session), no lock.
+        self.out_seq = 0
+        #: Requester's TraceContext + the server-side request span this
+        #: session's work re-parents under (None when tracing is off).
+        self.trace = trace
+        self.request_span_id = request_span_id
+        self.request_lane: Optional[int] = None
         self.queue = FrameQueue(queue_frames, notify=notify)
         self._aggregate = aggregate
         self._pending_instances: list[tuple[str, int]] = []
@@ -170,6 +190,7 @@ class TenantSession:
             telemetry=True,
             hardened=hardened,
             max_heap_bytes=heap_bytes * 2 if hardened else None,
+            tracing=tracing,
         )
         self.vm.telemetry.add_sink(_SessionSink(self))
         self.vm.engine.policy.add_handler(self._on_violation)
@@ -180,6 +201,12 @@ class TenantSession:
     # -- streaming (called from the workload thread, inside the VM) ---------------------
 
     def _send(self, frame: dict) -> None:
+        # Number the frame before any drop decision: a shed or discarded
+        # frame must consume a seq so the client sees the gap.
+        frame["seq"] = self.out_seq
+        self.out_seq += 1
+        if self.trace is not None:
+            frame["trace_id"] = self.trace.trace_id
         if self.connection_dropped:
             self.discarded_frames += 1
             return

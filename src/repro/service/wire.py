@@ -13,6 +13,18 @@ schema's ``gc-event`` v1 → v2 evolution: *unknown keys in a frame are
 preserved, never rejected*, so a newer client can attach fields an older
 server ignores.  Only structural violations (bad JSON, non-object
 payload, oversize, truncation) are protocol errors.
+
+Two key families ride on that discipline rather than on a schema bump:
+
+* **Trace context** — clients stamp ``trace_id`` (32-hex) and
+  ``parent_span_id`` (16-hex) onto ``open``/``submit`` frames (see
+  :mod:`repro.tracing.distributed`); servers echo ``trace_id`` on the
+  frames they stream back.  Old peers ignore both.
+* **Sequence numbers** — every outbound *session* frame carries a
+  monotonic per-session ``seq``, assigned before shedding, so a frame
+  dropped under backpressure leaves a visible gap in the numbering.
+  :class:`SequenceTracker` is the client-side ledger that counts those
+  gaps: shed telemetry becomes an observed quantity, not a silent hole.
 """
 
 from __future__ import annotations
@@ -108,3 +120,38 @@ class FrameDecoder:
             raise WireProtocolError(
                 f"stream truncated mid-frame with {len(self._buffer)} bytes buffered"
             )
+
+
+class SequenceTracker:
+    """Per-session gap detection over the ``seq`` key on inbound frames.
+
+    Sessions number every outbound frame *before* shedding, so a slow
+    consumer sees ``..., 7, 9, ...`` where frame 8 was dropped; the gap
+    count equals the number of shed (or connection-drop discarded)
+    frames.  Frames without a ``session`` or an integer ``seq`` — hello
+    replies, frames from pre-seq servers — are ignored, keeping the
+    tracker forward- and backward-compatible.
+    """
+
+    def __init__(self) -> None:
+        self.last_seq: dict = {}
+        self.gaps: dict = {}
+        self.frames_seen = 0
+        self.total_gaps = 0
+
+    def observe(self, frame: dict) -> int:
+        """Feed one inbound frame; returns the gap it revealed (0 = none)."""
+        session = frame.get("session")
+        seq = frame.get("seq")
+        if session is None or not isinstance(seq, int):
+            return 0
+        self.frames_seen += 1
+        last = self.last_seq.get(session)
+        self.last_seq[session] = seq
+        # First frame at seq N means frames 0..N-1 were shed before
+        # anything reached us; later frames reveal gap = seq - last - 1.
+        gap = seq if last is None else seq - last - 1
+        if gap > 0:
+            self.gaps[session] = self.gaps.get(session, 0) + gap
+            self.total_gaps += gap
+        return max(0, gap)

@@ -20,8 +20,21 @@ Entry points:
 * :mod:`~repro.tracing.flame` — collapsed-stack flamegraph of mark work by
   (object type, allocation site).
 * :mod:`~repro.tracing.top` — the live ``repro top`` terminal view.
+* :mod:`~repro.tracing.distributed` — end-to-end request tracing across
+  the multi-tenant service: W3C-style trace context on the wire, server
+  request-lifecycle spans, and the merge layer that folds every tenant
+  VM's trace into one multi-track Perfetto export.
 """
 
+from repro.tracing.distributed import (
+    DTRACE_SCHEMA,
+    DistributedTracer,
+    TraceContext,
+    merge_service_trace,
+    render_request_report,
+    request_rows,
+    write_merged_trace,
+)
 from repro.tracing.export import (
     TRACE_SCHEMA,
     chrome_trace_events,
@@ -40,16 +53,22 @@ from repro.tracing.spans import MARK_ATTRIBUTION_UNTAGGED, SpanTracer
 from repro.tracing.top import render_frame, run_top
 
 __all__ = [
+    "DTRACE_SCHEMA",
+    "DistributedTracer",
     "MARK_ATTRIBUTION_UNTAGGED",
     "SpanTracer",
     "TRACE_SCHEMA",
+    "TraceContext",
     "aggregate_spans",
     "chrome_trace_events",
     "collapsed_stacks",
+    "merge_service_trace",
     "piggyback_report",
     "render_frame",
     "render_piggyback",
+    "render_request_report",
     "render_span_table",
+    "request_rows",
     "run_top",
     "trace_payload",
     "validate_chrome_trace",

@@ -1,0 +1,549 @@
+"""End-to-end request tracing across the multi-tenant assertion service.
+
+PR 4's :class:`~repro.tracing.spans.SpanTracer` stops at the single-VM
+boundary: it can show *that* a pause was long, but once PR 8 put many
+tenant VMs behind one server, nothing connected a slow violation
+delivery or an admission stall back to the GC pauses and assertion
+checks that caused it.  This module closes that gap with three pieces:
+
+* :class:`TraceContext` — W3C-traceparent-style context (32-hex
+  ``trace_id``, 16-hex span ids) that clients stamp onto ``open`` and
+  ``submit`` frames.  The ``repro-wire/1`` protocol already preserves
+  unknown keys, so old servers ignore the stamps and old clients simply
+  get server-rooted traces — no version negotiation needed.
+* :class:`DistributedTracer` — the server-side recorder.  One per
+  service, shared by the event loop and the executor threads (hence the
+  lock — unlike ``SpanTracer``, which is single-threaded by
+  construction).  It records the request lifecycle as explicit spans:
+  ``request`` (open received → evicted), ``admission_wait`` (receipt →
+  decision, queued retries included), ``admission_commit`` (time inside
+  the ledger mutex), ``executor_wait`` (submit dispatched → workload
+  thread picked it up), ``workload_execution``, and one
+  ``violation_delivery`` span per violation frame (enqueued → bytes
+  written — the same mono stamps the delivery-lag SLO scores).
+* :func:`merge_service_trace` — folds the server's spans plus every
+  traced tenant VM's ``SpanTracer`` stream into one Chrome/Perfetto
+  export.  Requests get synthetic ``tid`` lanes on the server process;
+  each tenant VM becomes its own synthetic process (``pid`` =
+  ``TENANT_TRACK_BASE + n``, reusing PR 7's ``WORKER_TRACK_BASE``
+  convention for synthetic tracks), so one timeline shows tenant A's
+  violation-delivery lag overlapping tenant B's mark pause on the
+  shared executor.  Tenant GC spans are re-parented under the owning
+  request: top-level spans and instants carry ``trace_id`` /
+  ``parent_span_id`` args pointing at the request span, and the tenant
+  process metadata names the request, so every pause is reachable from
+  the trace id a client (or a firing SLO alert exemplar) hands you.
+
+All stamps are ``time.perf_counter()`` readings.  The merge happens in
+the server process, so every tracer shares one monotonic clock and the
+tracks align without cross-clock skew correction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.tracing.export import TRACE_PID, TRACE_TID
+from repro.tracing.spans import WORKER_TRACK_BASE
+
+if TYPE_CHECKING:
+    import random
+
+#: Schema tag for merged multi-tenant exports (``otherData.schema``).
+DTRACE_SCHEMA = "repro-dtrace/1"
+
+#: Synthetic-track conventions, continuing PR 7's ``WORKER_TRACK_BASE``:
+#: request lanes are ``tid`` s >= REQUEST_TRACK_BASE on the server
+#: process; tenant VMs are ``pid`` s >= TENANT_TRACK_BASE.
+REQUEST_TRACK_BASE = WORKER_TRACK_BASE
+TENANT_TRACK_BASE = WORKER_TRACK_BASE
+
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def _hex_id(bits: int, rng: Optional["random.Random"] = None) -> str:
+    """A random lowercase hex id; seeded when ``rng`` is given."""
+    if rng is None:
+        return os.urandom(bits // 8).hex()
+    return format(rng.getrandbits(bits), f"0{bits // 4}x")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a distributed trace (W3C trace-context shaped).
+
+    ``trace_id`` identifies the whole request tree; ``span_id`` is this
+    participant's own span; ``parent_span_id`` is who created it.  The
+    wire representation is two plain frame keys (``trace_id`` and
+    ``parent_span_id``) rather than a packed header — the frames are
+    already JSON — but :meth:`to_traceparent` / :meth:`from_traceparent`
+    speak the standard ``00-{trace}-{span}-01`` form for interop.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+
+    @classmethod
+    def new(cls, rng: Optional["random.Random"] = None) -> "TraceContext":
+        """A fresh root context; pass a seeded ``rng`` for determinism."""
+        return cls(trace_id=_hex_id(128, rng), span_id=_hex_id(64, rng))
+
+    def child(self, rng: Optional["random.Random"] = None) -> "TraceContext":
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_hex_id(64, rng),
+            parent_span_id=self.span_id,
+        )
+
+    def to_traceparent(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> Optional["TraceContext"]:
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None:
+            return None
+        return cls(trace_id=match.group(2), span_id=match.group(3))
+
+    def stamp(self, frame: dict) -> dict:
+        """Attach this context to an outbound wire frame, in place.
+
+        The receiver parents its work under ``parent_span_id`` — this
+        context's own span — exactly like a propagated traceparent.
+        """
+        frame["trace_id"] = self.trace_id
+        frame["parent_span_id"] = self.span_id
+        return frame
+
+    @classmethod
+    def from_frame(cls, frame: dict) -> Optional["TraceContext"]:
+        """Recover the *sender's* position from a stamped frame.
+
+        Returns None when the frame is unstamped (an old client) or the
+        stamp is malformed — tracing must never reject a frame the wire
+        protocol accepts.
+        """
+        trace_id = frame.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        parent = frame.get("parent_span_id")
+        if not isinstance(parent, str) or not parent:
+            parent = "0" * 16
+        return cls(trace_id=trace_id, span_id=parent)
+
+
+class DistributedTracer:
+    """Thread-safe recorder for server-side request-lifecycle spans.
+
+    Spans are plain dicts ``{name, cat, start, end, lane, trace_id,
+    span_id, parent_span_id, args}`` with perf_counter stamps; span ids
+    are a process-local counter rendered as 16-hex (deterministic, and
+    collision-free within one service).  ``begin``/``end`` support the
+    long-lived ``request`` span; everything else is recorded complete
+    via :meth:`record`.  Lanes are synthetic ``tid`` s handed out in
+    arrival order from ``REQUEST_TRACK_BASE``.
+    """
+
+    def __init__(self) -> None:
+        self.t0 = time.perf_counter()
+        self.spans: list[dict] = []
+        self._open: dict[str, dict] = {}
+        self._lanes: dict[str, tuple[int, str]] = {}
+        self._lock = threading.Lock()
+        self._next_id = 1
+
+    def new_span_id(self) -> str:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return format(span_id, "016x")
+
+    def lane(self, key: str, label: str) -> int:
+        """The synthetic tid for ``key``, allocating (and naming) it once."""
+        with self._lock:
+            row = self._lanes.get(key)
+            if row is None:
+                row = (REQUEST_TRACK_BASE + len(self._lanes), label)
+                self._lanes[key] = row
+            return row[0]
+
+    def begin(
+        self,
+        name: str,
+        *,
+        start: float,
+        lane: int,
+        trace_id: str,
+        parent_span_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        cat: str = "request",
+        args: Optional[dict] = None,
+    ) -> str:
+        """Open a long-lived span; finish it with :meth:`end`."""
+        span_id = span_id or self.new_span_id()
+        span = {
+            "name": name, "cat": cat, "start": start, "end": None,
+            "lane": lane, "trace_id": trace_id, "span_id": span_id,
+            "parent_span_id": parent_span_id, "args": dict(args or {}),
+        }
+        with self._lock:
+            self._open[span_id] = span
+        return span_id
+
+    def end(self, span_id: str, end: float, args: Optional[dict] = None) -> None:
+        with self._lock:
+            span = self._open.pop(span_id, None)
+            if span is None:
+                return
+            span["end"] = end
+            if args:
+                span["args"].update(args)
+            self.spans.append(span)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        lane: int,
+        trace_id: str,
+        parent_span_id: Optional[str] = None,
+        cat: str = "service",
+        args: Optional[dict] = None,
+    ) -> str:
+        """Record one already-finished span; returns its span id."""
+        span_id = self.new_span_id()
+        span = {
+            "name": name, "cat": cat, "start": start, "end": max(start, end),
+            "lane": lane, "trace_id": trace_id, "span_id": span_id,
+            "parent_span_id": parent_span_id, "args": dict(args or {}),
+        }
+        with self._lock:
+            self.spans.append(span)
+        return span_id
+
+    def snapshot(self) -> tuple[list[dict], dict[str, tuple[int, str]]]:
+        """Consistent copy of (finished + still-open spans, lane table).
+
+        Still-open spans (a request abandoned mid-run, a trace exported
+        while serving) are returned with ``end=None``; the merge layer
+        closes them at the export horizon.
+        """
+        with self._lock:
+            spans = [dict(span) for span in self.spans]
+            spans.extend(dict(span) for span in self._open.values())
+            lanes = dict(self._lanes)
+        return spans, lanes
+
+
+def _matched_span_indices(events: list) -> set[int]:
+    """Indices of B/E events forming balanced pairs in a SpanTracer stream.
+
+    A tenant abandoned mid-collection leaves its tail span open; those
+    unmatched events are dropped from the merged export (an auto-close
+    would fabricate a duration) rather than failing validation.
+    """
+    matched: set[int] = set()
+    stack: list[int] = []
+    for idx, event in enumerate(events):
+        ph = event[0]
+        if ph == "B":
+            stack.append(idx)
+        elif ph == "E":
+            if stack:
+                matched.add(stack.pop())
+                matched.add(idx)
+    return matched
+
+
+def _tenant_chrome_events(record: dict, pid: int, t0: float) -> list[dict]:
+    """One traced tenant VM's SpanTracer stream as Chrome events.
+
+    Mirrors :func:`~repro.tracing.export.chrome_trace_events` but on a
+    synthetic tenant ``pid``, rebased to the merged trace's shared
+    ``t0``, with every *top-level* span and instant re-parented under
+    the owning request via ``trace_id`` / ``parent_span_id`` args.
+    """
+    tracer = record["tracer"]
+    trace_args = {
+        "trace_id": record["trace_id"],
+        "parent_span_id": record["request_span_id"],
+    }
+    events = tracer.snapshot_events()
+    matched = _matched_span_indices(events)
+    out: list[dict] = []
+    depth = 0
+    for idx, event in enumerate(events):
+        ph = event[0]
+        if ph == "B":
+            if idx not in matched:
+                continue
+            _ph, name, cat, ts, args = event
+            row = {
+                "name": name, "cat": cat, "ph": "B",
+                "ts": (ts - t0) * 1e6, "pid": pid, "tid": TRACE_TID,
+            }
+            merged = dict(args) if args else {}
+            if depth == 0:
+                merged.update(trace_args)
+            if merged:
+                row["args"] = merged
+            depth += 1
+        elif ph == "E":
+            if idx not in matched:
+                continue
+            _ph, name, ts = event
+            row = {
+                "name": name, "ph": "E",
+                "ts": (ts - t0) * 1e6, "pid": pid, "tid": TRACE_TID,
+            }
+            depth -= 1
+        elif ph == "X":
+            _ph, name, cat, ts, dur, args, track = event
+            row = {
+                "name": name, "cat": cat, "ph": "X",
+                "ts": (ts - t0) * 1e6, "dur": dur * 1e6,
+                "pid": pid, "tid": track,
+            }
+            merged = dict(args) if args else {}
+            merged.update(trace_args)
+            if merged:
+                row["args"] = merged
+        elif ph == "i":
+            _ph, name, cat, ts, args = event
+            row = {
+                "name": name, "cat": cat, "ph": "i", "s": "t",
+                "ts": (ts - t0) * 1e6, "pid": pid, "tid": TRACE_TID,
+            }
+            merged = dict(args) if args else {}
+            merged.update(trace_args)
+            row["args"] = merged
+        else:  # "C"
+            _ph, name, ts, values = event
+            row = {
+                "name": name, "ph": "C",
+                "ts": (ts - t0) * 1e6, "pid": pid, "tid": TRACE_TID,
+                "args": values,
+            }
+        out.append(row)
+    return out
+
+
+def _tenant_metadata(record: dict, pid: int) -> list[dict]:
+    name = f"tenant {record['tenant']} ({record['session']})"
+    rows = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": TRACE_TID,
+            "ts": 0,
+            "args": {
+                "name": name,
+                "trace_id": record["trace_id"],
+                "request_span_id": record["request_span_id"],
+            },
+        },
+        {
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": TRACE_TID,
+            "ts": 0, "args": {"name": "mutator+gc"},
+        },
+    ]
+    worker_tracks = sorted(
+        {e[6] for e in record["tracer"].snapshot_events() if e[0] == "X"}
+    )
+    for track in worker_tracks:
+        rows.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": track,
+            "ts": 0,
+            "args": {"name": f"mark-worker-{track - WORKER_TRACK_BASE}"},
+        })
+    return rows
+
+
+def merge_service_trace(
+    tracer: DistributedTracer,
+    tenants: list[dict],
+    meta: Optional[dict] = None,
+) -> dict:
+    """One Chrome/Perfetto payload: server request lanes + tenant tracks.
+
+    ``tenants`` rows come from ``AssertionService.traced_sessions``:
+    ``{tenant, session, tracer, trace_id, request_span_id}``.  All
+    events share one timebase (the earliest tracer ``t0``) and are
+    globally sorted by timestamp — the sort is stable, so each track's
+    own B/E nesting order survives — which is exactly what
+    :func:`~repro.tracing.export.validate_chrome_trace` demands.
+    """
+    spans, lanes = tracer.snapshot()
+    t0 = min([tracer.t0] + [record["tracer"].t0 for record in tenants])
+
+    horizon = tracer.t0
+    for span in spans:
+        horizon = max(horizon, span["start"], span["end"] or span["start"])
+    for record in tenants:
+        for event in record["tracer"].snapshot_events():
+            ph = event[0]
+            if ph in ("E", "C"):
+                ts = event[2]
+            elif ph == "X":
+                ts = event[3] + event[4]
+            else:
+                ts = event[3]
+            horizon = max(horizon, ts)
+
+    metadata: list[dict] = [
+        {
+            "name": "process_name", "ph": "M",
+            "pid": TRACE_PID, "tid": TRACE_TID, "ts": 0,
+            "args": {"name": "repro-service"},
+        },
+        {
+            "name": "thread_name", "ph": "M",
+            "pid": TRACE_PID, "tid": TRACE_TID, "ts": 0,
+            "args": {"name": "wire+admission"},
+        },
+    ]
+    for _key, (lane, label) in sorted(lanes.items(), key=lambda kv: kv[1][0]):
+        metadata.append({
+            "name": "thread_name", "ph": "M",
+            "pid": TRACE_PID, "tid": lane, "ts": 0, "args": {"name": label},
+        })
+
+    events: list[dict] = []
+    for span in spans:
+        end = span["end"] if span["end"] is not None else horizon
+        args = dict(span["args"])
+        args["trace_id"] = span["trace_id"]
+        args["span_id"] = span["span_id"]
+        if span["parent_span_id"] is not None:
+            args["parent_span_id"] = span["parent_span_id"]
+        events.append({
+            "name": span["name"], "cat": span["cat"], "ph": "X",
+            "ts": (span["start"] - t0) * 1e6,
+            "dur": max(0.0, end - span["start"]) * 1e6,
+            "pid": TRACE_PID, "tid": span["lane"], "args": args,
+        })
+    for index, record in enumerate(tenants):
+        pid = TENANT_TRACK_BASE + index
+        metadata.extend(_tenant_metadata(record, pid))
+        events.extend(_tenant_chrome_events(record, pid, t0))
+
+    events.sort(key=lambda row: row["ts"])
+    other = {
+        "schema": DTRACE_SCHEMA,
+        "tenant_tracks": len(tenants),
+        "request_lanes": len(lanes),
+    }
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_merged_trace(
+    tracer: DistributedTracer,
+    tenants: list[dict],
+    path: str,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Serialize the merged export to ``path``; returns a small summary."""
+    payload = merge_service_trace(tracer, tenants, meta)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    return {
+        "path": path,
+        "events": len(payload["traceEvents"]),
+        "tenant_tracks": payload["otherData"]["tenant_tracks"],
+        "request_lanes": payload["otherData"]["request_lanes"],
+        "file_bytes": os.path.getsize(path),
+    }
+
+
+# -- request breakdown report (the ``repro trace serve`` table) -------------------------
+
+
+def request_rows(tracer: DistributedTracer) -> list[dict]:
+    """Per-request lifecycle breakdown from the recorded server spans."""
+    spans, _lanes = tracer.snapshot()
+    children: dict[str, list[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_span_id")
+        if parent is not None:
+            children.setdefault(parent, []).append(span)
+
+    def _dur(span: dict) -> float:
+        end = span["end"] if span["end"] is not None else span["start"]
+        return max(0.0, end - span["start"])
+
+    rows: list[dict] = []
+    for span in spans:
+        if span["name"] != "request":
+            continue
+        row = {
+            "trace_id": span["trace_id"],
+            "span_id": span["span_id"],
+            "tenant": span["args"].get("tenant"),
+            "session": span["args"].get("session"),
+            "workload": span["args"].get("workload"),
+            "outcome": span["args"].get("outcome"),
+            "total_s": _dur(span),
+            "admission_wait_s": 0.0,
+            "admission_commit_s": 0.0,
+            "executor_wait_s": 0.0,
+            "execution_s": 0.0,
+            "violations_delivered": 0,
+            "max_delivery_lag_s": 0.0,
+        }
+        for child in children.get(span["span_id"], ()):
+            if child["name"] == "admission_wait":
+                row["admission_wait_s"] += _dur(child)
+            elif child["name"] == "admission_commit":
+                row["admission_commit_s"] += _dur(child)
+            elif child["name"] == "executor_wait":
+                row["executor_wait_s"] += _dur(child)
+            elif child["name"] == "workload_execution":
+                row["execution_s"] += _dur(child)
+            elif child["name"] == "violation_delivery":
+                row["violations_delivered"] += 1
+                row["max_delivery_lag_s"] = max(
+                    row["max_delivery_lag_s"], _dur(child)
+                )
+        rows.append(row)
+    rows.sort(key=lambda row: (row["session"] is None, str(row["session"])))
+    return rows
+
+
+def render_request_report(rows: list[dict]) -> str:
+    """Fixed-width per-request table for the CLI."""
+    if not rows:
+        return "no requests traced"
+    header = (
+        f"{'session':<8} {'tenant':<22} {'outcome':<12} "
+        f"{'admit ms':>9} {'commit us':>10} {'xwait ms':>9} "
+        f"{'exec ms':>9} {'viol':>5} {'maxlag ms':>10}  trace_id"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{str(row['session'] or '-'):<8} {str(row['tenant'])[:22]:<22} "
+            f"{str(row['outcome'])[:12]:<12} "
+            f"{row['admission_wait_s'] * 1e3:>9.2f} "
+            f"{row['admission_commit_s'] * 1e6:>10.1f} "
+            f"{row['executor_wait_s'] * 1e3:>9.2f} "
+            f"{row['execution_s'] * 1e3:>9.2f} "
+            f"{row['violations_delivered']:>5d} "
+            f"{row['max_delivery_lag_s'] * 1e3:>10.2f}  {row['trace_id']}"
+        )
+    return "\n".join(lines)

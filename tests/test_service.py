@@ -412,7 +412,8 @@ class TestServing:
 
         metrics = ServiceMetrics(admission_latency_slo_s=0.010)
         for i in range(300):
-            metrics.observe_admission_latency(0.5, wall_time=float(i))
+            # Mono span stamps: received at t, decided 0.5s later.
+            metrics.observe_admission_latency(100.0, 100.5, wall_time=float(i))
         status = metrics.slo_status()
         assert status["healthy"] is False
         assert "admission-latency" in status["firing"]
@@ -423,7 +424,7 @@ class TestServing:
 
         metrics = ServiceMetrics(delivery_lag_slo_s=0.200)
         for i in range(300):
-            metrics.observe_delivery_lag(0.001, wall_time=float(i))
+            metrics.observe_delivery_lag(100.0, 100.001, wall_time=float(i))
         assert metrics.slo_status()["healthy"] is True
 
 
