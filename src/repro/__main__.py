@@ -166,6 +166,7 @@ def cmd_stats(args) -> int:
         heap_bytes=args.heap or entry.heap_bytes,
         collector=args.collector,
         gc_workers=args.gc_workers,
+        paranoid=args.paranoid,
     )
     if vm is None:
         return 2
@@ -193,14 +194,29 @@ def cmd_stats(args) -> int:
     return _violations_exit(vm)
 
 
-def cmd_verify(_args) -> int:
+def cmd_verify(args) -> int:
     from repro.gc.verify import verify_heap
     from repro.runtime.vm import VirtualMachine
     from repro.workloads.jbb import JbbConfig, run_pseudojbb
 
+    if args.model_check:
+        from repro.verify import run_model_check
+
+        progress = (lambda line: print(f"  {line}", flush=True)) if args.verbose else None
+        report = run_model_check(
+            max_objects=args.max_objects,
+            max_edges=args.max_edges,
+            max_roots=args.max_roots,
+            progress=progress,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
     failures = 0
     for collector in ("marksweep", "semispace", "generational"):
-        vm = VirtualMachine(heap_bytes=1 << 20, collector=collector)
+        vm = VirtualMachine(
+            heap_bytes=1 << 20, collector=collector, paranoid=args.paranoid
+        )
         run_pseudojbb(
             vm,
             JbbConfig(
@@ -279,6 +295,7 @@ def cmd_trace_run(args) -> int:
         collector=args.collector,
         tracing=tracer,
         gc_workers=args.gc_workers,
+        paranoid=args.paranoid,
     )
     if vm is None:
         return 2
@@ -495,6 +512,7 @@ def cmd_serve(args) -> int:
         max_sessions=args.max_sessions,
         executor_workers=args.workers,
         hardened=not args.no_hardened,
+        paranoid=args.paranoid,
     )
     service = AssertionService(config).start()
     print(f"serving repro-wire/1 on {config.host}:{service.port}", flush=True)
@@ -566,7 +584,7 @@ def cmd_loadgen(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.faults import run_chaos
 
-    report = run_chaos(quick=args.quick, seed=args.seed)
+    report = run_chaos(quick=args.quick, seed=args.seed, paranoid=args.paranoid)
     print(report.render())
     return 0 if report.ok else 1
 
@@ -785,7 +803,48 @@ def main(argv=None) -> int:
         help="machine-readable results path (default: %(default)s)",
     )
 
-    add_command("verify", "heap-integrity smoke test on all collectors", "verify")
+    verify = add_command(
+        "verify",
+        "heap-integrity smoke test on all collectors (or exhaustive model check)",
+        "verify --model-check --max-objects 4",
+    )
+    verify.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="smoke mode: run the paranoid wellformedness walker around every GC",
+    )
+    verify.add_argument(
+        "--model-check",
+        action="store_true",
+        help="enumerate every canonical heap shape in scope and prove "
+        "Soundness1/Soundness2/Completeness in every collector cell",
+    )
+    verify.add_argument(
+        "--max-objects",
+        type=int,
+        default=4,
+        metavar="N",
+        help="model check: largest heap shape, in objects (default: %(default)s)",
+    )
+    verify.add_argument(
+        "--max-edges",
+        type=int,
+        default=3,
+        metavar="E",
+        help="model check: most reference edges per shape (default: %(default)s)",
+    )
+    verify.add_argument(
+        "--max-roots",
+        type=int,
+        default=2,
+        metavar="R",
+        help="model check: most static roots per shape (default: %(default)s)",
+    )
+    verify.add_argument(
+        "--verbose",
+        action="store_true",
+        help="model check: print per-cell progress lines",
+    )
 
     stats = add_command(
         "stats", "GC telemetry for one workload run", "stats --workload db --json"
@@ -809,6 +868,12 @@ def main(argv=None) -> int:
         "--assertions",
         action="store_true",
         help="use the benchmark's asserted variant when it has one",
+    )
+    stats.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="run the paranoid wellformedness walker before and after every GC "
+        "(fails fast with HeapVerificationError on any broken invariant)",
     )
     stats.add_argument("--jsonl", metavar="PATH", help="stream events to a JSONL file")
     output = stats.add_mutually_exclusive_group()
@@ -994,6 +1059,11 @@ def main(argv=None) -> int:
     )
     add_workload_arguments(trace_run)
     trace_run.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="run the paranoid wellformedness walker before and after every GC",
+    )
+    trace_run.add_argument(
         "--out",
         default="trace.json",
         metavar="PATH",
@@ -1155,6 +1225,10 @@ def main(argv=None) -> int:
         "--no-hardened", action="store_true",
         help="tenant VMs without the PR-5 OOM ladder (halves committed bytes)",
     )
+    serve.add_argument(
+        "--paranoid", action="store_true",
+        help="tenant VMs run the paranoid wellformedness walker around every GC",
+    )
 
     loadgen = add_command(
         "loadgen",
@@ -1219,6 +1293,12 @@ def main(argv=None) -> int:
         default=0,
         help="fault-schedule seed; a failing run replays bit-for-bit "
         "(default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="chaos-cell VMs run the paranoid wellformedness walker around "
+        "every GC (hardened recovery repairs damage before each walk)",
     )
 
     minij = add_command("minij", "run a MiniJ program", "minij examples/programs/linked_list.minij")

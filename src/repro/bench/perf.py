@@ -28,6 +28,10 @@ machine-readable record ``BENCH_perf.json`` (schema ``repro-bench-perf/1``):
   without; the injector's standing cost is one allocation-counter
   increment plus a list check, so the ratio must sit at ~1.00 with
   bit-identical work counters and zero recovery activity.
+* **abl-paranoid** — the paranoid wellformedness walker: one workload run
+  with ``--paranoid`` per-GC heap/allocator walks vs without; the walk is
+  allowed to be expensive but must be purely observational — bit-identical
+  work counters and zero verification errors on a clean workload.
 * **abl-dtrace** — the end-to-end tracing increment: one tenant run
   through a tracing-enabled server (trace context on every frame,
   request-lifecycle spans, merged multi-track export) vs a direct VM with
@@ -445,6 +449,72 @@ def bench_faults(workload: str = "pseudojbb", trials: int = 3) -> dict:
     }
 
 
+# -- paranoid-walker ablation -----------------------------------------------------------
+
+
+def bench_paranoid(workload: str = "pseudojbb", trials: int = 3) -> dict:
+    """GC + mutator time with the paranoid wellformedness walker on vs off.
+
+    The verification layer's acceptance bar: ``--paranoid`` walks the full
+    heap and every allocator structure before and after each collection,
+    so its GC-time ratio is allowed to be large — but it must be *purely
+    observational*.  Every deterministic work counter must be bit-identical
+    to the walker-free run (the walk count lives outside ``GcStats`` for
+    exactly this reason), and a clean workload must complete with zero
+    :class:`~repro.gc.verify.HeapVerificationError` raises.
+    Best-of-``trials`` per leg to shave scheduler noise.
+    """
+    suite = build_suite()
+    entry = suite[workload]
+    results: dict[str, dict] = {}
+    paranoid_walks = 0
+    for variant in ("off", "paranoid"):
+        best_wall = float("inf")
+        stats = None
+        for _ in range(trials):
+            vm = VirtualMachine(
+                heap_bytes=entry.heap_bytes,
+                assertions=False,
+                telemetry=False,
+                paranoid=(variant == "paranoid"),
+            )
+            start = time.perf_counter()
+            entry.run(vm)
+            vm.collector.sweep_all()
+            wall = time.perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+                stats = vm.stats
+            if variant == "paranoid":
+                paranoid_walks = vm.collector.paranoid_walks
+        results[variant] = {
+            # The walks run mutator-side (outside the gc_seconds pause
+            # timer, like the sentinel), so wall time is the honest basis.
+            "best_wall_seconds": best_wall,
+            "collections": stats.collections,
+            "counters": {
+                "objects_traced": stats.objects_traced,
+                "edges_traced": stats.edges_traced,
+                "objects_freed": stats.objects_freed,
+                "bytes_freed": stats.bytes_freed,
+            },
+        }
+    off, paranoid = results["off"], results["paranoid"]
+    return {
+        "workload": workload,
+        "trials": trials,
+        "off": off,
+        "paranoid": paranoid,
+        "wall_time_ratio": (
+            paranoid["best_wall_seconds"] / off["best_wall_seconds"]
+            if off["best_wall_seconds"]
+            else 0.0
+        ),
+        "counters_match": off["counters"] == paranoid["counters"],
+        "paranoid_walks": paranoid_walks,
+    }
+
+
 # -- continuous-monitoring ablation -----------------------------------------------------
 
 
@@ -859,6 +929,7 @@ def perf_payload(quick: bool = False) -> dict:
         snapshot = bench_snapshot(trials=2)
         tracing = bench_tracing(trials=2)
         faults = bench_faults(trials=2)
+        paranoid = bench_paranoid(trials=2)
         monitor = bench_monitor(trials=2)
         par_mark = bench_par_mark(worker_counts=(1, 2, 4, 8))
         service = bench_service(trials=2)
@@ -871,6 +942,7 @@ def perf_payload(quick: bool = False) -> dict:
         snapshot = bench_snapshot()
         tracing = bench_tracing()
         faults = bench_faults()
+        paranoid = bench_paranoid()
         monitor = bench_monitor()
         par_mark = bench_par_mark()
         service = bench_service()
@@ -881,6 +953,7 @@ def perf_payload(quick: bool = False) -> dict:
         and snapshot["counters_match"]
         and tracing["counters_match"]
         and faults["counters_match"]
+        and paranoid["counters_match"]
         and monitor["counters_match"]
         and par_mark["counters_match"]
         and service["counters_match"]
@@ -899,6 +972,7 @@ def perf_payload(quick: bool = False) -> dict:
         "abl-snapshot": snapshot,
         "abl-tracing": tracing,
         "abl-faults": faults,
+        "abl-paranoid": paranoid,
         "abl-monitor": monitor,
         "abl-service": service,
         "abl-dtrace": dtrace,
@@ -975,6 +1049,17 @@ def render_perf(payload: dict) -> str:
             f"({faults['gc_time_ratio']:.2f}x), "
             f"recovery activity {faults['recovery_activity']}, "
             f"counters {'match' if faults['counters_match'] else 'DRIFT'}"
+        )
+    paranoid = payload.get("abl-paranoid")
+    if paranoid is not None:
+        lines.append("paranoid-walker ablation (off -> per-GC wellformedness walks):")
+        lines.append(
+            f"  {paranoid['workload']:10} wall time "
+            f"{paranoid['off']['best_wall_seconds'] * 1e3:.1f}ms -> "
+            f"{paranoid['paranoid']['best_wall_seconds'] * 1e3:.1f}ms "
+            f"({paranoid['wall_time_ratio']:.2f}x), "
+            f"{paranoid['paranoid_walks']} walks, "
+            f"counters {'match' if paranoid['counters_match'] else 'DRIFT'}"
         )
     monitor = payload.get("abl-monitor")
     if monitor is not None:

@@ -75,6 +75,10 @@ class AssertionEngine:
         #: the next collection bumps the number.
         self._degraded_gc = -1
         self.degraded_events: list[EngineDegraded] = []
+        #: Owner records whose phase-1 scan marked their own owner through a
+        #: back edge this collection; ``post_mark`` re-judges them against
+        #: true root reachability (see :func:`repro.core.ownership.run_ownership_phase`).
+        self._self_sustained: list[tuple[OwnerRecord, list[int]]] = []
 
     @property
     def degraded(self) -> bool:
@@ -133,6 +137,7 @@ class AssertionEngine:
         self._pending = []
         self._force_victims = []
         self._checks_this_gc = 0
+        self._self_sustained = []
         self.classes.reset_instance_counts()
 
     def pre_mark(self, collector: "Collector", tracer: "Tracer") -> None:
@@ -213,7 +218,73 @@ class AssertionEngine:
         if obj.status & hdr.UNSHARED_BIT:
             self._unshared_violation(obj, tracer, parent)
 
+    def note_self_sustained(self, record: OwnerRecord, touched: list[int]) -> None:
+        """Phase 1 marked ``record``'s own owner via a back edge; re-judge it."""
+        self._self_sustained.append((record, touched))
+
+    def _demote_self_sustained(self, collector: "Collector") -> None:
+        """Unmark owners (and their dead region marks) that only their own
+        ownership scan kept alive.
+
+        A back edge inside an owned region means phase 1 marks the owner
+        from its own registry record.  If the owner is not actually root
+        reachable, that mark must not survive: the region would re-mark
+        itself every collection and never be reclaimed.  One true-liveness
+        walk (roots plus every *other* owner's region seeds, so the
+        acknowledged one-collection float of other dying owners is
+        respected) decides; marks of the judged regions that the walk
+        cannot justify are cleared before sweep.  Any object that stays
+        marked is itself walk-reachable, so all of its children are too —
+        clearing never creates a dangling reference.  Cost is paid only on
+        collections where a back edge actually hit an owner.
+        """
+        from repro.heap.layout import NULL as _NULL
+
+        pending = self._self_sustained
+        if not pending:
+            return
+        self._self_sustained = []
+        heap = collector.heap
+        judged = {record.owner_address for record, _ in pending}
+        seeds: list[int] = [address for _desc, address in collector.vm.root_entries()]
+        for record in self.registry.owner_records():
+            if record.owner_address in judged:
+                continue
+            owner = heap.maybe(record.owner_address)
+            if owner is not None and not owner.is_freed:
+                seeds.extend(owner.reference_slots())
+        reachable: set[int] = set()
+        stack = [a for a in seeds if a != _NULL and heap.contains(a)]
+        while stack:
+            address = stack.pop()
+            if address in reachable:
+                continue
+            reachable.add(address)
+            for child in heap.get(address).reference_slots():
+                if child != _NULL and child not in reachable and heap.contains(child):
+                    stack.append(child)
+        demoted: set[int] = set()
+        for record, touched in pending:
+            if record.owner_address in reachable:
+                continue
+            for address in [record.owner_address, *touched]:
+                if address in reachable:
+                    continue
+                obj = heap.maybe(address)
+                if obj is not None and not obj.is_freed:
+                    obj.clear(hdr.MARK_BIT)
+                    demoted.add(address)
+        if demoted:
+            # Phase 1 staged violations (assert-dead, assert-unshared) for
+            # objects this walk just proved garbage; retract them before
+            # dispatch — a dead object reached only from a dead region is
+            # not a violation of anything.
+            kept = [v for v in self._pending if v.address not in demoted]
+            collector.stats.violations_detected -= len(self._pending) - len(kept)
+            self._pending = kept
+
     def post_mark(self, collector: "Collector", tracer: "Tracer") -> None:
+        self._demote_self_sustained(collector)
         self._check_instance_limits(collector)
         self._resolve_reactions()
         if self._force_victims:

@@ -63,7 +63,21 @@ def run_ownership_phase(engine: "AssertionEngine", collector: "Collector") -> No
             # Owner already reclaimed by an earlier (minor) collection; the
             # epilogue's owner-death processing handles its ownees.
             continue
-        _scan_from_owner(engine, collector, record, owner, misuse_reported)
+        touched, self_reached = _scan_from_owner(
+            engine, collector, record, owner, misuse_reported
+        )
+        if self_reached:
+            # The owner is reachable from its own ownee region (a back
+            # edge reached it), so this scan just marked the owner from
+            # its own record.  If the root scan cannot justify the owner,
+            # leaving that mark would make the region self-sustaining —
+            # re-marked from its own registry entry every collection,
+            # never reclaimed.  The engine re-judges these owners against
+            # true root reachability in ``post_mark`` and demotes the
+            # marks of the dead ones.  (Found by the small-scope model
+            # checker: root-less {owner -> ownee -> owner} shapes leaked
+            # permanently.)
+            engine.note_self_sustained(record, touched)
 
 
 def _scan_from_owner(
@@ -72,14 +86,18 @@ def _scan_from_owner(
     record: OwnerRecord,
     owner,
     misuse_reported: set[int],
-) -> None:
+) -> tuple[list[int], bool]:
+    """Scan one owner region; returns (addresses marked, owner-back-edge?)."""
     heap = collector.heap
     stats = collector.stats
     stack: list[int] = []
     ownee_queue: list[int] = []
     owner_address = record.owner_address
+    touched: list[int] = []
+    self_reached = False
 
     def reach(address: int) -> None:
+        nonlocal self_reached
         if address == NULL:
             return
         obj = heap.get(address)
@@ -99,6 +117,7 @@ def _scan_from_owner(
                 # owner's scan completes (back-edge tolerance, §2.5.2).
                 obj.status |= hdr.MARK_BIT | hdr.OWNED_BIT
                 stats.objects_traced += 1
+                touched.append(address)
                 engine.phase1_visit(obj, record)
                 ownee_queue.append(address)
             else:
@@ -111,10 +130,18 @@ def _scan_from_owner(
             # Another owner: mark it and stop — it gets its own scan.
             obj.status |= hdr.MARK_BIT
             stats.objects_traced += 1
+            touched.append(address)
             engine.phase1_visit(obj, record)
             return
+        if address == owner_address:
+            # Back edge to the current owner.  It must be marked here for
+            # soundness (the root scan prunes at phase-1 marks, so this
+            # scan may be the only path that reaches it), but the mark is
+            # provisional — see run_ownership_phase.
+            self_reached = True
         obj.status |= hdr.MARK_BIT
         stats.objects_traced += 1
+        touched.append(address)
         engine.phase1_visit(obj, record)
         stack.append(address)
 
@@ -136,6 +163,7 @@ def _scan_from_owner(
         for child in obj.reference_slots():
             stats.edges_traced += 1
             reach(child)
+    return touched, self_reached
 
 
 def run_naive_ownership_check(engine: "AssertionEngine", collector: "Collector") -> None:

@@ -36,6 +36,16 @@ class HeapCorruption(HeapError):
         super().__init__(message)
 
 
+class QuarantineOverflowError(HeapCorruption):
+    """Raised when the corruption quarantine hits its bounded capacity.
+
+    The quarantine deliberately leaks fenced cells; an unbounded fence set
+    under sustained corruption faults would itself become a leak.  Hitting
+    the bound means the heap is degrading faster than the sentinel can
+    contain — the process should be recycled, not patched further.
+    """
+
+
 class HeapExhausted(OutOfMemoryError):
     """Structured out-of-memory error with census + top-retained triage.
 

@@ -15,11 +15,21 @@ on hardened VMs, then asserts the contract the robustness layer makes:
   short workloads);
 * **detection still works while degraded** — the injected
   ``flip-dead`` produces an assert-dead violation whose ``site`` is
-  ``None``, proving assertion checking survived the fault storm.
+  ``None``, proving assertion checking survived the fault storm;
+* **every fault is caught by a named invariant** — each cell records
+  which invariants observed its injected damage (sentinel repairs,
+  paranoid-walker findings, violation discriminators, containment
+  counters), and the report's fault → invariant
+  :class:`~repro.verify.coverage.CoverageMatrix` must cover all 11
+  fault kinds or the soak fails.
 
 Each cell runs in its own VM with telemetry on, a snapshot policy
 capturing every 2nd GC into a temp directory, and a growth ceiling of
-2× the workload heap so the OOM ladder has headroom.
+2× the workload heap so the OOM ladder has headroom.  Between the
+fault backstop and the recovery collection a *read-only* paranoid probe
+(:func:`~repro.gc.verify.verify_heap` with ``finish_lazy_sweep=False,
+paranoid=True``) walks the damaged heap; what it flags there is
+detection evidence, not a cell failure.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from repro.errors import ReproError
 from repro.faults.injector import FaultInjector, FaultPlan
 from repro.gc.verify import verify_heap
 from repro.runtime.vm import VirtualMachine
+from repro.verify.coverage import CoverageMatrix, detect_cell, detect_tenant_cell
 
 #: The crash-consistency matrix rows: (collector, sweep_mode, gc_workers).
 #: The workers=4 rows rerun the sharded collectors under parallel marking —
@@ -102,7 +113,12 @@ class CellResult:
     recovery: dict[str, int] = field(default_factory=dict)
     violations: int = 0
     injected_dead_violations: int = 0
+    injected_unshared_violations: int = 0
     collections: int = 0
+    sink_errors: int = 0
+    #: fault kind -> "invariant-name: evidence" for every kind whose injected
+    #: damage was observed by a named invariant in this cell.
+    detections: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -123,7 +139,8 @@ class CellResult:
             f"{status:4} {self.label}: {self.outcome}, "
             f"{self.collections} GCs, {self.violations} violation(s) "
             f"({self.injected_dead_violations} injected-dead), "
-            f"degradations={self.degradations or '{}'}"
+            f"degradations={self.degradations or '{}'}, "
+            f"invariants-fired={sorted(self.detections) or '[]'}"
         )
         return head + "".join(f"\n       !! {f}" for f in self.failures)
 
@@ -135,10 +152,17 @@ class ChaosReport:
     cells: list[CellResult] = field(default_factory=list)
     seeds: tuple[int, ...] = (0,)
     quick: bool = False
+    #: Fault → invariant coverage, aggregated over all cells by
+    #: :func:`run_chaos`.  ``None`` on hand-built partial reports; when set,
+    #: an uncovered fault kind fails the whole soak.
+    coverage: Optional[CoverageMatrix] = None
 
     @property
     def ok(self) -> bool:
-        return all(cell.ok for cell in self.cells)
+        cells_ok = all(cell.ok for cell in self.cells)
+        if self.coverage is not None:
+            return cells_ok and self.coverage.ok
+        return cells_ok
 
     def render(self) -> str:
         lines = [
@@ -148,7 +172,24 @@ class ChaosReport:
         lines.extend(cell.render() for cell in self.cells)
         passed = sum(1 for cell in self.cells if cell.ok)
         lines.append(f"{passed}/{len(self.cells)} cells passed")
+        if self.coverage is not None:
+            lines.append(self.coverage.render())
         return "\n".join(lines)
+
+
+def _pending_refusals(collector) -> int:
+    """Armed-but-unconsumed allocation refusals across every space/shard."""
+    from repro.verify.paranoid import _SPACE_ATTRS
+
+    total = 0
+    for attr in _SPACE_ATTRS:
+        space = getattr(collector, attr, None)
+        if space is None:
+            continue
+        total += getattr(space, "_fault_refusals", 0)
+        for shard in getattr(space, "shards", None) or ():
+            total += getattr(shard, "_fault_refusals", 0)
+    return total
 
 
 def run_cell(
@@ -159,6 +200,7 @@ def run_cell(
     heap_bytes: int,
     seed: int,
     gc_workers: int = 0,
+    paranoid: bool = False,
 ) -> CellResult:
     """One matrix cell: hardened VM, seeded faults, contract checks."""
     from repro.snapshot.capture import SnapshotPolicy
@@ -173,6 +215,7 @@ def run_cell(
             hardened=True,
             max_heap_bytes=heap_bytes * 2,
             gc_workers=gc_workers or None,
+            paranoid=paranoid,
         )
         SnapshotPolicy(snapdir, every_n_gcs=2).attach(vm)
         injector = FaultInjector(
@@ -190,6 +233,14 @@ def run_cell(
             result.failures.append(f"untyped exception escaped: {result.outcome}")
 
         injector.apply_remaining()
+
+        # Read-only detection probe: the paranoid walker sees the injected
+        # damage *before* recovery repairs it.  Its findings are coverage
+        # evidence for the fault → invariant matrix, never cell failures.
+        probe_problems = verify_heap(
+            vm, raise_on_error=False, finish_lazy_sweep=False, paranoid=True
+        )
+        pending_refusals = _pending_refusals(vm.collector)
 
         # Recovery: one full collection over the (possibly corrupt) heap,
         # then exact reclamation.  The pre-GC sentinel repairs what the
@@ -234,16 +285,23 @@ def run_cell(
                 for violation in log.violations
                 if violation.kind is AssertionKind.DEAD and violation.site is None
             )
+            result.injected_unshared_violations = sum(
+                1
+                for violation in log.violations
+                if violation.kind is AssertionKind.UNSHARED and violation.site is None
+            )
             if "flip-dead" in result.kinds_applied and not result.injected_dead_violations:
                 result.failures.append(
                     "injected DEAD bit produced no assert-dead violation"
                 )
 
         if vm.telemetry is not None:
+            result.sink_errors = vm.telemetry.sink_errors
             result.degradations = dict(vm.telemetry.degradations)
             vm.telemetry.close()
         result.recovery = vm.collector.recovery.snapshot()
         result.collections = vm.stats.collections
+        result.detections = detect_cell(result, probe_problems, pending_refusals)
         injector.detach()
     return result
 
@@ -340,11 +398,19 @@ def run_tenant_isolation_cell(seed: int = 0) -> CellResult:
             f"admission budget leaked: {snap['committed_bytes']} bytes, "
             f"{snap['active_sessions']} session(s) still committed"
         )
+    result.detections = detect_tenant_cell(result, victim)
     return result
 
 
-def run_chaos(quick: bool = False, seed: int = 0) -> ChaosReport:
-    """Run the whole matrix; quick mode is one seed × the CI smoke pair."""
+def run_chaos(quick: bool = False, seed: int = 0, paranoid: bool = False) -> ChaosReport:
+    """Run the whole matrix; quick mode is one seed × the CI smoke pair.
+
+    With ``paranoid=True`` every heap cell's VM additionally runs the
+    paranoid wellformedness walker around each collection (the hardened
+    sentinel then also scrubs free lists pre-walk, so a mid-workload
+    corruption surfaces as a typed :class:`~repro.gc.verify.HeapVerificationError`
+    instead of lingering until the probe).
+    """
     seeds = (seed,) if quick else (seed, seed + 1)
     workloads = _chaos_workloads(quick)
     report = ChaosReport(seeds=seeds, quick=quick)
@@ -360,8 +426,12 @@ def run_chaos(quick: bool = False, seed: int = 0) -> ChaosReport:
                         heap_bytes,
                         cell_seed,
                         gc_workers,
+                        paranoid=paranoid,
                     )
                 )
     for cell_seed in seeds:
         report.cells.append(run_tenant_isolation_cell(cell_seed))
+    report.coverage = CoverageMatrix()
+    for cell in report.cells:
+        report.coverage.merge_cell(cell.label, cell.detections)
     return report

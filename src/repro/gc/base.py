@@ -17,7 +17,13 @@ from typing import Optional, Protocol, TYPE_CHECKING
 from repro.errors import AssertionViolationHalt, HeapError, HeapExhausted
 from repro.gc.stats import GcStats, PhaseTimer, RecoveryStats
 from repro.gc.tracer import Tracer
-from repro.gc.verify import Quarantine, SentinelReport, run_sentinel
+from repro.gc.verify import (
+    HeapVerificationError,
+    Quarantine,
+    SentinelReport,
+    run_sentinel,
+    verify_heap,
+)
 from repro.heap import header as hdr
 from repro.heap.heap import ObjectHeap
 from repro.heap.layout import NULL
@@ -142,6 +148,15 @@ class Collector:
         #: :class:`~repro.gc.parallel.ParallelMarkReport` of the most recent
         #: parallel mark (bench and tests read it), or None.
         self.last_parallel_mark = None
+        #: Paranoid mode (PR 10): run the full wellformedness walker around
+        #: every collection and raise :class:`~repro.gc.verify.HeapVerificationError`
+        #: on any finding.  Off by default; when off the cost is one falsy
+        #: attribute test per collection (the same zero-overhead bar as
+        #: telemetry/tracing) and ``paranoid_walks`` stays 0.  Deliberately a
+        #: plain attribute, not a GcStats counter — GcStats stays bit-identical
+        #: across modes.
+        self.paranoid = False
+        self.paranoid_walks = 0
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -465,7 +480,11 @@ class Collector:
         """
         if not self.hardened or self.vm is None:
             return None
-        report = run_sentinel(self.vm, self.quarantine, phase=phase)
+        # In paranoid mode the sentinel also scrubs allocator free lists, so
+        # the wellformedness walk that follows starts from a repaired heap.
+        report = run_sentinel(
+            self.vm, self.quarantine, phase=phase, scrub_freelists=self.paranoid
+        )
         if not report.clean:
             self._heap_degraded(report)
         return report
@@ -477,6 +496,7 @@ class Collector:
         recovery.objects_quarantined += report.objects_quarantined
         recovery.refs_fenced += report.refs_fenced + report.roots_fenced
         recovery.stale_bits_cleared += report.stale_bits_cleared
+        recovery.cells_fenced += report.freelist_scrubbed
         self.gc_log.append(report.render())
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
@@ -494,6 +514,33 @@ class Collector:
                 phase=report.phase,
                 problems=len(report.problems),
                 repairs=report.repairs(),
+            )
+
+    def _paranoid_check(self, phase: str) -> None:
+        """Paranoid wellformedness walk around a collection.
+
+        Runs the object-graph verifier in its non-mutating form (pending lazy
+        garbage is excluded rather than swept — the walk must never change
+        what the collection it brackets would have done) plus the allocator
+        walker from :mod:`repro.verify.paranoid`.  Any finding raises a typed
+        :class:`~repro.gc.verify.HeapVerificationError` naming the phase.
+
+        Callers gate on ``if self.paranoid:`` and invoke this *outside* the
+        timed pause, so ``gc_time_ratio`` for the off configuration stays at
+        1.00× and the on configuration charges the walk to wall clock, not to
+        the pause ledger.
+        """
+        if self.vm is None:
+            return
+        self.paranoid_walks += 1
+        problems = verify_heap(
+            self.vm, raise_on_error=False, finish_lazy_sweep=False, paranoid=True
+        )
+        if problems:
+            raise HeapVerificationError(
+                f"paranoid[{phase}] walk after gc#{self.stats.collections} found "
+                f"{len(problems)} problem(s): " + "; ".join(problems[:5]),
+                problems=problems,
             )
 
     def _fence_aliased_cell(self, space, address: int, cell: int) -> None:

@@ -185,6 +185,10 @@ class GenerationalCollector(Collector):
             if self.vm is not None:
                 self.vm.on_gc_complete(freed)
             self._telemetry_end(pending)
+            if self.paranoid:
+                # Unlike the sentinel (skipped above), the paranoid walk is
+                # debt-aware and read-only, so it can bracket minor GCs too.
+                self._paranoid_check("post-minor")
 
     def _minor_trace_and_promote(self) -> tuple[set[int], dict[int, int]]:
         heap = self.heap
@@ -315,6 +319,8 @@ class GenerationalCollector(Collector):
                 # Debt repaid, so mark bits are legitimately clear and the
                 # sentinel may repair/quarantine across both spaces.
                 self._sentinel_check("pre-gc")
+            if self.paranoid:
+                self._paranoid_check("pre-gc")
             pending = self._telemetry_begin("full", reason)
             with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
                 self.stats.collections += 1
@@ -355,6 +361,8 @@ class GenerationalCollector(Collector):
             self._telemetry_end(pending)
             if self.hardened and self.sweep_debt() == 0:
                 self._sentinel_check("post-gc")
+            if self.paranoid:
+                self._paranoid_check("post-gc")
 
     def _sweep_nursery_dead(self) -> set[int]:
         """Evict dead nursery objects (the nursery never sweeps lazily —

@@ -218,6 +218,8 @@ class MarkSweepCollector(Collector):
                 # Sweep debt is repaid, so mark bits are legitimately clear:
                 # the sentinel can judge (and repair) the whole heap.
                 self._sentinel_check("pre-gc")
+            if self.paranoid:
+                self._paranoid_check("pre-gc")
             pending = self._telemetry_begin("full", reason)
             with PhaseTimer(self.stats, "gc_seconds", spans, "pause"):
                 self.stats.collections += 1
@@ -242,6 +244,10 @@ class MarkSweepCollector(Collector):
                 # Lazy mode skips this: survivors carry MARK bits until
                 # their chunk sweeps, so post-GC state is not judgeable.
                 self._sentinel_check("post-gc")
+            if self.paranoid:
+                # The walker's non-mutating mode handles outstanding sweep
+                # debt itself (pending garbage is excluded, not swept).
+                self._paranoid_check("post-gc")
 
     # -- lazy-sweep surface ------------------------------------------------------------
 

@@ -86,6 +86,8 @@ class SemiSpaceCollector(Collector):
                 # No sweep debt to worry about (the semispace collector is
                 # always exact), so the sentinel can run right away.
                 self._sentinel_check("pre-gc")
+            if self.paranoid:
+                self._paranoid_check("pre-gc")
             pending = self._telemetry_begin("full", reason)
             with PhaseTimer(self.stats, "gc_seconds", self.span_tracer, "pause"):
                 self.stats.collections += 1
@@ -102,6 +104,8 @@ class SemiSpaceCollector(Collector):
             self._telemetry_end(pending)
             if self.hardened:
                 self._sentinel_check("post-gc")
+            if self.paranoid:
+                self._paranoid_check("post-gc")
 
     def _evacuate(self) -> tuple[set[int], dict[int, int]]:
         """Copy marked objects to the to-space; reclaim everything else."""

@@ -16,13 +16,29 @@ Checked invariants:
   all refer to live objects — a stale entry would corrupt checking after
   address reuse;
 * region queues only contain live addresses.
+
+With ``paranoid=True`` the walk additionally runs the wellformedness
+checks in :mod:`repro.verify.paranoid` (free-list/live disjointness,
+orphaned allocator cells, zone-routing agreement, quarantine fencing,
+header flag hygiene) — the ``debug.c``-style full-heap walker.
+
+.. warning::
+   By default ``verify_heap`` *finishes deferred lazy-sweep work*
+   (``collector.sweep_all()``) so exactness invariants are judged against
+   an up-to-date heap: that mutates sweep-debt, frees pending garbage,
+   and bumps the freed counters.  Pass ``finish_lazy_sweep=False`` for a
+   strictly read-only verification (used by the per-GC ``--paranoid``
+   hooks and the chaos detection probe); in that mode pending garbage is
+   skipped via :meth:`pending_garbage_predicate` and the MARK/OWNED
+   staleness checks are suppressed while sweep debt is outstanding
+   (survivors legitimately carry MARK bits until their chunk sweeps).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import HeapCorruption
+from repro.errors import HeapCorruption, QuarantineOverflowError
 from repro.heap import header as hdr
 from repro.heap.layout import NULL, is_aligned
 
@@ -38,27 +54,49 @@ def _fail(problems: list[str], message: str) -> None:
     problems.append(message)
 
 
-def verify_heap(vm: "VirtualMachine", raise_on_error: bool = True) -> list[str]:
-    """Verify all heap/VM invariants; returns the list of problems found."""
+def verify_heap(
+    vm: "VirtualMachine",
+    raise_on_error: bool = True,
+    *,
+    finish_lazy_sweep: bool = True,
+    paranoid: bool = False,
+) -> list[str]:
+    """Verify all heap/VM invariants; returns the list of problems found.
+
+    ``finish_lazy_sweep=True`` (the default) repays outstanding lazy-sweep
+    debt first — a documented **mutation** of collector state (see the
+    module docstring).  ``finish_lazy_sweep=False`` verifies read-only,
+    skipping pending garbage and the bit-staleness checks that only hold
+    on an exact heap.  ``paranoid=True`` appends the allocator-structure
+    wellformedness walk from :mod:`repro.verify.paranoid`.
+    """
     problems: list[str] = []
     heap = vm.heap
 
-    # Lazy sweep modes defer reclamation; finish it so the invariants below
-    # (no MARK bits between collections, registry liveness, accounting) are
-    # judged against an exact heap.
-    vm.collector.sweep_all()
+    pending = None
+    exact = True
+    if finish_lazy_sweep:
+        # Lazy sweep modes defer reclamation; finish it so the invariants
+        # below (no MARK bits between collections, registry liveness,
+        # accounting) are judged against an exact heap.
+        vm.collector.sweep_all()
+    elif vm.collector.sweep_debt() > 0:
+        pending = vm.collector.pending_garbage_predicate()
+        exact = False
 
     # -- object table and headers ------------------------------------------------
     for obj in heap:
+        if pending is not None and pending(obj):
+            continue  # dead-but-unswept: exempt from the exactness checks
         if not is_aligned(obj.address):
             _fail(problems, f"{obj!r}: unaligned address")
         if heap.maybe(obj.address) is not obj:
             _fail(problems, f"{obj!r}: table entry mismatch")
         if obj.status & hdr.FREED_BIT:
             _fail(problems, f"{obj!r}: live object carries FREED bit")
-        if obj.status & hdr.MARK_BIT:
+        if exact and obj.status & hdr.MARK_BIT:
             _fail(problems, f"{obj!r}: MARK bit set outside a collection")
-        if obj.status & hdr.OWNED_BIT:
+        if exact and obj.status & hdr.OWNED_BIT:
             _fail(problems, f"{obj!r}: OWNED bit set outside a collection")
         for ref in obj.reference_slots():
             if ref != NULL and not heap.contains(ref):
@@ -125,12 +163,24 @@ def verify_heap(vm: "VirtualMachine", raise_on_error: bool = True) -> list[str]:
                     f"registry: ownee_owner entry {ownee_address:#x} not in owner record",
                 )
 
+    # -- paranoid allocator-structure walk ------------------------------------------------
+    if paranoid:
+        from repro.verify.paranoid import paranoid_problems
+
+        problems.extend(paranoid_problems(vm))
+
     if problems and raise_on_error:
         raise HeapVerificationError(
             f"{len(problems)} heap invariant violation(s):\n  " + "\n  ".join(problems),
             problems=problems,
         )
     return problems
+
+
+#: Default bound on the corruption quarantine.  Each fenced address leaks
+#: its backing cell on purpose; 1024 of them is far beyond what any seeded
+#: chaos schedule produces, so reaching it means unrecoverable degradation.
+DEFAULT_QUARANTINE_CAPACITY = 1024
 
 
 class Quarantine:
@@ -141,19 +191,41 @@ class Quarantine:
     skip it.  The backing cell is deliberately leaked — reusing memory the
     collector no longer trusts is how a recoverable fault becomes silent
     corruption.
+
+    Capacity is bounded: the quarantine trades cells for integrity, and an
+    unbounded fence set under a sustained corruption storm is itself a
+    leak.  :meth:`fence` raises :class:`QuarantineOverflowError` once
+    ``capacity`` addresses are held.
     """
 
-    __slots__ = ("fenced",)
+    __slots__ = ("fenced", "capacity")
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int = DEFAULT_QUARANTINE_CAPACITY) -> None:
         self.fenced: set[int] = set()
+        self.capacity = capacity
 
     def fence(self, address: int) -> bool:
-        """Fence an address; returns False if it was already fenced."""
+        """Fence an address; returns False if it was already fenced.
+
+        Raises :class:`QuarantineOverflowError` when the bounded capacity
+        is exhausted — containment has failed and the heap should be
+        considered lost, not repaired further.
+        """
         if address in self.fenced:
             return False
+        if len(self.fenced) >= self.capacity:
+            raise QuarantineOverflowError(
+                f"quarantine overflow: {self.capacity} addresses already "
+                f"fenced; refusing {address:#x}",
+                problems=[f"quarantine at capacity ({self.capacity})"],
+                fenced=self.fenced,
+            )
         self.fenced.add(address)
         return True
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - len(self.fenced)
 
     def __contains__(self, address: int) -> bool:
         return address in self.fenced
@@ -173,6 +245,7 @@ class SentinelReport:
         "roots_fenced",
         "stale_bits_cleared",
         "registry_scrubbed",
+        "freelist_scrubbed",
     )
 
     def __init__(self, phase: str):
@@ -183,6 +256,7 @@ class SentinelReport:
         self.roots_fenced = 0
         self.stale_bits_cleared = 0
         self.registry_scrubbed = 0
+        self.freelist_scrubbed = 0
 
     @property
     def clean(self) -> bool:
@@ -195,6 +269,7 @@ class SentinelReport:
             + self.roots_fenced
             + self.stale_bits_cleared
             + self.registry_scrubbed
+            + self.freelist_scrubbed
         )
 
     def render(self) -> str:
@@ -208,6 +283,7 @@ def run_sentinel(
     *,
     phase: str = "pre-gc",
     expect_clear_bits: bool = True,
+    scrub_freelists: bool = False,
 ) -> SentinelReport:
     """Repair scan behind the hardened collectors' pre/post-GC sentinel.
 
@@ -218,6 +294,12 @@ def run_sentinel(
     is responsible for only asking for ``expect_clear_bits`` when lazy sweep
     debt has been repaid (survivors legitimately carry MARK bits until their
     chunk is swept).
+
+    ``scrub_freelists=True`` (enabled when the collector runs paranoid)
+    adds a fifth pass over the allocator structures themselves: free-list
+    cells that alias live objects or fenced addresses are withheld and
+    fenced, and orphan bump-space records with no table entry are dropped
+    — so the paranoid walker that follows validates a repaired heap.
     """
     report = SentinelReport(phase)
     heap = vm.heap
@@ -300,5 +382,48 @@ def run_sentinel(
                 record.remove(ownee_address)
             report.problems.append(f"registry: vanished ownee {ownee_address:#x} scrubbed")
             report.registry_scrubbed += 1
+
+    # Pass 5 (opt-in): allocator free structures.  A free-list cell that
+    # aliases a live object would hand that object's memory to the next
+    # allocation; a phantom bump record charges bytes for a cell no object
+    # owns.  Both are withheld/fenced rather than reused.
+    if scrub_freelists:
+        from repro.verify.paranoid import iter_spaces
+
+        for name, space in iter_spaces(vm.collector):
+            free_list = getattr(space, "free_list", None)
+            if free_list is not None:
+                for cell_bytes, cells in list(free_list._cells.items()):
+                    keep = []
+                    for address in cells:
+                        if heap.contains(address) or address in quarantine:
+                            report.problems.append(
+                                f"{name}: free cell {address:#x} ({cell_bytes}B) "
+                                "aliases a live or fenced address; withheld"
+                            )
+                            free_list.free_bytes -= cell_bytes
+                            quarantine.fence(address)
+                            report.freelist_scrubbed += 1
+                        else:
+                            keep.append(address)
+                    if len(keep) != len(cells):
+                        if keep:
+                            free_list._cells[cell_bytes] = keep
+                        else:
+                            del free_list._cells[cell_bytes]
+            allocated = getattr(space, "_allocated", None)
+            if allocated is not None:
+                orphans = [
+                    a for a in allocated
+                    if not heap.contains(a) and a not in quarantine
+                ]
+                for address in orphans:
+                    nbytes = allocated.pop(address)
+                    space.bytes_in_use -= nbytes
+                    quarantine.fence(address)
+                    report.problems.append(
+                        f"{name}: orphan bump cell {address:#x} ({nbytes}B) scrubbed"
+                    )
+                    report.freelist_scrubbed += 1
 
     return report

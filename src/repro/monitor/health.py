@@ -123,6 +123,7 @@ def health_report(hub: "MonitorHub") -> dict:
         "heap_live_bytes": int(hub.series["heap_live_bytes"].latest_value(0.0)),
         "occupancy": hub.series["occupancy"].latest_value(0.0),
         "sweep_debt_chunks": int(hub.series["sweep_debt_chunks"].latest_value(0.0)),
+        "quarantine_depth": int(hub.series["quarantine_depth"].latest_value(0.0)),
         "violations_total": int(sum(hub.series["violations"].values())),
         "degradations": dict(hub.degradations_by_kind),
         "alerts_seen": len(hub.alerts),
@@ -149,7 +150,8 @@ def validate_health_report(report: dict) -> list[str]:
         ("components", dict), ("uptime_s", (int, float)), ("gc_events", int),
         ("pauses", dict), ("mmu", dict), ("utilization_now", (int, float)),
         ("heap_live_bytes", int), ("occupancy", (int, float)),
-        ("sweep_debt_chunks", int), ("violations_total", int),
+        ("sweep_debt_chunks", int), ("quarantine_depth", int),
+        ("violations_total", int),
         ("degradations", dict), ("alerts_seen", int),
     ):
         if key not in report:

@@ -42,6 +42,7 @@ GC_SERIES = (
     "heap_live_bytes",
     "occupancy",
     "sweep_debt_chunks",
+    "quarantine_depth",
     "assertion_checks",
     "violations",
     "ownership_s",
@@ -234,6 +235,7 @@ class MonitorHub:
         series["heap_live_bytes"].append(t, float(event.bytes_after))
         series["occupancy"].append(t, event.occupancy_after)
         series["sweep_debt_chunks"].append(t, float(event.sweep_debt_chunks))
+        series["quarantine_depth"].append(t, float(event.quarantine_depth))
         series["assertion_checks"].append(t, float(event.assertion_checks))
         series["violations"].append(t, float(event.violations))
         series["ownership_s"].append(t, event.ownership_s)

@@ -81,6 +81,7 @@ class VirtualMachine:
         max_heap_bytes: Optional[int] = None,
         monitor: Union[bool, "MonitorHub"] = False,
         gc_workers: Optional[int] = None,
+        paranoid: bool = False,
     ):
         self.classes = ClassRegistry()
         self.engine: Optional[AssertionEngine] = (
@@ -131,6 +132,11 @@ class VirtualMachine:
                 heap_bytes, engine=self.engine, track_paths=track_paths, **kwargs
             )
         self.collector.attach(self)
+        if paranoid:
+            # Paranoid wellformedness walks around every collection (PR 10).
+            # Set post-attach so it works for pre-built collector instances
+            # too; off (the default) costs one falsy attribute test per GC.
+            self.collector.paranoid = True
         if self.engine is not None:
             self.engine.vm = self
 

@@ -61,6 +61,7 @@ class ServiceConfig:
     outbound_queue_frames: int = 256
     executor_workers: int = 8
     hardened: bool = True              #: tenant VMs get the PR-5 OOM ladder
+    paranoid: bool = False             #: tenant VMs walk the heap around every GC
     admission_latency_slo_s: float = 0.050
     delivery_lag_slo_s: float = 0.200
     max_frame_bytes: int = MAX_FRAME_BYTES
@@ -395,6 +396,7 @@ class AssertionService:
             heap_bytes=heap_bytes,
             collector=str(frame.get("collector", "marksweep")),
             hardened=self.config.hardened,
+            paranoid=self.config.paranoid,
             queue_frames=self.config.outbound_queue_frames,
             notify=lambda: loop.call_soon_threadsafe(conn.wake.set),
             aggregate=self.metrics.aggregate,

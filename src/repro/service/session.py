@@ -151,6 +151,7 @@ class TenantSession:
         heap_bytes: int,
         collector: str = "marksweep",
         hardened: bool = True,
+        paranoid: bool = False,
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
         notify: Optional[Callable[[], None]] = None,
         aggregate: Optional[Callable[[str, object], None]] = None,
@@ -189,6 +190,7 @@ class TenantSession:
             assertions=True,
             telemetry=True,
             hardened=hardened,
+            paranoid=paranoid,
             max_heap_bytes=heap_bytes * 2 if hardened else None,
             tracing=tracing,
         )

@@ -324,6 +324,7 @@ class Telemetry:
             ownees_checked=delta.ownees_checked,
             violations=delta.violations_detected,
             sweep_debt_chunks=collector.sweep_debt(),
+            quarantine_depth=len(collector.quarantine),
             wall_time=time.time(),
             mono_time=end_mono,
         )

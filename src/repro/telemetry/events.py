@@ -51,6 +51,11 @@ class GcEvent:
     #: reclamation was exact when the event was emitted).  Defaulted so
     #: pre-existing constructors stay valid.
     sweep_debt_chunks: int = 0
+    #: Addresses fenced in the collector's quarantine at pause end — the
+    #: hardened recovery's poison set.  Growth says corruption is being
+    #: caught and contained; hitting the bound raises QuarantineOverflowError.
+    #: Defaulted so pre-existing constructors stay valid.
+    quarantine_depth: int = 0
     #: Wall-clock epoch seconds (``time.time()``) at pause end.  The
     #: monotonic clock below is the one to do arithmetic on; this one is
     #: the one that correlates across processes and with external logs.

@@ -186,6 +186,10 @@ def render_prometheus(telemetry: "Telemetry", namespace: str = "repro") -> str:
                       "Unswept chunks outstanding after the last GC "
                       "(lazy sweep; 0 when reclamation is exact).")
         sample(full, latest.sweep_debt_chunks)
+        full = metric("gc_quarantine_depth", "gauge",
+                      "Addresses fenced in the corruption quarantine after "
+                      "the last GC (bounded; overflow is a typed failure).")
+        sample(full, latest.quarantine_depth)
 
     census = telemetry.census.latest()
     if census:

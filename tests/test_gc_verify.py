@@ -74,6 +74,51 @@ class TestDetection:
         assert any("region queue" in p for p in problems)
 
 
+class TestQuarantineBounds:
+    def test_fence_is_idempotent_and_counted(self):
+        from repro.gc.verify import Quarantine
+
+        quarantine = Quarantine(capacity=4)
+        assert quarantine.fence(0x100) is True
+        assert quarantine.fence(0x100) is False  # already fenced: no-op
+        assert len(quarantine) == 1
+        assert 0x100 in quarantine
+        assert quarantine.remaining == 3
+
+    def test_overflow_is_a_typed_failure(self):
+        from repro.errors import QuarantineOverflowError
+        from repro.gc.verify import HeapVerificationError, Quarantine
+
+        quarantine = Quarantine(capacity=2)
+        quarantine.fence(0x100)
+        quarantine.fence(0x200)
+        with pytest.raises(QuarantineOverflowError) as excinfo:
+            quarantine.fence(0x300)
+        # Typed within the corruption hierarchy, carries what it held.
+        assert not isinstance(excinfo.value, HeapVerificationError)
+        assert excinfo.value.fenced == {0x100, 0x200}
+        assert excinfo.value.problems
+        # Re-fencing an already-held address stays a no-op, not an overflow.
+        assert quarantine.fence(0x100) is False
+
+    def test_sentinel_freelist_scrub_withholds_aliased_cells(self, vm, node_class):
+        from repro.gc.verify import run_sentinel, verify_heap
+
+        nodes = build_chain(vm, node_class, 4)
+        space = vm.collector.space
+        live = nodes[0].obj.address
+        space.free_list.push(live, space.cell_size(live))
+        report = run_sentinel(
+            vm, vm.collector.quarantine, phase="test", scrub_freelists=True
+        )
+        assert report.freelist_scrubbed == 1
+        assert live in vm.collector.quarantine
+        # The scrub repaired the heap the paranoid walker validates: the
+        # aliased cell is off the free list (fenced-and-listed would be a
+        # fresh paranoid problem, so the scrub must remove, not just fence).
+        assert verify_heap(vm, raise_on_error=False, paranoid=True) == []
+
+
 class TestContinuousVerification:
     def test_workloads_leave_heap_consistent(self, vm):
         from repro.workloads.jbb import JbbConfig, run_pseudojbb
